@@ -1,0 +1,23 @@
+"""Section 4.5: NetCrafter controller hardware overhead."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.overhead import (
+    MI250X_L2_BYTES,
+    controller_overhead,
+    overhead_report,
+)
+
+
+def test_sec45_hardware_overhead(benchmark, record_table):
+    report = benchmark.pedantic(
+        overhead_report, args=(SystemConfig.table2(),), rounds=1, iterations=1
+    )
+    record_table(report, filename="sec45_overhead")
+    overhead = controller_overhead(SystemConfig.table2())
+    # paper: 16.02 KB per cluster, ~0.098% of the MI250X's 16 MB L2
+    assert overhead.total_kib == pytest.approx(16.02, abs=0.01)
+    assert overhead.fraction_of(MI250X_L2_BYTES) == pytest.approx(
+        0.00098, abs=0.00002
+    )

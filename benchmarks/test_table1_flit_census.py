@@ -1,0 +1,25 @@
+"""Table 1: categorizing 16 B flits by type and size."""
+
+from repro.experiments import figures
+
+
+def test_table1_flit_census(benchmark, record_table):
+    rows = benchmark.pedantic(figures.table1_flit_census, rounds=1, iterations=1)
+    header = f"{'Request Type':14s} {'Occupied':>9s} {'Required':>9s} {'Padded':>7s} {'Flits':>6s}"
+    lines = ["== table1: Flit census by packet type (16 B flits) ==", header]
+    for row in rows:
+        lines.append(
+            f"{row['request_type']:14s} {row['bytes_occupied']:9d} "
+            f"{row['bytes_required']:9d} {row['bytes_padded']:7d} "
+            f"{row['flits_occupied']:6d}"
+        )
+    record_table("\n".join(lines), filename="table1")
+
+    by_type = {r["request_type"]: r for r in rows}
+    # Table 1, verbatim
+    assert by_type["read_req"]["bytes_required"] == 12
+    assert by_type["write_req"]["bytes_occupied"] == 80
+    assert by_type["read_rsp"]["bytes_padded"] == 12
+    assert by_type["write_rsp"]["bytes_required"] == 4
+    assert by_type["pt_req"]["flits_occupied"] == 1
+    assert by_type["pt_rsp"]["bytes_required"] == 12

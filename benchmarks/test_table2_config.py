@@ -1,0 +1,25 @@
+"""Table 2: the baseline multi-GPU configuration."""
+
+from repro.config import SystemConfig
+from repro.experiments import figures
+
+
+def test_table2_configuration(benchmark, record_table):
+    rows = benchmark.pedantic(
+        figures.table2_configuration, args=(SystemConfig.default(),),
+        rounds=1, iterations=1,
+    )
+    lines = ["== table2: Simulated configuration (scaled; see DESIGN.md §5) =="]
+    for key, value in rows.items():
+        lines.append(f"{key:22s} {value}")
+    paper = figures.table2_configuration(SystemConfig.table2())
+    lines.append("")
+    lines.append("-- paper-faithful preset (SystemConfig.table2):")
+    for key, value in paper.items():
+        lines.append(f"{key:22s} {value}")
+    record_table("\n".join(lines), filename="table2")
+
+    assert "16 GB/s" in rows["Interconnect"]
+    assert "128 GB/s" in rows["Interconnect"]
+    assert "64 per GPU" in paper["Compute Units"] or "64" in paper["Compute Units"]
+    assert "512 entry" in paper["L2 TLB"]

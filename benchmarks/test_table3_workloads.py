@@ -1,0 +1,21 @@
+"""Table 3: the evaluated applications."""
+
+from repro.experiments import figures
+
+
+def test_table3_workloads(benchmark, record_table):
+    rows = benchmark.pedantic(figures.table3_workloads, rounds=1, iterations=1)
+    lines = [
+        "== table3: Evaluated applications ==",
+        f"{'Abbr':8s} {'Pattern':16s} {'Suite':12s}",
+    ]
+    for row in rows:
+        lines.append(f"{row['abbr']:8s} {row['pattern']:16s} {row['suite']:12s}")
+    record_table("\n".join(lines), filename="table3")
+
+    assert len(rows) == 15
+    patterns = {row["abbr"]: row["pattern"] for row in rows}
+    assert patterns["GUPS"] == "random"
+    assert patterns["BS"] == "partitioned"
+    assert patterns["IM2COL"] == "adjacent"
+    assert patterns["MVT"] == "scatter,gather"

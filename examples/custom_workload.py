@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Build a custom workload with the trace API and run it under NetCrafter.
+
+Demonstrates the public trace model: a stencil-style kernel where each
+GPU streams over its own block of a grid but reads an 8-byte halo from
+its right-hand neighbour — a pattern not in the paper's Table 3, showing
+how a downstream user would evaluate their own application.
+"""
+
+from repro import (
+    CtaTrace,
+    KernelTrace,
+    MemAccess,
+    MultiGpuSystem,
+    NetCrafterConfig,
+    SystemConfig,
+    WavefrontTrace,
+    WorkloadTrace,
+)
+from repro.vm.page_table import PAGE_SIZE
+
+GRID_PAGES_PER_GPU = 8
+CTAS_PER_GPU = 12
+ACCESSES_PER_WAVEFRONT = 12
+GRID_BASE_VPN = 1 << 18  # keep the grid away from address zero
+
+
+def grid_vpn(gpu: int, page: int) -> int:
+    return GRID_BASE_VPN + gpu * GRID_PAGES_PER_GPU + page
+
+
+def build_stencil(n_gpus: int) -> WorkloadTrace:
+    """One sweep of a 1-D stencil with halo exchange to the right."""
+    page_owner = {
+        grid_vpn(gpu, page): gpu
+        for gpu in range(n_gpus)
+        for page in range(GRID_PAGES_PER_GPU)
+    }
+    ctas = []
+    for gpu in range(n_gpus):
+        right = (gpu + 1) % n_gpus
+        for cta in range(CTAS_PER_GPU):
+            accesses = []
+            for i in range(ACCESSES_PER_WAVEFRONT):
+                page = (cta + i) % GRID_PAGES_PER_GPU
+                line = (cta * 7 + i) % (PAGE_SIZE // 64)
+                local = grid_vpn(gpu, page) * PAGE_SIZE + line * 64
+                if i % 4 == 3:
+                    # halo: 8 bytes from the neighbour's first page
+                    halo = grid_vpn(right, 0) * PAGE_SIZE + line * 64
+                    accesses.append(MemAccess(vaddr=halo, nbytes=8))
+                elif i % 4 == 2:
+                    accesses.append(MemAccess(vaddr=local, nbytes=64, is_write=True))
+                else:
+                    accesses.append(MemAccess(vaddr=local, nbytes=64))
+            ctas.append(
+                CtaTrace(gpu=gpu, wavefronts=[WavefrontTrace(accesses=accesses)])
+            )
+    kernel = KernelTrace(name="stencil_sweep", ctas=ctas, page_owner=page_owner)
+    return WorkloadTrace(name="stencil", kernels=[kernel])
+
+
+def main() -> None:
+    config = SystemConfig.default()
+    workload = build_stencil(config.n_gpus)
+    workload.validate()
+    print(f"custom workload: {workload.total_accesses()} coalesced accesses")
+
+    results = {}
+    for label, nc in [
+        ("baseline", NetCrafterConfig.baseline()),
+        ("netcrafter", NetCrafterConfig.full()),
+    ]:
+        system = MultiGpuSystem(config=config, netcrafter=nc)
+        system.load(build_stencil(config.n_gpus))
+        results[label] = system.run()
+        r = results[label]
+        print(
+            f"{label:11s} cycles={r.cycles:7,}  inter flits={r.inter_flits_sent:6,}  "
+            f"stitched={r.flits_absorbed:5,}  trimmed={r.packets_trimmed:4,}"
+        )
+
+    speedup = results["netcrafter"].speedup_over(results["baseline"])
+    print(f"\nNetCrafter speedup on the custom stencil: {speedup:.2f}x")
+    print("(halo reads need 8 B of each line, so Trimming shrinks the "
+          "responses; Stitching packs the halo requests into response padding)")
+
+
+if __name__ == "__main__":
+    main()

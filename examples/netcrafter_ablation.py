@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Mechanism ablation: what each NetCrafter technique contributes.
+
+Runs one workload under every mechanism combination and prints the
+speedup alongside the controller-internal counters that explain it
+(stitch rate, trimmed packets, pooling outcomes, PTW share).
+"""
+
+import sys
+
+from repro import (
+    MultiGpuSystem,
+    NetCrafterConfig,
+    Scale,
+    SystemConfig,
+    get_workload,
+)
+
+CONFIGS = [
+    ("baseline", NetCrafterConfig.baseline()),
+    ("stitching", NetCrafterConfig.stitching_only()),
+    ("stitch+pool32", NetCrafterConfig.stitching_with_pooling(32)),
+    ("stitch+sfp32", NetCrafterConfig.stitching_with_selective_pooling(32)),
+    ("trimming", NetCrafterConfig.trimming_only()),
+    ("sequencing", NetCrafterConfig.sequencing_only()),
+    ("stitch+trim", NetCrafterConfig.stitch_trim()),
+    ("full netcrafter", NetCrafterConfig.full()),
+]
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "gups"
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 0
+    config = SystemConfig.default()
+
+    print(f"workload: {workload}\n")
+    header = (
+        f"{'config':16s} {'cycles':>8s} {'speedup':>8s} {'flits':>7s} "
+        f"{'stitch%':>8s} {'trimmed':>8s} {'bytes saved':>12s}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    base_cycles = None
+    for label, nc in CONFIGS:
+        trace = get_workload(workload).build(
+            n_gpus=config.n_gpus, scale=Scale.small(), seed=seed
+        )
+        system = MultiGpuSystem(config=config, netcrafter=nc, seed=seed)
+        system.load(trace)
+        result = system.run()
+        if base_cycles is None:
+            base_cycles = result.cycles
+            base_bytes = result.inter_wire_bytes
+        saved = base_bytes - result.inter_wire_bytes
+        print(
+            f"{label:16s} {result.cycles:8,} {base_cycles / result.cycles:8.2f} "
+            f"{result.inter_flits_sent:7,} {result.stitch_rate():8.1%} "
+            f"{result.packets_trimmed:8,} {saved:12,}"
+        )
+
+    print("\nnotes:")
+    print(" - stitch%   : fraction of egress flits absorbed into other flits")
+    print(" - trimmed   : read responses cut to one sector at the egress")
+    print(" - bytes saved: inter-cluster wire bytes vs the baseline run")
+
+
+if __name__ == "__main__":
+    main()

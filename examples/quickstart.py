@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Quickstart: baseline vs NetCrafter on one workload.
+
+Builds the Frontier-style 2x2 multi-GPU node (Figure 2 of the paper),
+runs the GUPS workload on the non-uniform baseline and again with full
+NetCrafter (Stitching + Selective Flit Pooling, Trimming, Sequencing),
+and prints the speedup plus the traffic statistics behind it.
+
+Usage::
+
+    python examples/quickstart.py [workload] [seed]
+"""
+
+import sys
+
+from repro import (
+    MultiGpuSystem,
+    NetCrafterConfig,
+    Scale,
+    SystemConfig,
+    get_workload,
+)
+
+
+def run(workload_name: str, netcrafter: NetCrafterConfig, seed: int):
+    system_cfg = SystemConfig.default()
+    trace = get_workload(workload_name).build(
+        n_gpus=system_cfg.n_gpus, scale=Scale.small(), seed=seed
+    )
+    system = MultiGpuSystem(config=system_cfg, netcrafter=netcrafter, seed=seed)
+    system.load(trace)
+    return system.run()
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "gups"
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 0
+
+    print(f"workload: {workload}")
+    base = run(workload, NetCrafterConfig.baseline(), seed)
+    crafted = run(workload, NetCrafterConfig.full(), seed)
+
+    print(f"\nbaseline ({base.config_label})")
+    print(f"  cycles:                {base.cycles:,}")
+    print(f"  inter-cluster flits:   {base.inter_flits_sent:,}")
+    print(f"  inter-cluster util:    {base.inter_utilization():.1%}")
+    print(f"  mean remote latency:   {base.mean_inter_read_latency():.0f} cycles")
+    print(f"  PTW traffic share:     {base.ptw_traffic_fraction():.1%}")
+
+    print(f"\nnetcrafter ({crafted.config_label})")
+    print(f"  cycles:                {crafted.cycles:,}")
+    print(f"  inter-cluster flits:   {crafted.inter_flits_sent:,}")
+    print(f"  flits stitched away:   {crafted.flits_absorbed:,}")
+    print(f"  responses trimmed:     {crafted.packets_trimmed:,}")
+    print(f"  trim bytes saved:      {crafted.trim_bytes_saved:,}")
+    print(f"  mean remote latency:   {crafted.mean_inter_read_latency():.0f} cycles")
+
+    speedup = crafted.speedup_over(base)
+    saved = 1 - (crafted.inter_wire_bytes / base.inter_wire_bytes) if base.inter_wire_bytes else 0
+    print(f"\nspeedup:          {speedup:.2f}x")
+    print(f"wire bytes saved: {saved:.1%}")
+
+
+if __name__ == "__main__":
+    main()

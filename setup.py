@@ -1,0 +1,11 @@
+"""Thin setup.py shim.
+
+The environment has no network and no ``wheel`` package, so PEP 660
+editable installs (which need ``bdist_wheel``) fail; this shim lets
+``pip install -e . --no-build-isolation`` fall back to the legacy
+``setup.py develop`` path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

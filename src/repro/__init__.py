@@ -1,0 +1,60 @@
+"""repro: a reproduction of NetCrafter (ISCA 2025).
+
+NetCrafter tailors network traffic for non-uniform bandwidth multi-GPU
+systems with three mechanisms applied at inter-cluster egress ports:
+Stitching (merge partially-filled flits), Trimming (send only the needed
+cache-line sector), and Sequencing (prioritize latency-critical
+page-table-walk flits).
+
+Quickstart::
+
+    from repro import MultiGpuSystem, NetCrafterConfig, get_workload
+
+    workload = get_workload("gups").build(n_gpus=4)
+    baseline = MultiGpuSystem()
+    baseline.load(workload)
+    base = baseline.run()
+
+    crafted = MultiGpuSystem(netcrafter=NetCrafterConfig.full())
+    crafted.load(get_workload("gups").build(n_gpus=4))
+    fast = crafted.run()
+    print(f"speedup: {fast.speedup_over(base):.2f}x")
+"""
+
+from repro.config import SystemConfig
+from repro.core import NetCrafterConfig, PriorityMode
+from repro.gpu import (
+    CtaTrace,
+    KernelTrace,
+    MemAccess,
+    MultiGpuSystem,
+    WavefrontTrace,
+    WorkloadTrace,
+)
+from repro.stats import RunResult, geometric_mean
+from repro.stats.energy import EnergyModel, estimate_energy
+from repro.workloads import Scale, get_workload, all_workload_names
+from repro.workloads.serialization import load_trace, save_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SystemConfig",
+    "NetCrafterConfig",
+    "PriorityMode",
+    "MultiGpuSystem",
+    "MemAccess",
+    "WavefrontTrace",
+    "CtaTrace",
+    "KernelTrace",
+    "WorkloadTrace",
+    "RunResult",
+    "geometric_mean",
+    "EnergyModel",
+    "estimate_energy",
+    "Scale",
+    "get_workload",
+    "all_workload_names",
+    "save_trace",
+    "load_trace",
+]

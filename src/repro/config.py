@@ -1,0 +1,147 @@
+"""System-level configuration (the paper's Table 2, plus scaled presets).
+
+All bandwidths are bytes per cycle; with the 1 GHz clock of Table 2 this
+equals GB/s, so the baseline's 128 GB/s intra-cluster and 16 GB/s
+inter-cluster fabrics are simply 128.0 and 16.0.
+
+Two scales are provided:
+
+* :meth:`SystemConfig.table2` — the paper's full 64-CU-per-GPU node;
+* :meth:`SystemConfig.default` — a proportionally scaled-down node
+  (fewer CUs/wavefronts, same bandwidth *ratio* and memory parameters)
+  that keeps pure-Python simulation times reasonable.  DESIGN.md §5
+  documents why the scaling preserves the congestion regime that drives
+  every result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Structural and timing parameters of the multi-GPU node."""
+
+    # topology
+    n_clusters: int = 2
+    gpus_per_cluster: int = 2
+    #: inter-cluster fabric shape: ``"mesh"`` = a direct link per cluster
+    #: pair (the paper's two-cluster node trivially satisfies this);
+    #: ``"ring"`` = links between adjacent clusters only, multi-hop
+    #: shortest-path routing through intermediate switches
+    inter_topology: str = "mesh"
+    # compute
+    cus_per_gpu: int = 8
+    max_wavefronts_per_cu: int = 8
+    compute_delay: int = 4  # cycles between a wavefront's memory ops
+    #: outstanding memory accesses per wavefront (memory pipelining)
+    wavefront_mlp: int = 4
+    # network
+    flit_size: int = 16
+    intra_cluster_bw: float = 128.0  # bytes/cycle == GB/s at 1 GHz
+    inter_cluster_bw: float = 16.0
+    link_latency: int = 8
+    switch_latency: int = 30
+    switch_buffer_entries: int = 1024
+    # L1 (per CU)
+    l1_size: int = 64 * 1024
+    l1_ways: int = 4
+    l1_latency: int = 20
+    l1_mshr_entries: int = 32
+    l1_sector_bytes: int = 16
+    #: ``"line"`` = conventional fills; ``"sector"`` = the all-trimming
+    #: sector-cache baseline of Section 5.3
+    l1_fetch_mode: str = "line"
+    # L1 TLB (per CU); the default preset scales TLB reach down with the
+    # working sets so translation pressure matches the paper's regime
+    l1_tlb_entries: int = 16
+    l1_tlb_latency: int = 1
+    # L2 (per GPU)
+    l2_size: int = 4 * 1024 * 1024
+    l2_ways: int = 16
+    l2_banks: int = 16
+    l2_latency: int = 100
+    l2_mshr_entries: int = 64
+    # L2 TLB (per GPU)
+    l2_tlb_entries: int = 64
+    l2_tlb_assoc: int = 8
+    l2_tlb_latency: int = 10
+    # GMMU
+    pwc_entries: int = 16
+    pwc_latency: int = 10
+    n_walkers: int = 16
+    walk_mshr_entries: int = 64
+    # memory
+    line_bytes: int = 64
+    dram_latency: int = 100
+    dram_bytes_per_cycle: float = 1024.0
+    dram_max_outstanding: int = 64
+    #: ``"software"`` = the paper's baseline (L1s flushed at kernel
+    #: boundaries); ``"hardware"`` = the directory/invalidation extension
+    #: of Section 4.5's future work (see repro.memory.coherence)
+    coherence: str = "software"
+
+    def __post_init__(self) -> None:
+        if self.l1_fetch_mode not in ("line", "sector"):
+            raise ValueError("l1_fetch_mode must be 'line' or 'sector'")
+        if self.n_clusters < 1 or self.gpus_per_cluster < 1:
+            raise ValueError("topology must have at least one cluster and GPU")
+        if self.coherence not in ("software", "hardware"):
+            raise ValueError("coherence must be 'software' or 'hardware'")
+        if self.inter_topology not in ("mesh", "ring"):
+            raise ValueError("inter_topology must be 'mesh' or 'ring'")
+
+    # -- topology helpers ----------------------------------------------------
+
+    @property
+    def n_gpus(self) -> int:
+        return self.n_clusters * self.gpus_per_cluster
+
+    def cluster_of(self, gpu: int) -> int:
+        if not 0 <= gpu < self.n_gpus:
+            raise ValueError(f"no such GPU {gpu}")
+        return gpu // self.gpus_per_cluster
+
+    def gpus_in_cluster(self, cluster: int) -> range:
+        start = cluster * self.gpus_per_cluster
+        return range(start, start + self.gpus_per_cluster)
+
+    @property
+    def bandwidth_ratio(self) -> float:
+        return self.intra_cluster_bw / self.inter_cluster_bw
+
+    def with_overrides(self, **kwargs) -> "SystemConfig":
+        return replace(self, **kwargs)
+
+    # -- presets ------------------------------------------------------------
+
+    @classmethod
+    def default(cls) -> "SystemConfig":
+        """Scaled-down node used by tests and quick experiments."""
+        return cls()
+
+    @classmethod
+    def table2(cls) -> "SystemConfig":
+        """The paper's full baseline configuration (slow in pure Python)."""
+        return cls(
+            cus_per_gpu=64,
+            max_wavefronts_per_cu=16,
+            l1_tlb_entries=32,
+            l2_tlb_entries=512,
+            pwc_entries=32,
+        )
+
+    @classmethod
+    def ideal(cls, base: "SystemConfig" = None) -> "SystemConfig":
+        """All links at intra-cluster bandwidth (Figure 3's upper bound)."""
+        base = base or cls.default()
+        return base.with_overrides(inter_cluster_bw=base.intra_cluster_bw)
+
+    @classmethod
+    def sector_cache_baseline(
+        cls, base: "SystemConfig" = None, sector_bytes: int = 16
+    ) -> "SystemConfig":
+        """The Section 5.3 comparison: sectored L1 fills everywhere."""
+        base = base or cls.default()
+        return base.with_overrides(l1_fetch_mode="sector", l1_sector_bytes=sector_bytes)

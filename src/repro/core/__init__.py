@@ -1,0 +1,44 @@
+"""NetCrafter: the paper's primary contribution.
+
+The NetCrafter controller sits at each cluster switch's inter-cluster
+egress port (Figure 13) and applies three mechanisms to traffic crossing
+the lower-bandwidth network:
+
+* **Trimming** (:mod:`repro.core.trimming`) — cut read responses down to
+  the 16-byte sector the wavefront actually needs;
+* **Stitching** (:mod:`repro.core.stitching`) — merge partially-filled
+  flits bound for the same destination cluster, helped by (Selective)
+  Flit Pooling (:mod:`repro.core.pooling`);
+* **Sequencing** (:mod:`repro.core.sequencing`) — prioritize
+  latency-critical PTW-related flits in the egress scheduler.
+
+:class:`~repro.core.controller.NetCrafterController` composes the three;
+:class:`~repro.core.controller.PassthroughController` is the baseline
+FIFO egress used for the non-uniform baseline configuration.
+"""
+
+from repro.core.config import NetCrafterConfig, PriorityMode
+from repro.core.cluster_queue import ClusterQueue, QueuePartition, PTW_PARTITION
+from repro.core.trimming import TrimEngine
+from repro.core.stitching import StitchEngine
+from repro.core.sequencing import SequencingPolicy
+from repro.core.pooling import PoolingGovernor
+from repro.core.controller import NetCrafterController, PassthroughController
+from repro.core.overhead import ControllerOverhead, controller_overhead, overhead_report
+
+__all__ = [
+    "ControllerOverhead",
+    "controller_overhead",
+    "overhead_report",
+    "NetCrafterConfig",
+    "PriorityMode",
+    "ClusterQueue",
+    "QueuePartition",
+    "PTW_PARTITION",
+    "TrimEngine",
+    "StitchEngine",
+    "SequencingPolicy",
+    "PoolingGovernor",
+    "NetCrafterController",
+    "PassthroughController",
+]

@@ -1,0 +1,256 @@
+"""The Cluster Queue (CQ): NetCrafter's egress staging SRAM.
+
+Section 4.4: "It is an SRAM structure located at the inter-GPU-cluster
+network egress port. ... a two-level virtual structure: the first level,
+CQ.dst, groups flits by destination cluster, while the second level,
+CQ.type, subdivides each CQ.dst by request type."  A round-robin
+scheduler allocates service turns across partitions; PTW-related flits
+may live in their own partition so Sequencing and Selective Flit Pooling
+can treat them specially.
+
+One :class:`ClusterQueue` instance here serves a single destination
+cluster (the CQ.dst level is realized as one instance per inter-cluster
+link, each granted an equal share of the 1024-entry SRAM budget).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
+
+from repro.network.flit import Flit
+
+#: partition key for latency-critical page-table-walk flits
+PTW_PARTITION = "ptw"
+#: partition key for Figure 8's matched-fraction prioritized data flits
+PRIORITY_DATA_PARTITION = "prio_data"
+#: the single partition used when type partitioning is disabled (baseline)
+FIFO_PARTITION = "fifo"
+
+
+class QueuePartition:
+    """One CQ.type partition: a FIFO of flits plus a pooling timer."""
+
+    def __init__(self, key: str) -> None:
+        self.key = key
+        self.flits: Deque[Flit] = deque()
+        #: pooling timer: the scheduler skips this partition until expiry
+        self.blocked_until = 0
+        #: cycle the current pooling timer was set (work-conserving grace)
+        self.pooled_at = 0
+
+    def __len__(self) -> int:
+        return len(self.flits)
+
+    def is_blocked(self, now: int) -> bool:
+        return now < self.blocked_until
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<QueuePartition {self.key} n={len(self.flits)} blk={self.blocked_until}>"
+
+
+class ClusterQueue:
+    """Type-partitioned, capacity-bounded staging queue for one dst cluster."""
+
+    def __init__(
+        self,
+        capacity: int,
+        partition_by_type: bool,
+        separate_ptw: bool,
+        scheduler: str = "age",
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("cluster queue capacity must be positive")
+        if scheduler not in ("age", "rr"):
+            raise ValueError("scheduler must be 'age' or 'rr'")
+        self.capacity = capacity
+        self.partition_by_type = partition_by_type
+        self.separate_ptw = separate_ptw
+        self.scheduler = scheduler
+        self._partitions: Dict[str, QueuePartition] = {}
+        self._order: List[str] = []
+        self._rr_index = 0
+        self._count = 0
+        self._next_seq = 0
+        self.total_accepted = 0
+        self.rejected = 0
+
+    # -- capacity ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def free_entries(self) -> int:
+        return self.capacity - self._count
+
+    def is_empty(self) -> bool:
+        return self._count == 0
+
+    # -- keying -----------------------------------------------------------
+
+    def partition_key(self, flit: Flit, priority_data: bool = False) -> str:
+        """Pick the CQ.type partition for a flit."""
+        if self.separate_ptw and flit.is_ptw:
+            return PTW_PARTITION
+        if priority_data:
+            return PRIORITY_DATA_PARTITION
+        if not self.partition_by_type:
+            return FIFO_PARTITION
+        return flit.packet.ptype.value
+
+    def _partition(self, key: str) -> QueuePartition:
+        part = self._partitions.get(key)
+        if part is None:
+            part = QueuePartition(key)
+            self._partitions[key] = part
+            self._order.append(key)
+        return part
+
+    def partitions(self) -> List[QueuePartition]:
+        return [self._partitions[key] for key in self._order]
+
+    def get_partition(self, key: str) -> Optional[QueuePartition]:
+        return self._partitions.get(key)
+
+    # -- enqueue / dequeue --------------------------------------------------
+
+    def push(self, flit: Flit, priority_data: bool = False) -> bool:
+        """Stage a flit; ``False`` when the SRAM budget is exhausted."""
+        if self._count >= self.capacity:
+            self.rejected += 1
+            return False
+        key = self.partition_key(flit, priority_data)
+        flit.cq_seq = self._next_seq
+        self._next_seq += 1
+        self._partition(key).flits.append(flit)
+        self._count += 1
+        self.total_accepted += 1
+        return True
+
+    def push_front(self, flit: Flit, key: str) -> None:
+        """Return a pooled flit to the head of its partition."""
+        self._partition(key).flits.appendleft(flit)
+        self._count += 1
+
+    def pop_from(self, part: QueuePartition) -> Flit:
+        flit = part.flits.popleft()
+        self._count -= 1
+        return flit
+
+    def remove_flit(self, flit: Flit) -> bool:
+        """Remove a specific staged flit (when it gets stitched away)."""
+        for part in self._partitions.values():
+            try:
+                part.flits.remove(flit)
+            except ValueError:
+                continue
+            self._count -= 1
+            return True
+        return False
+
+    # -- scheduling ---------------------------------------------------------
+
+    def select_partition(
+        self, now: int, prefer: Optional[str] = None
+    ) -> Tuple[Optional[QueuePartition], Optional[int]]:
+        """Choose the partition to serve next.
+
+        ``prefer`` (e.g. the PTW partition under Sequencing) is served
+        whenever non-empty, regardless of scheduling order or timers (the
+        paper's "bias towards prioritizing the cluster queue containing
+        PTW-related flits"; its timer is never set).  Otherwise service
+        follows the configured policy over non-empty, non-blocked
+        partitions: ``"age"`` serves the partition holding the oldest
+        staged flit (keeping the no-feature configuration equivalent to
+        the baseline FIFO egress), ``"rr"`` is the paper's per-partition
+        round-robin.
+
+        Returns ``(partition, None)`` when one is serviceable, or
+        ``(None, earliest_unblock)`` when flits exist but all their
+        partitions are pooling-blocked (``earliest_unblock`` tells the
+        caller when to retry), or ``(None, None)`` when truly empty.
+        """
+        if prefer is not None:
+            preferred = self._partitions.get(prefer)
+            if preferred is not None and preferred.flits:
+                return preferred, None
+        n = len(self._order)
+        if n == 0 or self._count == 0:
+            return None, None
+        if self.scheduler == "age":
+            return self._select_oldest(now)
+        return self._select_round_robin(now)
+
+    def _select_oldest(
+        self, now: int
+    ) -> Tuple[Optional[QueuePartition], Optional[int]]:
+        best: Optional[QueuePartition] = None
+        earliest: Optional[int] = None
+        for part in self._partitions.values():
+            if not part.flits:
+                continue
+            if part.is_blocked(now):
+                if earliest is None or part.blocked_until < earliest:
+                    earliest = part.blocked_until
+                continue
+            if best is None or part.flits[0].cq_seq < best.flits[0].cq_seq:
+                best = part
+        if best is not None:
+            return best, None
+        return None, earliest
+
+    def _select_round_robin(
+        self, now: int
+    ) -> Tuple[Optional[QueuePartition], Optional[int]]:
+        n = len(self._order)
+        earliest: Optional[int] = None
+        for step in range(n):
+            key = self._order[(self._rr_index + step) % n]
+            part = self._partitions[key]
+            if not part.flits:
+                continue
+            if part.is_blocked(now):
+                if earliest is None or part.blocked_until < earliest:
+                    earliest = part.blocked_until
+                continue
+            self._rr_index = (self._rr_index + step + 1) % n
+            return part, None
+        return None, earliest
+
+    def blocked_partitions(self, now: int) -> List[QueuePartition]:
+        """Non-empty partitions currently under a pooling timer."""
+        return [
+            part
+            for part in self._partitions.values()
+            if part.flits and part.is_blocked(now)
+        ]
+
+    def earliest_blocked(self, now: int) -> Optional[QueuePartition]:
+        """The non-empty blocked partition whose timer expires first.
+
+        Used by the work-conserving override: when every serviceable
+        partition is empty, the egress serves a timer-blocked partition
+        rather than idling the link (see the controller's ``_pump``).
+        """
+        blocked = self.blocked_partitions(now)
+        if not blocked:
+            return None
+        return min(blocked, key=lambda part: part.blocked_until)
+
+    def stitch_candidates(
+        self, parent: Flit, search_depth: int
+    ) -> Iterable[Flit]:
+        """Yield staged flits visible to the stitch search for ``parent``.
+
+        All partitions share the parent's destination cluster (the CQ.dst
+        level) so every staged flit is route-compatible; the search window
+        is bounded to the first ``search_depth`` flits of each partition.
+        """
+        for part in self._partitions.values():
+            for idx, flit in enumerate(part.flits):
+                if idx >= search_depth:
+                    break
+                if flit is parent:
+                    continue
+                yield flit

@@ -1,0 +1,283 @@
+"""The NetCrafter controller: Trim -> Cluster Queue -> Stitch -> eject.
+
+One controller instance guards one inter-cluster egress link (Figure 13).
+Packets leaving the cluster are trimmed (if eligible), segmented into
+flits, and staged in the Cluster Queue; a scheduler pumps the link one
+flit per link-cycle, choosing partitions round-robin with an optional
+strict preference for the PTW partition (Sequencing), stitching
+candidates into each ejected parent flit, and pooling un-stitchable
+flits for a bounded window (Selective Flit Pooling).
+
+With every feature disabled the controller degenerates into a plain
+FIFO egress, which is the paper's non-uniform baseline
+(:class:`PassthroughController`).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Deque, List, Optional, Tuple
+
+from repro.core.cluster_queue import ClusterQueue, PTW_PARTITION
+from repro.core.config import NetCrafterConfig
+from repro.core.pooling import PoolingGovernor
+from repro.core.sequencing import SequencingPolicy
+from repro.core.stitching import StitchEngine
+from repro.core.trimming import TrimEngine
+from repro.network.flit import Flit, segment_packet
+from repro.network.link import FlitLink
+from repro.network.packet import Packet
+from repro.sim.component import Component
+from repro.sim.engine import Engine
+
+class EgressStats:
+    """Traffic accounting at one inter-cluster egress port."""
+
+    def __init__(self) -> None:
+        self.packets_accepted = 0
+        #: per-PacketType packet counts, for traffic-conservation checks
+        self.packets_by_type = Counter()
+        self.flits_entered = 0
+        self.flits_sent = 0
+        self.flits_absorbed = 0
+        self.parents_stitched = 0
+        self.ptw_flits = 0
+        self.data_flits = 0
+        self.ptw_bytes = 0
+        self.data_bytes = 0
+        #: histogram of useful bytes per flit at entry (pre-stitch), which
+        #: reproduces Figure 6's padded-fraction distribution
+        self.occupancy = Counter()
+
+    def record_entry(self, flit: Flit) -> None:
+        self.flits_entered += 1
+        self.occupancy[flit.used_bytes] += 1
+        useful = flit.used_bytes
+        if flit.is_ptw:
+            self.ptw_flits += 1
+            self.ptw_bytes += useful
+        else:
+            self.data_flits += 1
+            self.data_bytes += useful
+
+    def padded_fraction_distribution(self, flit_size: int) -> Counter:
+        """Map padded-fraction (0.0-1.0) -> flit count (Figure 6)."""
+        dist = Counter()
+        for used, count in self.occupancy.items():
+            padded = (flit_size - used) / flit_size
+            dist[round(padded, 2)] += count
+        return dist
+
+
+class NetCrafterController(Component):
+    """Egress controller for a single destination cluster."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        name: str,
+        link: FlitLink,
+        flit_size: int,
+        config: NetCrafterConfig,
+        queue_capacity: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(engine, name)
+        self.link = link
+        self.flit_size = flit_size
+        self.config = config
+        capacity = (
+            config.cluster_queue_entries if queue_capacity is None else queue_capacity
+        )
+        self.queue = ClusterQueue(
+            capacity=capacity,
+            partition_by_type=config.partition_by_type,
+            separate_ptw=config.separate_ptw_partition,
+            scheduler=config.scheduler,
+        )
+        self.trim_engine = (
+            TrimEngine(config.trim_threshold_bytes, config.trim_sector_bytes)
+            if config.enable_trimming
+            else None
+        )
+        self.stitch_engine = (
+            StitchEngine(config.stitch_search_depth)
+            if config.enable_stitching
+            else None
+        )
+        self.pooling = (
+            PoolingGovernor(config.pooling_window, config.selective_pooling)
+            if config.enable_pooling
+            else None
+        )
+        self.sequencer = SequencingPolicy(
+            config.effective_priority, config.data_priority_fraction, seed=seed
+        )
+        self.stats = EgressStats()
+        #: packets waiting for Cluster Queue space, admitted FIFO
+        self._pending: Deque[Tuple[List[Flit], bool]] = deque()
+        self._next_pump: Optional[int] = None
+        self._pump_generation = 0
+
+    # -- packet ingress -----------------------------------------------------
+
+    def accept_packet(self, packet: Packet) -> None:
+        """Receive a packet routed toward this controller's link."""
+        self.stats.packets_accepted += 1
+        self.stats.packets_by_type[packet.ptype] += 1
+        if self.trim_engine is not None:
+            self.trim_engine.maybe_trim(packet)
+        flits = segment_packet(packet, self.flit_size)
+        priority_data = self.sequencer.tag_priority_data(packet)
+        self._pending.append((flits, priority_data))
+        self._admit_pending()
+        self._maybe_release_pooled()
+        self._request_pump(self.now)
+
+    def _admit_pending(self) -> None:
+        """Move whole packets from the overflow list into the CQ."""
+        while self._pending:
+            flits, priority_data = self._pending[0]
+            if self.queue.free_entries < len(flits):
+                return
+            self._pending.popleft()
+            for flit in flits:
+                self.stats.record_entry(flit)
+                self.queue.push(flit, priority_data)
+
+    def _maybe_release_pooled(self) -> None:
+        """Arrival-triggered re-evaluation of pooled flits.
+
+        When new traffic provides a stitching candidate for a pooled flit
+        at the head of a timer-blocked partition, the timer is released
+        early: the pooled flit already got what it was waiting for, and
+        holding the partition longer would only idle the link.
+        """
+        if self.stitch_engine is None or self.pooling is None:
+            return
+        if not self.config.early_release:
+            return
+        for partition in self.queue.blocked_partitions(self.now):
+            head = partition.flits[0]
+            if not head.pooled:
+                continue
+            if self.stitch_engine.find_candidate(head, self.queue) is not None:
+                partition.blocked_until = self.now
+
+    # -- pump scheduling ------------------------------------------------------
+
+    def _request_pump(self, at: int) -> None:
+        """Ensure a pump event is in flight no later than ``at``."""
+        at = max(at, self.now)
+        if self._next_pump is not None and self._next_pump <= at:
+            return
+        self._next_pump = at
+        self._pump_generation += 1
+        self.engine.schedule_at(at, self._pump_event, self._pump_generation)
+
+    def _pump_event(self, generation: int) -> None:
+        if generation != self._pump_generation:
+            return  # superseded by an earlier request
+        self._next_pump = None
+        self._pump()
+
+    # -- egress pipeline ------------------------------------------------------
+
+    def _pump(self) -> None:
+        if not self.link.is_ready():
+            self._request_pump(self.link.ready_at())
+            return
+        preferred = self.sequencer.preferred_partition
+        while True:
+            partition, earliest_unblock = self.queue.select_partition(
+                self.now, prefer=preferred
+            )
+            if partition is None:
+                if earliest_unblock is None:
+                    return
+                # Work-conserving override: every staged flit sits behind a
+                # pooling timer, so serving one (unstitched) beats idling
+                # the link.  A short grace window still lets candidates
+                # that are already in flight arrive and stitch.  Pooling
+                # therefore only ever *reorders* service toward flits with
+                # stitching prospects; it never starves the egress — see
+                # DESIGN.md §7 for the deviation note.
+                grace = self.config.pooling_grace
+                override_at, partition = None, None
+                for part in self.queue.blocked_partitions(self.now):
+                    at = min(part.blocked_until, part.pooled_at + grace)
+                    if override_at is None or at < override_at:
+                        override_at, partition = at, part
+                if self.now < override_at:
+                    self._request_pump(override_at)
+                    return
+                partition.blocked_until = self.now
+            parent = self.queue.pop_from(partition)
+            absorbed = 0
+            if self.stitch_engine is not None:
+                absorbed = self.stitch_engine.stitch_all(parent, self.queue)
+            if (
+                absorbed == 0
+                and self.pooling is not None
+                and partition.key != PTW_PARTITION
+                and self.pooling.should_pool(parent)
+            ):
+                # no candidate: defer this partition and try another now
+                partition.blocked_until = self.pooling.pool(parent, self.now)
+                partition.pooled_at = self.now
+                self.queue.push_front(parent, partition.key)
+                self._request_pump(partition.blocked_until)
+                continue
+            self._eject(parent, absorbed)
+            return
+
+    def _eject(self, parent: Flit, absorbed: int) -> None:
+        if self.pooling is not None:
+            self.pooling.record_outcome(parent, absorbed > 0)
+        if absorbed:
+            self.stats.parents_stitched += 1
+            self.stats.flits_absorbed += absorbed
+        self.stats.flits_sent += 1
+        self.link.send(parent)
+        self._admit_pending()
+        if not self.queue.is_empty() or self._pending:
+            self._request_pump(self.link.ready_at())
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def packets_trimmed(self) -> int:
+        return self.trim_engine.packets_trimmed if self.trim_engine else 0
+
+    @property
+    def trim_bytes_saved(self) -> int:
+        return self.trim_engine.bytes_saved if self.trim_engine else 0
+
+    def stitch_rate(self) -> float:
+        """Fraction of entered flits that ended up stitched into a parent."""
+        if self.stats.flits_entered == 0:
+            return 0.0
+        return self.stats.flits_absorbed / self.stats.flits_entered
+
+
+class PassthroughController(NetCrafterController):
+    """Baseline FIFO egress: a NetCrafter controller with no features."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        name: str,
+        link: FlitLink,
+        flit_size: int,
+        queue_capacity: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(
+            engine,
+            name,
+            link,
+            flit_size,
+            NetCrafterConfig.baseline(),
+            queue_capacity=queue_capacity,
+            seed=seed,
+        )

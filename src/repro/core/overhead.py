@@ -1,0 +1,76 @@
+"""Hardware overhead model for the NetCrafter controller (Section 4.5).
+
+The paper sizes each per-cluster controller at 16 KB of Cluster Queue
+SRAM plus a 16 B stitch-engine buffer (16.02 KB total), and reports it
+as ~0.098% of an MI250X's 16 MB L2 or ~0.024% of a Tofino-class switch's
+64 MB SRAM.  This module reproduces those numbers from the actual
+configuration so overhead claims stay in sync with what is simulated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import SystemConfig
+from repro.core.config import NetCrafterConfig
+
+#: SRAM available for comparison baselines (Section 4.5)
+MI250X_L2_BYTES = 16 * 1024 * 1024
+TOFINO_SRAM_BYTES = 64 * 1024 * 1024
+
+#: the stitch engine holds one parent flit while stitching
+STITCH_BUFFER_FLITS = 1
+
+
+@dataclass(frozen=True)
+class ControllerOverhead:
+    """SRAM budget of one per-cluster NetCrafter controller."""
+
+    cluster_queue_bytes: int
+    stitch_buffer_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.cluster_queue_bytes + self.stitch_buffer_bytes
+
+    @property
+    def total_kib(self) -> float:
+        return self.total_bytes / 1024.0
+
+    def fraction_of(self, reference_bytes: int) -> float:
+        """Overhead as a fraction of a reference SRAM budget."""
+        if reference_bytes <= 0:
+            raise ValueError("reference SRAM size must be positive")
+        return self.total_bytes / reference_bytes
+
+
+def controller_overhead(
+    system: SystemConfig = None, netcrafter: NetCrafterConfig = None
+) -> ControllerOverhead:
+    """Compute the per-cluster controller SRAM from the live config.
+
+    The Cluster Queue holds ``cluster_queue_entries`` flit-sized entries
+    (Table 2: 1024 x 16 B = 16 KB); the stitch engine buffers one flit.
+    """
+    system = system or SystemConfig.default()
+    netcrafter = netcrafter or NetCrafterConfig.full()
+    return ControllerOverhead(
+        cluster_queue_bytes=netcrafter.cluster_queue_entries * system.flit_size,
+        stitch_buffer_bytes=STITCH_BUFFER_FLITS * system.flit_size,
+    )
+
+
+def overhead_report(
+    system: SystemConfig = None, netcrafter: NetCrafterConfig = None
+) -> str:
+    """The Section 4.5 overhead summary, rendered as text."""
+    overhead = controller_overhead(system, netcrafter)
+    lines = [
+        "== NetCrafter controller hardware overhead (Section 4.5) ==",
+        f"Cluster Queue SRAM:   {overhead.cluster_queue_bytes:,} B",
+        f"Stitch engine buffer: {overhead.stitch_buffer_bytes} B",
+        f"Total per cluster:    {overhead.total_kib:.2f} KiB",
+        f"vs MI250X 16 MB L2:   {overhead.fraction_of(MI250X_L2_BYTES):.3%}",
+        f"vs Tofino 64 MB SRAM: {overhead.fraction_of(TOFINO_SRAM_BYTES):.3%}",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""(Selective) Flit Pooling: wait briefly for a stitching candidate.
+
+Optimization I (Section 4.2): when a parent flit finds no stitching
+candidate, its ejection is postponed by setting a timer on its Cluster
+Queue partition; the scheduler skips that partition until the timer
+expires, after which the flit is re-evaluated (stitched if a candidate
+arrived, ejected unstitched otherwise).  A flit is pooled at most once.
+
+Optimization II (Selective Flit Pooling) exempts latency-critical
+PTW-related flits: their partition's timer is never set and they are
+ejected immediately when no candidate exists (Figure 13, step 4e).
+"""
+
+from __future__ import annotations
+
+from repro.network.flit import STITCH_METADATA_BYTES, Flit
+
+#: the smallest whole-packet candidate is a WRITE_RSP (4 useful bytes);
+#: a flit with less padding than this can never stitch anything, so even
+#: the paper-literal plain Flit Pooling has nothing to wait for
+MIN_WHOLE_PACKET_BYTES = 4
+
+#: Selective Flit Pooling additionally requires room for a
+#: payload-fragment candidate (the smallest tail is 4 useful bytes plus
+#: the ID/Size metadata).  A parent below this floor could only ever
+#: absorb a whole WRITE_RSP — on routes with no write traffic such a
+#: candidate never arrives and pooling would stall the partition for
+#: nothing.  Plain pooling (Figure 18) does NOT apply this floor, which
+#: is precisely why it degrades latency-sensitive traffic; see DESIGN.md.
+MIN_POOLABLE_EMPTY_BYTES = MIN_WHOLE_PACKET_BYTES + STITCH_METADATA_BYTES
+
+
+class PoolingGovernor:
+    """Decides whether a candidate-less parent flit should be pooled."""
+
+    def __init__(self, window: int, selective: bool) -> None:
+        if window <= 0:
+            raise ValueError("pooling window must be positive")
+        self.window = window
+        self.selective = selective
+        self.flits_pooled = 0
+        self.pooled_then_stitched = 0
+        self.pooled_then_ejected = 0
+
+    def should_pool(self, flit: Flit) -> bool:
+        """Pool once per flit; never pool flits that cannot benefit.
+
+        Plain pooling (Optimization I) pools any flit whose padding could
+        hold at least the smallest whole-packet candidate — the paper's
+        behaviour, and the reason plain pooling degrades latency-critical
+        traffic (Figure 18).  Selective pooling (Optimization II) exempts
+        PTW flits and only waits when a fragment candidate could also
+        fit, so barely-padded request flits are never stalled.
+        """
+        if flit.pooled:
+            return False
+        if self.selective:
+            if flit.is_ptw:
+                return False
+            return flit.empty_bytes >= MIN_POOLABLE_EMPTY_BYTES
+        return flit.empty_bytes >= MIN_WHOLE_PACKET_BYTES
+
+    def pool(self, flit: Flit, now: int) -> int:
+        """Mark ``flit`` pooled and return the partition's unblock time."""
+        flit.pooled = True
+        self.flits_pooled += 1
+        return now + self.window
+
+    def record_outcome(self, flit: Flit, stitched: bool) -> None:
+        """Track what pooling bought us (for Figure 12/20 analysis)."""
+        if not flit.pooled:
+            return
+        if stitched:
+            self.pooled_then_stitched += 1
+        else:
+            self.pooled_then_ejected += 1

@@ -1,0 +1,69 @@
+"""Stitch Engine: merge partially-filled flits bound for the same cluster.
+
+Section 4.2/4.4: given a *parent* flit about to be ejected, the engine
+searches the Cluster Queue for candidates whose stitch cost fits within
+the parent's empty (padding) bytes.  Whole single-flit packets stitch
+directly; header-less payload fragments get an ID + Size prefix so the
+receiver can reunite them with the rest of their packet.  Multiple
+candidates may be stitched into one parent as long as they fit, and an
+already-stitched parent can be stitched again if space remains.
+
+Un-stitching happens in :class:`repro.network.switch.ReassemblyBuffer`
+at the receiving cluster switch.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.cluster_queue import ClusterQueue
+from repro.network.flit import Flit
+
+
+class StitchEngine:
+    """Best-fit stitcher over a bounded Cluster Queue search window."""
+
+    def __init__(self, search_depth: int = 8) -> None:
+        self.search_depth = search_depth
+        self.parents_stitched = 0
+        self.candidates_absorbed = 0
+        self.bytes_stitched = 0
+
+    def find_candidate(self, parent: Flit, queue: ClusterQueue) -> Optional[Flit]:
+        """Best-fit candidate for ``parent`` among staged flits, or None.
+
+        Best-fit = the candidate with the largest stitch cost that still
+        fits, which maximizes padding reclaimed per search.
+        """
+        empty = parent.empty_bytes
+        best: Optional[Flit] = None
+        best_cost = 0
+        for flit in queue.stitch_candidates(parent, self.search_depth):
+            cost = flit.stitch_cost()
+            if cost > empty or not parent.can_absorb(flit):
+                continue
+            if cost > best_cost:
+                best, best_cost = flit, cost
+                if cost == empty:  # perfect fit, stop early
+                    break
+        return best
+
+    def stitch_all(self, parent: Flit, queue: ClusterQueue) -> int:
+        """Absorb as many candidates as fit into ``parent``.
+
+        Returns the number of candidates absorbed; absorbed flits are
+        removed from the queue (they travel inside the parent).
+        """
+        absorbed = 0
+        while True:
+            candidate = self.find_candidate(parent, queue)
+            if candidate is None:
+                break
+            queue.remove_flit(candidate)
+            segment = parent.absorb(candidate)
+            absorbed += 1
+            self.candidates_absorbed += 1
+            self.bytes_stitched += segment.wire_bytes
+        if absorbed:
+            self.parents_stitched += 1
+        return absorbed

@@ -1,0 +1,55 @@
+"""Trim Engine: drop unneeded cache-line bytes from read responses.
+
+Section 4.3: when a wavefront needed at most ``trim_threshold_bytes``
+(16 B) of a 64 B cache line *and* the response must traverse the
+inter-GPU-cluster network, the response is trimmed to a single sector.
+The trim decision is encoded by the requester in three repurposed
+address bits (one "sector request" flag, two offset bits), which arrive
+on the response via the RDMA engine; the Trim Engine at the egress
+switch uses them as control signals (Figure 13, ``pkt.trim``).
+
+Requests above the threshold, or traffic staying on higher-bandwidth
+networks, are never trimmed, preserving spatial locality.
+"""
+
+from __future__ import annotations
+
+from repro.network.packet import Packet, PacketType
+
+
+class TrimEngine:
+    """Stateless packet-rewriting stage at the inter-cluster egress."""
+
+    def __init__(self, threshold_bytes: int = 16, sector_bytes: int = 16) -> None:
+        if sector_bytes <= 0:
+            raise ValueError("sector size must be positive")
+        if threshold_bytes < sector_bytes:
+            raise ValueError("trim threshold cannot be below the sector size")
+        self.threshold_bytes = threshold_bytes
+        self.sector_bytes = sector_bytes
+        self.packets_trimmed = 0
+        self.bytes_saved = 0
+
+    def should_trim(self, packet: Packet) -> bool:
+        """Trim bits check: read response, flagged, and needs <= threshold."""
+        return (
+            packet.ptype is PacketType.READ_RSP
+            and packet.trim_allowed
+            and packet.bytes_needed <= self.threshold_bytes
+            and packet.payload_bytes > self.sector_bytes
+        )
+
+    def maybe_trim(self, packet: Packet) -> bool:
+        """Trim ``packet`` in place if eligible; returns whether it did.
+
+        The payload shrinks to one sector; the original size is kept so
+        the receiving L1 knows this is a sectored (partial) fill and so
+        statistics can report bytes saved.
+        """
+        if not self.should_trim(packet):
+            return False
+        packet.original_payload_bytes = packet.payload_bytes
+        packet.payload_bytes = self.sector_bytes
+        self.packets_trimmed += 1
+        self.bytes_saved += packet.original_payload_bytes - packet.payload_bytes
+        return True

@@ -1,0 +1,124 @@
+"""Command-line interface for regenerating paper figures and ablations.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments fig14 --scale quick
+    python -m repro.experiments fig3 fig9 --scale standard
+    python -m repro.experiments all --scale quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from repro.experiments import ablations, extensions, figures
+from repro.experiments.report import generate_report
+from repro.experiments.runner import ExperimentScale
+from repro.workloads.base import Scale
+
+DRIVERS: Dict[str, Callable] = {
+    "fig3": figures.fig3_ideal_speedup,
+    "fig4": figures.fig4_network_utilization,
+    "fig5": figures.fig5_remote_latency,
+    "fig6": figures.fig6_flit_occupancy,
+    "fig7": figures.fig7_cacheline_utilization,
+    "fig8": figures.fig8_ptw_priority,
+    "fig9": figures.fig9_ptw_fraction,
+    "fig12": figures.fig12_stitch_rate,
+    "fig14": figures.fig14_overall_speedup,
+    "fig15": figures.fig15_netcrafter_latency,
+    "fig16": figures.fig16_l1_mpki,
+    "fig17": figures.fig17_trim_granularity,
+    "fig18": figures.fig18_pooling_sweep,
+    "fig19": figures.fig19_selective_pooling_sweep,
+    "fig20": figures.fig20_byte_reduction,
+    "fig21": figures.fig21_flit_size,
+    "fig22": figures.fig22_bandwidth_sweep,
+    "abl_scheduler": ablations.ablate_scheduler,
+    "abl_early_release": ablations.ablate_early_release,
+    "abl_pooling_grace": ablations.ablate_pooling_grace,
+    "abl_search_depth": ablations.ablate_search_depth,
+    "abl_cq_capacity": ablations.ablate_cq_capacity,
+    "ext_coherence": extensions.ext_hw_coherence,
+    "ext_coherence_traffic": extensions.ext_coherence_traffic,
+    "ext_scaling": extensions.ext_scaling,
+    "ext_placement": extensions.ext_placement,
+    "ext_energy": extensions.ext_energy,
+}
+
+SCALES = {
+    "quick": ExperimentScale.quick,
+    "standard": ExperimentScale.standard,
+    "full": lambda: ExperimentScale(scale=Scale.default()),
+}
+
+
+def _print_tables() -> None:
+    print("== table1 ==")
+    for row in figures.table1_flit_census():
+        print("  ", row)
+    print("== table2 ==")
+    for key, value in figures.table2_configuration().items():
+        print(f"  {key:22s} {value}")
+    print("== table3 ==")
+    for row in figures.table3_workloads():
+        print("  ", row)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate NetCrafter paper figures and ablations.",
+    )
+    parser.add_argument(
+        "targets",
+        nargs="+",
+        help="figure ids (fig3..fig22, abl_*, ext_*), 'tables', 'report', "
+        "'list', or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="quick",
+        help="experiment scale (default: quick)",
+    )
+    parser.add_argument(
+        "--output",
+        default="results/report.md",
+        help="where 'report' writes its markdown (default: results/report.md)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.targets == ["list"]:
+        print("available targets:")
+        for name in ["tables", "report"] + list(DRIVERS):
+            print(f"  {name}")
+        return 0
+
+    exp = SCALES[args.scale]()
+    targets = list(DRIVERS) + ["tables"] if args.targets == ["all"] else args.targets
+    for target in targets:
+        if target == "tables":
+            _print_tables()
+            continue
+        if target == "report":
+            from pathlib import Path
+
+            Path(args.output).parent.mkdir(parents=True, exist_ok=True)
+            generate_report(exp, path=args.output)
+            print(f"report written to {args.output}")
+            continue
+        driver = DRIVERS.get(target)
+        if driver is None:
+            print(f"unknown target {target!r}; try 'list'", file=sys.stderr)
+            return 2
+        print(driver(exp).to_table())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,123 @@
+"""Full-report generation: every figure and table as one markdown file.
+
+``generate_report`` runs all figure drivers (reusing the runner cache,
+so the cost equals one pass over the configuration space) and renders a
+self-contained markdown document — the artifact to attach to a
+reproduction writeup.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, List, Optional, Union
+
+from repro.config import SystemConfig
+from repro.core.overhead import overhead_report
+from repro.experiments import ablations, extensions, figures
+from repro.experiments.figures import FigureResult
+from repro.experiments.runner import ExperimentScale
+
+#: drivers included in the full report, in presentation order
+REPORT_SECTIONS: List[Callable[[ExperimentScale], FigureResult]] = [
+    figures.fig3_ideal_speedup,
+    figures.fig4_network_utilization,
+    figures.fig5_remote_latency,
+    figures.fig6_flit_occupancy,
+    figures.fig7_cacheline_utilization,
+    figures.fig8_ptw_priority,
+    figures.fig9_ptw_fraction,
+    figures.fig12_stitch_rate,
+    figures.fig14_overall_speedup,
+    figures.fig15_netcrafter_latency,
+    figures.fig16_l1_mpki,
+    figures.fig17_trim_granularity,
+    figures.fig18_pooling_sweep,
+    figures.fig19_selective_pooling_sweep,
+    figures.fig20_byte_reduction,
+    figures.fig21_flit_size,
+    figures.fig22_bandwidth_sweep,
+]
+
+EXTENSION_SECTIONS: List[Callable[[ExperimentScale], FigureResult]] = [
+    extensions.ext_hw_coherence,
+    extensions.ext_coherence_traffic,
+    ablations.ablate_scheduler,
+]
+
+
+def figure_to_markdown(result: FigureResult, fmt: str = "{:.3f}") -> str:
+    """Render one figure as a markdown table."""
+    names = list(result.series)
+    lines = [
+        f"### {result.figure_id}: {result.title}",
+        "",
+        "| | " + " | ".join(names) + " |",
+        "|---|" + "---|" * len(names),
+    ]
+    for i, label in enumerate(result.labels):
+        cells = " | ".join(fmt.format(result.series[n][i]) for n in names)
+        lines.append(f"| {label} | {cells} |")
+    if result.notes:
+        lines += ["", f"*{result.notes}*"]
+    lines.append("")
+    return "\n".join(lines)
+
+
+def _tables_markdown() -> str:
+    lines = ["### Table 1: flit census (16 B flits)", ""]
+    rows = figures.table1_flit_census()
+    lines.append("| type | occupied | required | padded | flits |")
+    lines.append("|---|---|---|---|---|")
+    for row in rows:
+        lines.append(
+            f"| {row['request_type']} | {row['bytes_occupied']} | "
+            f"{row['bytes_required']} | {row['bytes_padded']} | "
+            f"{row['flits_occupied']} |"
+        )
+    lines += ["", "### Table 2: configuration", "", "| parameter | value |", "|---|---|"]
+    for key, value in figures.table2_configuration().items():
+        lines.append(f"| {key} | {value} |")
+    lines += ["", "### Table 3: workloads", "", "| abbr | pattern | suite |", "|---|---|---|"]
+    for row in figures.table3_workloads():
+        lines.append(f"| {row['abbr']} | {row['pattern']} | {row['suite']} |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def generate_report(
+    exp: Optional[ExperimentScale] = None,
+    path: Optional[Union[str, Path]] = None,
+    include_extensions: bool = True,
+) -> str:
+    """Run all drivers and return (and optionally write) the markdown."""
+    exp = exp or ExperimentScale.standard()
+    sections: List[str] = [
+        "# NetCrafter reproduction report",
+        "",
+        f"Workloads: {', '.join(exp.workload_names())}  ",
+        f"Scale: {exp.scale}  ",
+        "",
+        "## Static tables",
+        "",
+        _tables_markdown(),
+        "## Figures",
+        "",
+    ]
+    for driver in REPORT_SECTIONS:
+        sections.append(figure_to_markdown(driver(exp)))
+    if include_extensions:
+        sections += ["## Extensions & ablations", ""]
+        for driver in EXTENSION_SECTIONS:
+            sections.append(figure_to_markdown(driver(exp)))
+    sections += [
+        "## Hardware overhead (Section 4.5)",
+        "",
+        "```",
+        overhead_report(SystemConfig.table2()),
+        "```",
+        "",
+    ]
+    text = "\n".join(sections)
+    if path is not None:
+        Path(path).write_text(text)
+    return text

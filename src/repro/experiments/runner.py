@@ -1,0 +1,106 @@
+"""Shared experiment runner with per-process result caching.
+
+Figures reuse each other's runs (every speedup figure needs the same
+baseline), so results are memoized on the full configuration key; a
+single pytest session regenerating all figures therefore simulates each
+(workload, config) point exactly once.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import SystemConfig
+from repro.core.config import NetCrafterConfig
+from repro.gpu.system import MultiGpuSystem
+from repro.stats.report import RunResult
+from repro.workloads.base import Scale
+from repro.workloads.registry import all_workload_names, get_workload
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """How big the experiment runs are and which workloads they cover."""
+
+    scale: Scale = field(default_factory=Scale.small)
+    workloads: Tuple[str, ...] = ()
+    seed: int = 0
+
+    def workload_names(self) -> List[str]:
+        if self.workloads:
+            return list(self.workloads)
+        return all_workload_names()
+
+    @classmethod
+    def quick(cls) -> "ExperimentScale":
+        """A representative six-workload subset (CI use).
+
+        Keeps the small (congested) scale — the shape assertions in the
+        benchmark harness need the paper's network-bound regime — but
+        trims the workload list to one per access pattern.
+        """
+        return cls(
+            scale=Scale.small(),
+            workloads=("gups", "mt", "mis", "bs", "spmv", "lenet"),
+        )
+
+    @classmethod
+    def standard(cls) -> "ExperimentScale":
+        """All 15 workloads at the small experiment scale."""
+        return cls(scale=Scale.small())
+
+    @classmethod
+    def from_env(cls) -> "ExperimentScale":
+        """Honour ``REPRO_SCALE`` = quick|standard|full (default standard)."""
+        mode = os.environ.get("REPRO_SCALE", "standard").lower()
+        if mode == "quick":
+            return cls.quick()
+        if mode == "full":
+            return cls(scale=Scale.default())
+        return cls.standard()
+
+
+_cache: Dict[tuple, RunResult] = {}
+
+
+def clear_cache() -> None:
+    _cache.clear()
+
+
+def run_one(
+    workload: str,
+    system: Optional[SystemConfig] = None,
+    netcrafter: Optional[NetCrafterConfig] = None,
+    scale: Optional[Scale] = None,
+    seed: int = 0,
+    use_cache: bool = True,
+) -> RunResult:
+    """Simulate one (workload, configuration) point."""
+    system = system or SystemConfig.default()
+    netcrafter = netcrafter or NetCrafterConfig.baseline()
+    scale = scale or Scale.small()
+    key = (workload, system, netcrafter, scale, seed)
+    if use_cache and key in _cache:
+        return _cache[key]
+    trace = get_workload(workload).build(n_gpus=system.n_gpus, scale=scale, seed=seed)
+    node = MultiGpuSystem(config=system, netcrafter=netcrafter, seed=seed)
+    node.load(trace)
+    result = node.run()
+    if use_cache:
+        _cache[key] = result
+    return result
+
+
+def run_pair(
+    workload: str,
+    variant: NetCrafterConfig,
+    system: Optional[SystemConfig] = None,
+    scale: Optional[Scale] = None,
+    seed: int = 0,
+) -> Tuple[RunResult, RunResult]:
+    """(baseline, variant) results for a workload under one system config."""
+    base = run_one(workload, system=system, scale=scale, seed=seed)
+    out = run_one(workload, system=system, netcrafter=variant, scale=scale, seed=seed)
+    return base, out

@@ -1,0 +1,29 @@
+"""GPU compute model: wavefront traces, CUs, GPU assemblies, the system.
+
+Workloads are expressed as coalesced memory-access traces (one entry per
+wavefront memory instruction after the hardware coalescer); CUs replay
+them with configurable wavefront-level parallelism, exercising the full
+translation + cache + network stack.
+"""
+
+from repro.gpu.cta import (
+    MemAccess,
+    WavefrontTrace,
+    CtaTrace,
+    KernelTrace,
+    WorkloadTrace,
+)
+from repro.gpu.cu import ComputeUnit
+from repro.gpu.gpu import Gpu
+from repro.gpu.system import MultiGpuSystem
+
+__all__ = [
+    "MemAccess",
+    "WavefrontTrace",
+    "CtaTrace",
+    "KernelTrace",
+    "WorkloadTrace",
+    "ComputeUnit",
+    "Gpu",
+    "MultiGpuSystem",
+]

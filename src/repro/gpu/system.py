@@ -1,0 +1,218 @@
+"""MultiGpuSystem: build, load a workload, run, and report.
+
+This is the top of the public API: construct with a
+:class:`~repro.config.SystemConfig` and a
+:class:`~repro.core.config.NetCrafterConfig`, load a
+:class:`~repro.gpu.cta.WorkloadTrace`, call :meth:`run`, and read the
+returned :class:`~repro.stats.report.RunResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.config import SystemConfig
+from repro.core.config import NetCrafterConfig
+from repro.core.controller import NetCrafterController
+from repro.gpu.cta import KernelTrace, WorkloadTrace
+from repro.gpu.gpu import Gpu
+from repro.network.link import FlitLink
+from repro.network.topology import Topology, build_topology
+from repro.sim.engine import Engine
+from repro.stats.collectors import RunStats
+from repro.stats.energy import estimate_energy
+from repro.stats.report import RunResult
+from repro.vm.page_table import PageTable
+from repro.vm.placement import AddressSpace, LaspPlacement
+
+
+class MultiGpuSystem:
+    """A complete non-uniform bandwidth multi-GPU node."""
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        netcrafter: Optional[NetCrafterConfig] = None,
+        seed: int = 0,
+    ) -> None:
+        self.config = config or SystemConfig.default()
+        self.netcrafter = netcrafter or NetCrafterConfig.baseline()
+        if (
+            self.netcrafter.enable_trimming
+            and self.netcrafter.trim_sector_bytes != self.config.l1_sector_bytes
+        ):
+            raise ValueError(
+                "trim granularity must match the L1 sector size "
+                f"({self.netcrafter.trim_sector_bytes} != {self.config.l1_sector_bytes})"
+            )
+        self.seed = seed
+        self.engine = Engine()
+        self.stats = RunStats()
+        self.address_space = AddressSpace(self.config.n_gpus)
+        self.page_table = PageTable(self.address_space, root_gpu=0)
+        self.placement = LaspPlacement(self.address_space, self.page_table)
+        self.gpus: Dict[int, Gpu] = {
+            gpu_id: Gpu(
+                self.engine,
+                f"gpu{gpu_id}",
+                gpu_id,
+                self.config,
+                self.stats,
+                self.address_space,
+                self.page_table,
+            )
+            for gpu_id in range(self.config.n_gpus)
+        }
+        self.topology: Topology = build_topology(
+            self.engine, self.config, self.gpus, self._make_controller
+        )
+        self._workload: Optional[WorkloadTrace] = None
+        self._kernel_index = 0
+        self._wavefronts_remaining = 0
+
+    # -- construction helpers --------------------------------------------------
+
+    def _make_controller(
+        self, name: str, link: FlitLink, src_cluster: int, dst_cluster: int
+    ) -> NetCrafterController:
+        n_remote = max(1, self.config.n_clusters - 1)
+        capacity = max(16, self.netcrafter.cluster_queue_entries // n_remote)
+        return NetCrafterController(
+            self.engine,
+            name,
+            link,
+            flit_size=self.config.flit_size,
+            config=self.netcrafter,
+            queue_capacity=capacity,
+            seed=self.seed + src_cluster * 97 + dst_cluster,
+        )
+
+    # -- workload loading ----------------------------------------------------------
+
+    def load(self, workload: WorkloadTrace) -> None:
+        """Validate the workload and premap every page per LASP."""
+        workload.validate()
+        for kernel in workload.kernels:
+            for vpn, owner in kernel.page_owner.items():
+                self.placement.map_page(vpn, owner)
+        self._workload = workload
+
+    # -- execution ----------------------------------------------------------------
+
+    def run(self, max_events: Optional[int] = None) -> RunResult:
+        """Run all kernels to completion and assemble the result."""
+        if self._workload is None:
+            raise RuntimeError("no workload loaded")
+        self._kernel_index = 0
+        self._launch_kernel(self._workload.kernels[0])
+        self.engine.run(max_events=max_events)
+        if self.stats.finish_cycle is None:
+            raise RuntimeError(
+                "simulation drained without completing all wavefronts "
+                f"(kernel {self._kernel_index}, {self._wavefronts_remaining} left)"
+            )
+        return self._collect(self._workload.name)
+
+    def _launch_kernel(self, kernel: KernelTrace) -> None:
+        self._wavefronts_remaining = kernel.wavefront_count()
+        if self._wavefronts_remaining == 0:
+            self._on_kernel_done()
+            return
+        rr_slot = {gpu_id: 0 for gpu_id in self.gpus}
+        for cta in kernel.ctas:
+            gpu = self.gpus[cta.gpu]
+            for wf in cta.wavefronts:
+                cu = gpu.cus[rr_slot[cta.gpu] % len(gpu.cus)]
+                rr_slot[cta.gpu] += 1
+                cu.enqueue_wavefront(wf)
+        for gpu in self.gpus.values():
+            for cu in gpu.cus:
+                cu.on_wavefront_done = self._on_wavefront_done
+                cu.start()
+
+    def _on_wavefront_done(self) -> None:
+        self._wavefronts_remaining -= 1
+        if self._wavefronts_remaining == 0:
+            self._on_kernel_done()
+
+    def _on_kernel_done(self) -> None:
+        self.stats.kernel_count += 1
+        if self.config.coherence == "software":
+            # software-managed coherence flushes L1s at kernel boundaries;
+            # the hardware-coherence extension keeps them live (the
+            # directory invalidates stale copies eagerly)
+            for gpu in self.gpus.values():
+                gpu.invalidate_l1s()
+        self.engine.schedule(0, self._advance_when_quiesced)
+
+    def _is_quiesced(self) -> bool:
+        """Kernel-boundary fence: posted writes and coherence
+        invalidations must drain before the next kernel launches."""
+        return all(
+            gpu.rdma.outstanding_writes == 0
+            and gpu.rdma.outstanding_invalidations == 0
+            for gpu in self.gpus.values()
+        )
+
+    def _advance_when_quiesced(self) -> None:
+        if not self._is_quiesced():
+            self.engine.schedule(16, self._advance_when_quiesced)
+            return
+        self._kernel_index += 1
+        if self._kernel_index < len(self._workload.kernels):
+            self._launch_kernel(self._workload.kernels[self._kernel_index])
+        else:
+            self.stats.finish_cycle = self.engine.now
+
+    # -- result assembly ---------------------------------------------------------------
+
+    def _collect(self, workload_name: str) -> RunResult:
+        result = RunResult(
+            workload=workload_name,
+            config_label=self._config_label(),
+            cycles=self.stats.finish_cycle,
+            stats=self.stats,
+        )
+        for link in self.topology.inter_links:
+            result.inter_flits_sent += link.stats.flits
+            result.inter_wire_bytes += link.stats.wire_bytes
+            result.inter_useful_bytes += link.stats.useful_bytes
+            result.inter_busy_cycles += min(
+                link.stats.busy_cycles, float(result.cycles)
+            )
+        result.inter_links = len(self.topology.inter_links)
+        for link in self.topology.intra_links():
+            result.intra_busy_cycles += link.stats.busy_cycles
+        result.intra_links = len(self.topology.intra_links())
+        for controller in self.topology.controllers:
+            stats = controller.stats
+            result.flits_entered += stats.flits_entered
+            result.flits_absorbed += stats.flits_absorbed
+            result.parents_stitched += stats.parents_stitched
+            result.ptw_flits += stats.ptw_flits
+            result.data_flits += stats.data_flits
+            result.ptw_bytes += stats.ptw_bytes
+            result.data_bytes += stats.data_bytes
+            result.packets_trimmed += controller.packets_trimmed
+            result.trim_bytes_saved += controller.trim_bytes_saved
+            result.occupancy.update(stats.occupancy)
+        result.energy = estimate_energy(self, result)
+        return result
+
+    def _config_label(self) -> str:
+        nc = self.netcrafter
+        parts: List[str] = []
+        if nc.enable_stitching:
+            label = "stitch"
+            if nc.enable_pooling:
+                label += f"+sfp{nc.pooling_window}" if nc.selective_pooling else f"+fp{nc.pooling_window}"
+            parts.append(label)
+        if nc.enable_trimming:
+            parts.append("trim")
+        if nc.enable_sequencing:
+            parts.append("seq")
+        if self.config.l1_fetch_mode == "sector":
+            parts.append(f"sector{self.config.l1_sector_bytes}")
+        if not parts:
+            parts.append("baseline")
+        return "+".join(parts)

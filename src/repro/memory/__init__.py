@@ -1,0 +1,26 @@
+"""Cache and memory substrate: sectored caches, MSHRs, DRAM, RDMA.
+
+The paper's baseline memory hierarchy (Table 2): per-CU write-through L1
+vector caches with 32-entry MSHRs, a banked write-back L2 per GPU shared
+across all GPUs, HBM at 1 TB/s / 100 ns, and a per-GPU RDMA engine that
+services remote (inter-GPU) accesses.  Remote data is never cached in
+the local L2 partition, only in the requesting L1.
+"""
+
+from repro.memory.mshr import Mshr, MshrEntry
+from repro.memory.cache import SectorCache, CacheLine, full_sector_mask, sector_mask_for
+from repro.memory.dram import Dram
+from repro.memory.l2 import L2Cache
+from repro.memory.rdma import RdmaEngine
+
+__all__ = [
+    "Mshr",
+    "MshrEntry",
+    "SectorCache",
+    "CacheLine",
+    "full_sector_mask",
+    "sector_mask_for",
+    "Dram",
+    "L2Cache",
+    "RdmaEngine",
+]

@@ -1,0 +1,195 @@
+"""Set-associative, sector-capable cache tag store.
+
+Every cache in the model is built on this tag store.  Lines are divided
+into sectors (sub-blocks, Section 4.3); a conventional cache is simply
+one whose fills always validate every sector.  Lookups distinguish:
+
+* ``hit``    — line present and all needed sectors valid;
+* ``partial`` — line present but some needed sector missing (a *sector
+  miss*, possible after a trimmed or sectored fill);
+* ``miss``   — line absent.
+
+Timing is owned by the surrounding controllers; this class is purely
+state + statistics, which keeps it easy to property-test.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class CacheLine:
+    tag: int
+    valid_sectors: int
+    dirty: bool = False
+
+
+def full_sector_mask(line_bytes: int, sector_bytes: int) -> int:
+    """Bitmask with one bit per sector in a line, all set."""
+    return (1 << (line_bytes // sector_bytes)) - 1
+
+
+def sector_mask_for(
+    offset_in_line: int, nbytes: int, line_bytes: int, sector_bytes: int
+) -> int:
+    """Mask of sectors covering ``nbytes`` starting at ``offset_in_line``.
+
+    A zero-byte access still touches the sector at its offset.
+    """
+    if offset_in_line < 0 or offset_in_line >= line_bytes:
+        raise ValueError(f"offset {offset_in_line} outside line of {line_bytes} B")
+    nbytes = max(1, nbytes)
+    last = min(line_bytes - 1, offset_in_line + nbytes - 1)
+    first_sector = offset_in_line // sector_bytes
+    last_sector = last // sector_bytes
+    mask = 0
+    for sector in range(first_sector, last_sector + 1):
+        mask |= 1 << sector
+    return mask
+
+
+class SectorCache:
+    """LRU set-associative tag store with per-sector valid bits."""
+
+    def __init__(
+        self,
+        size_bytes: int,
+        ways: int,
+        line_bytes: int = 64,
+        sector_bytes: int = 16,
+        name: str = "cache",
+    ) -> None:
+        if size_bytes % (ways * line_bytes) != 0:
+            raise ValueError("cache size must be a multiple of ways * line size")
+        if line_bytes % sector_bytes != 0:
+            raise ValueError("line size must be a multiple of sector size")
+        self.size_bytes = size_bytes
+        self.ways = ways
+        self.line_bytes = line_bytes
+        self.sector_bytes = sector_bytes
+        self.n_sets = size_bytes // (ways * line_bytes)
+        self.name = name
+        self._sets: List["OrderedDict[int, CacheLine]"] = [
+            OrderedDict() for _ in range(self.n_sets)
+        ]
+        self.full_mask = full_sector_mask(line_bytes, sector_bytes)
+        # statistics
+        self.hits = 0
+        self.misses = 0
+        self.sector_misses = 0
+        self.fills = 0
+        self.evictions = 0
+        self.dirty_evictions = 0
+
+    # -- address helpers ----------------------------------------------------
+
+    def line_addr(self, addr: int) -> int:
+        return addr - (addr % self.line_bytes)
+
+    def _locate(self, addr: int) -> Tuple["OrderedDict[int, CacheLine]", int]:
+        line = self.line_addr(addr)
+        set_index = (line // self.line_bytes) % self.n_sets
+        tag = line // (self.line_bytes * self.n_sets)
+        return self._sets[set_index], tag
+
+    def sector_mask(self, addr: int, nbytes: int) -> int:
+        """Sectors of the line at ``addr`` covered by an ``nbytes`` access."""
+        return sector_mask_for(
+            addr % self.line_bytes, nbytes, self.line_bytes, self.sector_bytes
+        )
+
+    # -- operations ----------------------------------------------------------
+
+    def probe(self, addr: int) -> Optional[CacheLine]:
+        """Tag check without LRU update or statistics."""
+        cache_set, tag = self._locate(addr)
+        return cache_set.get(tag)
+
+    def lookup(self, addr: int, needed_mask: Optional[int] = None) -> str:
+        """Access the line; returns ``"hit"``, ``"partial"`` or ``"miss"``."""
+        if needed_mask is None:
+            needed_mask = self.full_mask
+        cache_set, tag = self._locate(addr)
+        line = cache_set.get(tag)
+        if line is None:
+            self.misses += 1
+            return "miss"
+        cache_set.move_to_end(tag)
+        if (line.valid_sectors & needed_mask) == needed_mask:
+            self.hits += 1
+            return "hit"
+        self.sector_misses += 1
+        return "partial"
+
+    def fill(self, addr: int, sector_mask: Optional[int] = None) -> Optional[CacheLine]:
+        """Install sectors of a line, evicting LRU if needed.
+
+        Returns the evicted line (if any) so write-back controllers can
+        schedule the victim write.
+        """
+        if sector_mask is None:
+            sector_mask = self.full_mask
+        cache_set, tag = self._locate(addr)
+        self.fills += 1
+        line = cache_set.get(tag)
+        if line is not None:
+            line.valid_sectors |= sector_mask
+            cache_set.move_to_end(tag)
+            return None
+        evicted = None
+        if len(cache_set) >= self.ways:
+            _, evicted = cache_set.popitem(last=False)
+            self.evictions += 1
+            if evicted.dirty:
+                self.dirty_evictions += 1
+        cache_set[tag] = CacheLine(tag=tag, valid_sectors=sector_mask)
+        return evicted
+
+    def write(self, addr: int, nbytes: int) -> bool:
+        """Update a present line in place (write-through caches).
+
+        Returns whether the line was present; absent lines are not
+        allocated (write-no-allocate, the common GPU L1 policy).
+        """
+        cache_set, tag = self._locate(addr)
+        line = cache_set.get(tag)
+        if line is None:
+            return False
+        cache_set.move_to_end(tag)
+        return True
+
+    def mark_dirty(self, addr: int) -> bool:
+        """Mark a present line dirty (write-back caches)."""
+        cache_set, tag = self._locate(addr)
+        line = cache_set.get(tag)
+        if line is None:
+            return False
+        line.dirty = True
+        return True
+
+    def invalidate(self, addr: int) -> bool:
+        cache_set, tag = self._locate(addr)
+        return cache_set.pop(tag, None) is not None
+
+    def clear(self) -> None:
+        """Invalidate every line, keeping accumulated statistics."""
+        for cache_set in self._sets:
+            cache_set.clear()
+
+    # -- statistics ------------------------------------------------------------
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses + self.sector_misses
+
+    def miss_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return (self.misses + self.sector_misses) / self.accesses
+
+    def occupancy(self) -> int:
+        """Number of resident lines (tests/debug)."""
+        return sum(len(s) for s in self._sets)

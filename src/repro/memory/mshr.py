@@ -1,0 +1,65 @@
+"""Miss Status Holding Registers: outstanding-miss tracking and merging."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class MshrEntry:
+    """One outstanding miss: the line address and everyone waiting on it."""
+
+    key: Any
+    waiters: List[Any] = field(default_factory=list)
+
+
+class Mshr:
+    """A finite pool of miss entries keyed by (typically) line address.
+
+    ``allocate`` returns:
+
+    * ``"merged"``   — an entry for the key exists; waiter appended;
+    * ``"allocated"`` — a new entry was created (caller must issue the fill);
+    * ``"full"``     — no entry and no free slot (caller must stall/retry).
+    """
+
+    def __init__(self, entries: int, name: str = "mshr") -> None:
+        if entries <= 0:
+            raise ValueError("MSHR must have at least one entry")
+        self.capacity = entries
+        self.name = name
+        self._entries: Dict[Any, MshrEntry] = {}
+        self.merges = 0
+        self.allocations = 0
+        self.full_stalls = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def lookup(self, key: Any) -> Optional[MshrEntry]:
+        return self._entries.get(key)
+
+    def allocate(self, key: Any, waiter: Any) -> str:
+        entry = self._entries.get(key)
+        if entry is not None:
+            entry.waiters.append(waiter)
+            self.merges += 1
+            return "merged"
+        if self.is_full:
+            self.full_stalls += 1
+            return "full"
+        self._entries[key] = MshrEntry(key=key, waiters=[waiter])
+        self.allocations += 1
+        return "allocated"
+
+    def release(self, key: Any) -> List[Any]:
+        """Retire the entry for ``key``, returning its waiters (FIFO)."""
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return []
+        return entry.waiters

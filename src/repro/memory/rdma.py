@@ -1,0 +1,299 @@
+"""Per-GPU RDMA engine: the gateway for all remote (inter-GPU) accesses.
+
+Following the paper's baseline (Section 2.1, [9]), every access whose
+home is another GPU is converted into a network packet by the local RDMA
+engine; the home GPU's RDMA engine services it against that GPU's L2 and
+returns the matching response packet.  The engine also measures
+end-to-end remote read latency, split by whether the access crossed the
+inter-cluster (lower-bandwidth) network.
+
+Sector conventions: a request with ``sector_fetch=True`` asks for only
+the sectors in ``filled_sector_mask`` (the L1 sector-cache baseline);
+``trim_allowed`` plus ``bytes_needed``/``sector_offset`` are the trim
+bits that let the NetCrafter Trim Engine shrink the response in flight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.network.packet import CACHE_LINE_BYTES, Packet, PacketType
+from repro.sim.component import Component
+from repro.sim.engine import Engine
+from repro.stats.collectors import RunStats
+
+
+@dataclass
+class _RequestContext:
+    """Requester-side bookkeeping that rides on the packet (simulation
+    plumbing; physically this is the packet ID + requester tables)."""
+
+    send_cycle: int
+    crosses_cluster: bool
+    on_complete: Optional[Callable[[Packet], None]]
+
+
+class RdmaEngine(Component):
+    """Requester and responder logic for one GPU."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        name: str,
+        gpu_id: int,
+        cluster_of: Callable[[int], int],
+        stats: RunStats,
+        sector_bytes: int = 16,
+    ) -> None:
+        super().__init__(engine, name)
+        self.gpu_id = gpu_id
+        self.cluster_of = cluster_of
+        self.stats = stats
+        self.sector_bytes = sector_bytes
+        #: set by the GPU assembly: injects a packet toward the switch
+        self._inject: Optional[Callable[[Packet], None]] = None
+        #: set by the GPU assembly: local L2 access for servicing requests
+        self._l2_request: Optional[Callable[[int, int, bool, Callable[[], None]], None]] = None
+        self.requests_sent = 0
+        self.requests_served = 0
+        self.responses_received = 0
+        self.outstanding_writes = 0
+        self.outstanding_invalidations = 0
+        # hardware-coherence hooks (None under software coherence)
+        self._on_read_served: Optional[Callable[[int, int], None]] = None
+        self._on_write_served: Optional[Callable[[int, int], None]] = None
+        self._on_invalidate: Optional[Callable[[int], None]] = None
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach(
+        self,
+        inject: Callable[[Packet], None],
+        l2_request,
+        on_read_served: Optional[Callable[[int, int], None]] = None,
+        on_write_served: Optional[Callable[[int, int], None]] = None,
+        on_invalidate: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        """Wire the engine to its GPU.
+
+        The three optional hooks implement the hardware-coherence
+        extension: sharer recording on served reads, directory lookup on
+        served writes, and L1 invalidation on received INV_REQ packets.
+        """
+        self._inject = inject
+        self._l2_request = l2_request
+        self._on_read_served = on_read_served
+        self._on_write_served = on_write_served
+        self._on_invalidate = on_invalidate
+
+    def _crosses_cluster(self, dst_gpu: int) -> bool:
+        return self.cluster_of(dst_gpu) != self.cluster_of(self.gpu_id)
+
+    # -- requester side ------------------------------------------------------
+
+    def remote_read(
+        self,
+        dst_gpu: int,
+        addr: int,
+        bytes_needed: int,
+        sector_offset: int,
+        on_complete: Callable[[Packet], None],
+        trim_allowed: bool = True,
+        sector_fetch: bool = False,
+        fetch_sector_mask: Optional[int] = None,
+    ) -> None:
+        """Fetch a (possibly sectored) cache line from ``dst_gpu``."""
+        packet = Packet(
+            ptype=PacketType.READ_REQ,
+            src_gpu=self.gpu_id,
+            dst_gpu=dst_gpu,
+            addr=addr,
+            bytes_needed=bytes_needed,
+            sector_offset=sector_offset,
+            trim_allowed=trim_allowed,
+            sector_fetch=sector_fetch,
+            filled_sector_mask=fetch_sector_mask,
+            context=_RequestContext(
+                send_cycle=self.now,
+                crosses_cluster=self._crosses_cluster(dst_gpu),
+                on_complete=on_complete,
+            ),
+        )
+        self._send(packet)
+
+    def remote_write(self, dst_gpu: int, addr: int) -> None:
+        """Posted write-through of a line to its home GPU."""
+        packet = Packet(
+            ptype=PacketType.WRITE_REQ,
+            src_gpu=self.gpu_id,
+            dst_gpu=dst_gpu,
+            addr=addr,
+            context=_RequestContext(
+                send_cycle=self.now,
+                crosses_cluster=self._crosses_cluster(dst_gpu),
+                on_complete=None,
+            ),
+        )
+        self.outstanding_writes += 1
+        self._send(packet)
+
+    def remote_pt_read(
+        self, dst_gpu: int, addr: int, on_complete: Callable[[], None]
+    ) -> None:
+        """Read one PTE from a remote page-table node (PTW traffic)."""
+        if self._crosses_cluster(dst_gpu):
+            self.stats.ptw_inter_pte_accesses += 1
+        packet = Packet(
+            ptype=PacketType.PT_REQ,
+            src_gpu=self.gpu_id,
+            dst_gpu=dst_gpu,
+            addr=addr,
+            context=_RequestContext(
+                send_cycle=self.now,
+                crosses_cluster=self._crosses_cluster(dst_gpu),
+                on_complete=lambda _pkt: on_complete(),
+            ),
+        )
+        self._send(packet)
+
+    def remote_invalidate(self, dst_gpu: int, addr: int) -> None:
+        """Send a coherence invalidation for a line to a sharer GPU."""
+        packet = Packet(
+            ptype=PacketType.INV_REQ,
+            src_gpu=self.gpu_id,
+            dst_gpu=dst_gpu,
+            addr=addr,
+            context=_RequestContext(
+                send_cycle=self.now,
+                crosses_cluster=self._crosses_cluster(dst_gpu),
+                on_complete=None,
+            ),
+        )
+        self.outstanding_invalidations += 1
+        self.stats.coherence_inv_sent += 1
+        if self._crosses_cluster(dst_gpu):
+            self.stats.coherence_inv_sent_inter += 1
+        self._send(packet)
+
+    def _send(self, packet: Packet) -> None:
+        if self._inject is None:
+            raise RuntimeError(f"{self.name} is not attached to a network")
+        packet.inject_cycle = self.now
+        self.requests_sent += 1
+        self._inject(packet)
+
+    # -- responder / completion side --------------------------------------------
+
+    def receive_packet(self, packet: Packet) -> None:
+        """Entry point for packets delivered by the GPU's downlink."""
+        if packet.ptype is PacketType.READ_REQ:
+            self._serve_read(packet)
+        elif packet.ptype is PacketType.WRITE_REQ:
+            self._serve_write(packet)
+        elif packet.ptype is PacketType.PT_REQ:
+            self._serve_pt_read(packet)
+        elif packet.ptype is PacketType.INV_REQ:
+            self._serve_invalidate(packet)
+        else:
+            self._complete_response(packet)
+
+    def _serve_read(self, packet: Packet) -> None:
+        self.requests_served += 1
+        if self._on_read_served is not None:
+            self._on_read_served(packet.addr, packet.src_gpu)
+        self._l2_request(
+            packet.addr, CACHE_LINE_BYTES, False, lambda: self._respond_read(packet)
+        )
+
+    def _respond_read(self, request: Packet) -> None:
+        if request.sector_fetch and request.filled_sector_mask is not None:
+            n_sectors = bin(request.filled_sector_mask).count("1")
+            payload = max(self.sector_bytes, n_sectors * self.sector_bytes)
+            filled_mask = request.filled_sector_mask
+        else:
+            payload = CACHE_LINE_BYTES
+            filled_mask = None  # full line (may still be trimmed in flight)
+        response = Packet(
+            ptype=PacketType.READ_RSP,
+            src_gpu=self.gpu_id,
+            dst_gpu=request.src_gpu,
+            addr=request.addr,
+            payload_bytes=payload,
+            bytes_needed=request.bytes_needed,
+            sector_offset=request.sector_offset,
+            trim_allowed=request.trim_allowed,
+            sector_fetch=request.sector_fetch,
+            filled_sector_mask=filled_mask,
+            context=request.context,
+        )
+        self._send_response(response)
+
+    def _serve_write(self, packet: Packet) -> None:
+        self.requests_served += 1
+        if self._on_write_served is not None:
+            self._on_write_served(packet.addr, packet.src_gpu)
+        self._l2_request(
+            packet.addr, CACHE_LINE_BYTES, True, lambda: self._respond_ack(packet)
+        )
+
+    def _serve_invalidate(self, packet: Packet) -> None:
+        """Invalidate local L1 copies of the line and acknowledge."""
+        self.requests_served += 1
+        self.stats.coherence_inv_received += 1
+        if self._on_invalidate is not None:
+            self._on_invalidate(packet.addr)
+        response = Packet(
+            ptype=PacketType.INV_RSP,
+            src_gpu=self.gpu_id,
+            dst_gpu=packet.src_gpu,
+            addr=packet.addr,
+            context=packet.context,
+        )
+        self._send_response(response)
+
+    def _respond_ack(self, request: Packet) -> None:
+        response = Packet(
+            ptype=PacketType.WRITE_RSP,
+            src_gpu=self.gpu_id,
+            dst_gpu=request.src_gpu,
+            addr=request.addr,
+            context=request.context,
+        )
+        self._send_response(response)
+
+    def _serve_pt_read(self, packet: Packet) -> None:
+        self.requests_served += 1
+        self._l2_request(
+            packet.addr, 8, False, lambda: self._respond_pt(packet)
+        )
+
+    def _respond_pt(self, request: Packet) -> None:
+        response = Packet(
+            ptype=PacketType.PT_RSP,
+            src_gpu=self.gpu_id,
+            dst_gpu=request.src_gpu,
+            addr=request.addr,
+            context=request.context,
+        )
+        self._send_response(response)
+
+    def _send_response(self, response: Packet) -> None:
+        response.inject_cycle = self.now
+        self._inject(response)
+
+    def _complete_response(self, packet: Packet) -> None:
+        self.responses_received += 1
+        ctx: _RequestContext = packet.context
+        if packet.ptype is PacketType.READ_RSP:
+            latency = self.now - ctx.send_cycle
+            if ctx.crosses_cluster:
+                self.stats.remote_read_latency_inter.record(latency)
+            else:
+                self.stats.remote_read_latency_intra.record(latency)
+        elif packet.ptype is PacketType.WRITE_RSP:
+            self.outstanding_writes -= 1
+        elif packet.ptype is PacketType.INV_RSP:
+            self.outstanding_invalidations -= 1
+        if ctx.on_complete is not None:
+            ctx.on_complete(packet)

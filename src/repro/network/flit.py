@@ -1,0 +1,160 @@
+"""Flit model: fixed-size flow-control units, with stitching support.
+
+Packets are segmented into fixed-size flits before crossing a link.  A
+flit knows how many of its bytes are useful (``used_bytes``); the rest is
+padding.  NetCrafter's Stitch Engine absorbs compatible flits into the
+padding of a *parent* flit; the absorbed flits ride along as
+:class:`StitchSegment` entries and are recovered by un-stitching at the
+receiving switch (Section 4.2).
+
+Stitching cost model (Figure 10):
+
+* a **whole-packet** candidate (single-flit packet, header included)
+  costs exactly its used bytes;
+* a **partial-payload** candidate (the header-less tail flit of a larger
+  packet) additionally needs ``STITCH_METADATA_BYTES`` of ID + Size so
+  the receiver can reunite it with the rest of its packet.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.network.packet import Packet
+
+#: ID + Size prefix added when stitching a header-less payload fragment
+#: (a 2-byte packet ID tag and a 1-byte size field, Section 4.2).
+STITCH_METADATA_BYTES = 3
+
+_flit_ids = itertools.count()
+
+
+class StitchKind(enum.Enum):
+    """How a candidate flit was embedded into its parent."""
+
+    WHOLE_PACKET = "whole"
+    PARTIAL_PAYLOAD = "partial"
+
+
+@dataclass
+class StitchSegment:
+    """One absorbed candidate flit riding inside a parent flit."""
+
+    kind: StitchKind
+    flit: "Flit"
+
+    @property
+    def wire_bytes(self) -> int:
+        """Bytes of the parent flit consumed by this segment."""
+        extra = STITCH_METADATA_BYTES if self.kind is StitchKind.PARTIAL_PAYLOAD else 0
+        return self.flit.used_bytes + extra
+
+
+@dataclass(eq=False)
+class Flit:
+    """A fixed-size flow-control unit belonging to one packet.
+
+    Identity semantics (``eq=False``): flits are unique wire objects.
+    """
+
+    packet: Packet
+    index: int
+    used_bytes: int
+    flit_size: int
+    fid: int = field(default_factory=lambda: next(_flit_ids))
+    segments: List[StitchSegment] = field(default_factory=list)
+    #: set once the flit has been through one pooling delay, so it is not
+    #: pooled a second time
+    pooled: bool = False
+    #: arrival order in the Cluster Queue (age-based egress scheduling)
+    cq_seq: int = 0
+
+    @property
+    def empty_bytes(self) -> int:
+        """Padding bytes still available for stitching."""
+        used = self.used_bytes + sum(seg.wire_bytes for seg in self.segments)
+        return self.flit_size - used
+
+    @property
+    def is_tail(self) -> bool:
+        return self.index == self.packet.flit_count(self.flit_size) - 1
+
+    @property
+    def is_head(self) -> bool:
+        return self.index == 0
+
+    @property
+    def dst_gpu(self) -> int:
+        return self.packet.dst_gpu
+
+    @property
+    def is_ptw(self) -> bool:
+        return self.packet.is_ptw
+
+    @property
+    def is_single_flit_packet(self) -> bool:
+        """True when this flit carries an entire packet (header included)."""
+        return self.packet.flit_count(self.flit_size) == 1
+
+    def stitch_cost(self) -> int:
+        """Bytes of parent-flit space this flit needs when stitched."""
+        if self.is_single_flit_packet:
+            return self.used_bytes
+        return self.used_bytes + STITCH_METADATA_BYTES
+
+    def stitch_kind(self) -> StitchKind:
+        if self.is_single_flit_packet:
+            return StitchKind.WHOLE_PACKET
+        return StitchKind.PARTIAL_PAYLOAD
+
+    def can_absorb(self, candidate: "Flit") -> bool:
+        """Whether ``candidate`` fits into this flit's remaining padding.
+
+        Per Section 4.2 only flits sharing the same route are combined; the
+        destination check is performed by the Cluster Queue (flits are
+        partitioned per destination cluster), so only size is checked here.
+        """
+        if candidate is self:
+            return False
+        if candidate.segments:
+            # a flit that already absorbed others is itself a parent; the
+            # controller never offers it as a candidate, but guard anyway
+            return False
+        return candidate.stitch_cost() <= self.empty_bytes
+
+    def absorb(self, candidate: "Flit") -> StitchSegment:
+        """Stitch ``candidate`` into this flit, returning the segment."""
+        if not self.can_absorb(candidate):
+            raise ValueError(
+                f"flit {self.fid} cannot absorb candidate {candidate.fid}: "
+                f"{candidate.stitch_cost()} B > {self.empty_bytes} B empty"
+            )
+        segment = StitchSegment(kind=candidate.stitch_kind(), flit=candidate)
+        self.segments.append(segment)
+        return segment
+
+    def all_carried_flits(self) -> List["Flit"]:
+        """This flit plus every flit stitched into it (for un-stitching)."""
+        return [self] + [seg.flit for seg in self.segments]
+
+
+def segment_packet(packet: Packet, flit_size: int) -> List[Flit]:
+    """Split a packet into flits, assigning useful bytes per flit.
+
+    The first flit carries the header (plus as much payload as fits);
+    subsequent flits carry the remaining payload; the final flit's
+    remainder is padding.
+    """
+    if flit_size <= 0:
+        raise ValueError("flit size must be positive")
+    total = packet.bytes_required
+    flits: List[Flit] = []
+    for index in range(packet.flit_count(flit_size)):
+        used = min(flit_size, total - index * flit_size)
+        flits.append(
+            Flit(packet=packet, index=index, used_bytes=used, flit_size=flit_size)
+        )
+    return flits

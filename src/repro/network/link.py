@@ -1,0 +1,166 @@
+"""Bandwidth-serialized links.
+
+Two granularities are modeled:
+
+* :class:`FlitLink` — used on the inter-GPU-cluster hop, where the
+  NetCrafter controller operates on individual flits.  One flit occupies
+  the wire for ``flit_size / bytes_per_cycle`` cycles.
+* :class:`PacketLink` — used inside a cluster (GPU <-> switch), where a
+  whole packet occupies the wire for its flit count's worth of cycles.
+  This is flit-accurate in time without paying one simulation event per
+  flit on uncongested links.
+
+With the 1 GHz clock of Table 2, bandwidth in GB/s equals bytes per
+cycle; e.g. the 16 GB/s inter-cluster fabric moves one 16-byte flit per
+cycle, and the 128 GB/s intra-cluster fabric moves eight.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.sim.component import Component
+from repro.sim.engine import Engine
+from repro.sim.queues import BoundedQueue
+from repro.network.flit import Flit
+from repro.network.packet import Packet
+
+
+class LinkStats:
+    """Wire-level counters for one unidirectional link."""
+
+    def __init__(self) -> None:
+        self.busy_cycles = 0.0
+        self.flits = 0
+        self.packets = 0
+        self.wire_bytes = 0
+        self.useful_bytes = 0
+
+    def utilization(self, elapsed_cycles: int) -> float:
+        """Fraction of cycles the wire was occupied."""
+        if elapsed_cycles <= 0:
+            return 0.0
+        return min(1.0, self.busy_cycles / elapsed_cycles)
+
+
+class FlitLink(Component):
+    """A unidirectional link transmitting one flit at a time.
+
+    The owner (an egress controller) is responsible for pacing: it must
+    only call :meth:`send` when :meth:`ready_at` <= now.  Delivery happens
+    ``latency`` cycles after serialization completes.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        name: str,
+        bytes_per_cycle: float,
+        latency: int,
+        sink: Callable[[Flit], None],
+    ) -> None:
+        super().__init__(engine, name)
+        if bytes_per_cycle <= 0:
+            raise ValueError("link bandwidth must be positive")
+        self.bytes_per_cycle = float(bytes_per_cycle)
+        self.latency = int(latency)
+        self.sink = sink
+        self.stats = LinkStats()
+        self._next_free = 0.0
+
+    def ready_at(self) -> int:
+        """First integer cycle during which a new flit may start."""
+        return max(self.now, int(math.floor(self._next_free)))
+
+    def is_ready(self) -> bool:
+        """A flit may start serializing within the current cycle.
+
+        The engine ticks integer cycles but serialization is fractional
+        (a 16 B flit on a 128 B/cycle link occupies 1/8 cycle), so a fast
+        link accepts several flits within one cycle; it is "ready" while
+        the next transmission can still *start* before the cycle ends.
+        """
+        return self._next_free < self.now + 1
+
+    def send(self, flit: Flit) -> None:
+        """Serialize ``flit`` onto the wire and schedule its delivery."""
+        if not self.is_ready():
+            raise RuntimeError(
+                f"{self.name}: send at cycle {self.now} before ready "
+                f"(next free {self._next_free:.2f})"
+            )
+        tx_cycles = flit.flit_size / self.bytes_per_cycle
+        start = max(float(self.now), self._next_free)
+        self._next_free = start + tx_cycles
+        self.stats.busy_cycles += tx_cycles
+        self.stats.flits += 1
+        self.stats.wire_bytes += flit.flit_size
+        self.stats.useful_bytes += flit.flit_size - flit.empty_bytes
+        arrival = math.ceil(self._next_free) + self.latency
+        self.engine.schedule_at(arrival, self.sink, flit)
+
+
+class PacketLink(Component):
+    """A unidirectional link carrying whole packets with flit-count timing.
+
+    Packets enter a bounded queue and drain in FIFO order at the link's
+    bandwidth; :meth:`send` returns ``False`` under backpressure, in which
+    case the producer should retry via :meth:`notify_on_space`.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        name: str,
+        bytes_per_cycle: float,
+        latency: int,
+        flit_size: int,
+        sink: Callable[[Packet], None],
+        buffer_entries: int = 1024,
+    ) -> None:
+        super().__init__(engine, name)
+        if bytes_per_cycle <= 0:
+            raise ValueError("link bandwidth must be positive")
+        self.bytes_per_cycle = float(bytes_per_cycle)
+        self.latency = int(latency)
+        self.flit_size = int(flit_size)
+        self.sink = sink
+        self.queue = BoundedQueue(buffer_entries, name=f"{name}.buf")
+        self.stats = LinkStats()
+        self._draining = False
+        self._next_free = 0.0
+
+    def send(self, packet: Packet) -> bool:
+        """Enqueue ``packet`` for transmission; ``False`` when full."""
+        if not self.queue.push(packet):
+            return False
+        if not self._draining:
+            self._draining = True
+            self.schedule(0, self._drain)
+        return True
+
+    def notify_on_space(self, callback: Callable[[], None]) -> None:
+        self.queue.notify_on_space(callback)
+
+    def _drain(self) -> None:
+        if self.queue.is_empty():
+            self._draining = False
+            return
+        if self._next_free >= self.now + 1:
+            # wire busy past this cycle: resume when it frees up
+            self.schedule(int(math.floor(self._next_free)) - self.now, self._drain)
+            return
+        packet = self.queue.pop()
+        wire_bytes = packet.bytes_occupied(self.flit_size)
+        tx_cycles = wire_bytes / self.bytes_per_cycle
+        start = max(float(self.now), self._next_free)
+        self._next_free = start + tx_cycles
+        self.stats.busy_cycles += tx_cycles
+        self.stats.packets += 1
+        self.stats.flits += packet.flit_count(self.flit_size)
+        self.stats.wire_bytes += wire_bytes
+        self.stats.useful_bytes += packet.bytes_required
+        arrival = math.ceil(self._next_free) + self.latency
+        self.engine.schedule_at(arrival, self.sink, packet)
+        self.schedule(0, self._drain)

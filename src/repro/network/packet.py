@@ -1,0 +1,197 @@
+"""Packet model for the simplified PCIe-style inter-GPU protocol.
+
+The paper (Section 4.1, Table 1) assumes six packet types.  Each packet
+has a header (4 bytes of metadata plus, for request-style packets, an
+8-byte address field) and an optional payload:
+
+============  ======  =======  ==============================
+type          header  payload  contents
+============  ======  =======  ==============================
+READ_REQ      12      0        8 B address in header
+WRITE_REQ     12      64       address + cache line
+PT_REQ        12      0        page-table walk read
+READ_RSP      4       64       cache line data
+WRITE_RSP     4       0        acknowledgement in header
+PT_RSP        4       8        translated physical address
+============  ======  =======  ==============================
+
+``bytes_required = header + payload``; when segmented into fixed-size
+flits, the remainder of the final flit is padding (Observation 1).
+Three otherwise-unused address bits are repurposed as *trim* bits: one
+"sector request" flag and a two-bit sector offset within the 64 B line
+(Section 4.3).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+CACHE_LINE_BYTES = 64
+
+
+class PacketType(enum.Enum):
+    """The six traffic categories of Table 1, plus two extension types.
+
+    ``INV_REQ``/``INV_RSP`` implement the hardware-coherence extension
+    the paper leaves as future work (Section 4.5: "the fine-grained
+    nature of hardware coherence traffic presents additional
+    opportunities for stitching").  They are not part of the Table 1
+    census and only appear when ``SystemConfig.coherence="hardware"``.
+    """
+
+    READ_REQ = "read_req"
+    READ_RSP = "read_rsp"
+    WRITE_REQ = "write_req"
+    WRITE_RSP = "write_rsp"
+    PT_REQ = "pt_req"
+    PT_RSP = "pt_rsp"
+    INV_REQ = "inv_req"
+    INV_RSP = "inv_rsp"
+
+    @property
+    def is_ptw(self) -> bool:
+        """Whether this type belongs to page-table-walk traffic."""
+        return self in (PacketType.PT_REQ, PacketType.PT_RSP)
+
+    @property
+    def is_response(self) -> bool:
+        return self in (
+            PacketType.READ_RSP,
+            PacketType.WRITE_RSP,
+            PacketType.PT_RSP,
+            PacketType.INV_RSP,
+        )
+
+    @property
+    def is_coherence(self) -> bool:
+        """Hardware-coherence extension traffic (not in Table 1)."""
+        return self in (PacketType.INV_REQ, PacketType.INV_RSP)
+
+
+#: Header size per packet type (bytes).  Requests carry a full 12-byte
+#: header (4 B metadata + 8 B address); responses carry 4 B of metadata
+#: (footnote 2 of the paper).  PT_RSP carries its 8 B physical address as
+#: payload, matching Table 1's 12 required bytes.
+HEADER_BYTES: Dict[PacketType, int] = {
+    PacketType.READ_REQ: 12,
+    PacketType.WRITE_REQ: 12,
+    PacketType.PT_REQ: 12,
+    PacketType.READ_RSP: 4,
+    PacketType.WRITE_RSP: 4,
+    PacketType.PT_RSP: 4,
+    PacketType.INV_REQ: 12,  # 4 B metadata + 8 B line address
+    PacketType.INV_RSP: 4,   # acknowledgement in the header
+}
+
+#: Default payload size per packet type (bytes), before any trimming.
+PAYLOAD_BYTES: Dict[PacketType, int] = {
+    PacketType.READ_REQ: 0,
+    PacketType.WRITE_REQ: CACHE_LINE_BYTES,
+    PacketType.PT_REQ: 0,
+    PacketType.READ_RSP: CACHE_LINE_BYTES,
+    PacketType.WRITE_RSP: 0,
+    PacketType.PT_RSP: 8,
+    PacketType.INV_REQ: 0,
+    PacketType.INV_RSP: 0,
+}
+
+#: the Table 1 census covers only the paper's six base categories
+TABLE1_TYPES = (
+    PacketType.READ_REQ,
+    PacketType.WRITE_REQ,
+    PacketType.PT_REQ,
+    PacketType.READ_RSP,
+    PacketType.WRITE_RSP,
+    PacketType.PT_RSP,
+)
+
+_packet_ids = itertools.count()
+
+
+@dataclass(eq=False)
+class Packet:
+    """One network transaction between two GPUs.
+
+    Identity semantics (``eq=False``): two packets are the same only if
+    they are the same object, and packets are hashable by identity —
+    reassembly and stats code keeps them in sets/dicts.
+
+    ``payload_bytes`` may shrink below the type default when the Trim
+    Engine removes unneeded sectors from a READ_RSP.  ``on_delivery`` is
+    invoked by the destination GPU's RDMA engine once the reassembled
+    packet arrives.
+    """
+
+    ptype: PacketType
+    src_gpu: int
+    dst_gpu: int
+    addr: int = 0
+    payload_bytes: int = -1
+    #: bytes the requesting wavefront actually needs from the line
+    bytes_needed: int = CACHE_LINE_BYTES
+    #: sector offset (in sectors) within the 64 B line, for trim bits
+    sector_offset: int = 0
+    #: set by the requester when trim bits are encoded in the address field
+    trim_allowed: bool = False
+    #: sector-cache mode: the requester asks for only its sectors up front
+    sector_fetch: bool = False
+    #: set on responses: bitmask of 16 B (or configured) sectors actually
+    #: carried; ``None`` means the full line
+    filled_sector_mask: Optional[int] = None
+    #: opaque requester context, copied onto the response by the home GPU
+    #: (simulation-level plumbing for completion callbacks)
+    context: Any = None
+    on_delivery: Optional[Callable[["Packet"], None]] = None
+    #: identifier used for flit reassembly and stitching metadata
+    pid: int = field(default_factory=lambda: next(_packet_ids))
+    #: filled by the Trim Engine: original payload size before trimming
+    original_payload_bytes: Optional[int] = None
+    #: cycle the packet was injected into the network (stats)
+    inject_cycle: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 0:
+            self.payload_bytes = PAYLOAD_BYTES[self.ptype]
+
+    @property
+    def header_bytes(self) -> int:
+        return HEADER_BYTES[self.ptype]
+
+    @property
+    def bytes_required(self) -> int:
+        """Useful (non-padding) bytes: header plus payload."""
+        return self.header_bytes + self.payload_bytes
+
+    @property
+    def is_ptw(self) -> bool:
+        return self.ptype.is_ptw
+
+    @property
+    def trimmed(self) -> bool:
+        return self.original_payload_bytes is not None
+
+    def flit_count(self, flit_size: int) -> int:
+        """Number of fixed-size flits this packet occupies."""
+        return max(1, -(-self.bytes_required // flit_size))
+
+    def bytes_occupied(self, flit_size: int) -> int:
+        """Total bytes on the wire including padding."""
+        return self.flit_count(flit_size) * flit_size
+
+    def bytes_padded(self, flit_size: int) -> int:
+        """Padding bytes appended to fill the final flit."""
+        return self.bytes_occupied(flit_size) - self.bytes_required
+
+
+def packet_census_row(ptype: PacketType, flit_size: int = 16) -> Dict[str, int]:
+    """Reproduce one row of Table 1 analytically from the packet layout."""
+    pkt = Packet(ptype=ptype, src_gpu=0, dst_gpu=1)
+    return {
+        "bytes_occupied": pkt.bytes_occupied(flit_size),
+        "bytes_required": pkt.bytes_required,
+        "bytes_padded": pkt.bytes_padded(flit_size),
+        "flits_occupied": pkt.flit_count(flit_size),
+    }

@@ -1,0 +1,146 @@
+"""Cluster switch: routing, pipeline latency, and flit reassembly.
+
+Each GPU cluster has one switch (Figure 2).  The switch routes packets
+between its local GPUs and, via egress controllers (NetCrafter or a
+pass-through baseline), toward remote clusters.  Every packet or
+reassembled flit stream pays the 30-cycle data-processing pipeline of
+Table 2 before being routed; throughput is one flit per cycle per port,
+which the attached links enforce.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.sim.component import Component
+from repro.sim.engine import Engine
+from repro.network.flit import Flit
+from repro.network.link import PacketLink
+from repro.network.packet import Packet
+
+
+class ReassemblyBuffer:
+    """Reassembles packets from flits arriving on an inter-cluster link.
+
+    Stitched flits are un-stitched first: every absorbed flit counts
+    toward its own packet, matched by packet ID exactly as the paper's
+    receiving Stitch Engine does with the ID/Size metadata.
+    """
+
+    def __init__(self, flit_size: int, on_packet: Callable[[Packet], None]) -> None:
+        self.flit_size = flit_size
+        self.on_packet = on_packet
+        self._received: Dict[int, int] = {}
+        self.flits_unstitched = 0
+        self.packets_reassembled = 0
+
+    def receive(self, flit: Flit) -> None:
+        """Account one arriving wire flit (plus anything stitched in it)."""
+        for carried in flit.all_carried_flits():
+            if carried is not flit:
+                self.flits_unstitched += 1
+            self._account(carried)
+
+    def _account(self, flit: Flit) -> None:
+        packet = flit.packet
+        expected = packet.flit_count(self.flit_size)
+        count = self._received.get(packet.pid, 0) + 1
+        if count < expected:
+            self._received[packet.pid] = count
+            return
+        self._received.pop(packet.pid, None)
+        self.packets_reassembled += 1
+        self.on_packet(packet)
+
+    def pending_packets(self) -> int:
+        """Packets with some but not all flits received."""
+        return len(self._received)
+
+
+class ClusterSwitch(Component):
+    """One cluster's crossbar switch.
+
+    Wiring (done by the topology builder):
+
+    * ``attach_gpu_link`` — the switch->GPU downlink for each local GPU;
+    * ``attach_egress`` — an egress controller per remote cluster, which
+      owns the inter-cluster :class:`~repro.network.link.FlitLink`;
+    * incoming traffic enters via :meth:`receive_packet_from_gpu` (from a
+      GPU's uplink) and :meth:`receive_flit_from_network` (from a remote
+      switch's egress link).
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        name: str,
+        cluster_id: int,
+        cluster_of_gpu: Dict[int, int],
+        pipeline_latency: int = 30,
+        flit_size: int = 16,
+    ) -> None:
+        super().__init__(engine, name)
+        self.cluster_id = cluster_id
+        self.cluster_of_gpu = cluster_of_gpu
+        self.pipeline_latency = pipeline_latency
+        self.flit_size = flit_size
+        self._gpu_links: Dict[int, PacketLink] = {}
+        self._egress: Dict[int, "EgressControllerProtocol"] = {}
+        #: dst cluster -> neighbouring cluster whose egress link to use;
+        #: identity by default (direct mesh), set by ring topologies
+        self._next_hop: Dict[int, int] = {}
+        self.reassembly = ReassemblyBuffer(flit_size, self._on_packet_reassembled)
+        self.packets_routed = 0
+
+    # -- wiring -----------------------------------------------------------
+
+    def attach_gpu_link(self, gpu_id: int, link: PacketLink) -> None:
+        self._gpu_links[gpu_id] = link
+
+    def attach_egress(self, dst_cluster: int, controller: "EgressControllerProtocol") -> None:
+        self._egress[dst_cluster] = controller
+
+    def set_route(self, dst_cluster: int, via_cluster: int) -> None:
+        """Route traffic for ``dst_cluster`` over the ``via_cluster`` link."""
+        self._next_hop[dst_cluster] = via_cluster
+
+    @property
+    def egress_controllers(self) -> Dict[int, "EgressControllerProtocol"]:
+        return dict(self._egress)
+
+    # -- ingress ----------------------------------------------------------
+
+    def receive_packet_from_gpu(self, packet: Packet) -> None:
+        """A local GPU injected a packet; route it after the pipeline."""
+        self.schedule(self.pipeline_latency, self._route, packet)
+
+    def receive_flit_from_network(self, flit: Flit) -> None:
+        """A flit arrived from a remote cluster; un-stitch and reassemble."""
+        self.reassembly.receive(flit)
+
+    def _on_packet_reassembled(self, packet: Packet) -> None:
+        self.schedule(self.pipeline_latency, self._route, packet)
+
+    # -- routing ----------------------------------------------------------
+
+    def _route(self, packet: Packet) -> None:
+        dst_cluster = self.cluster_of_gpu[packet.dst_gpu]
+        self.packets_routed += 1
+        if dst_cluster == self.cluster_id:
+            self._forward_local(packet)
+        else:
+            via = self._next_hop.get(dst_cluster, dst_cluster)
+            self._egress[via].accept_packet(packet)
+
+    def _forward_local(self, packet: Packet) -> None:
+        link = self._gpu_links[packet.dst_gpu]
+        if not link.send(packet):
+            self.packets_routed -= 1  # retry will re-count
+            link.notify_on_space(lambda: self._route(packet))
+
+
+class EgressControllerProtocol:
+    """Duck-typed interface implemented by controllers in ``repro.core``."""
+
+    def accept_packet(self, packet: Packet) -> None:  # pragma: no cover
+        raise NotImplementedError

@@ -1,0 +1,137 @@
+"""Topology builder: clusters, switches, links, egress controllers.
+
+Builds the Figure 2 node: each cluster has one switch; GPUs connect to
+their cluster switch over intra-cluster bandwidth links; cluster
+switches connect pairwise over inter-cluster bandwidth links, each
+guarded by an egress controller (NetCrafter or pass-through) supplied by
+a factory so this module stays independent of :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from repro.config import SystemConfig
+from repro.network.link import FlitLink, PacketLink
+from repro.network.switch import ClusterSwitch
+from repro.sim.engine import Engine
+
+#: ControllerFactory(name, link, src_cluster, dst_cluster) -> controller
+ControllerFactory = Callable[[str, FlitLink, int, int], object]
+
+
+@dataclass
+class Topology:
+    """All network components of one built system."""
+
+    switches: Dict[int, ClusterSwitch] = field(default_factory=dict)
+    gpu_uplinks: Dict[int, PacketLink] = field(default_factory=dict)
+    gpu_downlinks: Dict[int, PacketLink] = field(default_factory=dict)
+    inter_links: List[FlitLink] = field(default_factory=list)
+    controllers: List[object] = field(default_factory=list)
+
+    def intra_links(self) -> List[PacketLink]:
+        return list(self.gpu_uplinks.values()) + list(self.gpu_downlinks.values())
+
+
+def build_topology(
+    engine: Engine,
+    config: SystemConfig,
+    gpus: Dict[int, object],
+    controller_factory: ControllerFactory,
+) -> Topology:
+    """Wire GPUs, switches, links and egress controllers together.
+
+    ``gpus`` maps gpu_id -> an object exposing ``attach_uplink`` and
+    ``receive_packet`` (the :class:`repro.gpu.gpu.Gpu` assembly).
+    """
+    topo = Topology()
+    cluster_of_gpu = {g: config.cluster_of(g) for g in range(config.n_gpus)}
+
+    for cluster in range(config.n_clusters):
+        topo.switches[cluster] = ClusterSwitch(
+            engine,
+            f"switch{cluster}",
+            cluster_id=cluster,
+            cluster_of_gpu=cluster_of_gpu,
+            pipeline_latency=config.switch_latency,
+            flit_size=config.flit_size,
+        )
+
+    for gpu_id, gpu in gpus.items():
+        cluster = cluster_of_gpu[gpu_id]
+        switch = topo.switches[cluster]
+        uplink = PacketLink(
+            engine,
+            f"gpu{gpu_id}->switch{cluster}",
+            bytes_per_cycle=config.intra_cluster_bw,
+            latency=config.link_latency,
+            flit_size=config.flit_size,
+            sink=switch.receive_packet_from_gpu,
+            buffer_entries=config.switch_buffer_entries,
+        )
+        downlink = PacketLink(
+            engine,
+            f"switch{cluster}->gpu{gpu_id}",
+            bytes_per_cycle=config.intra_cluster_bw,
+            latency=config.link_latency,
+            flit_size=config.flit_size,
+            sink=gpu.receive_packet,
+            buffer_entries=config.switch_buffer_entries,
+        )
+        gpu.attach_uplink(uplink)
+        switch.attach_gpu_link(gpu_id, downlink)
+        topo.gpu_uplinks[gpu_id] = uplink
+        topo.gpu_downlinks[gpu_id] = downlink
+
+    if config.inter_topology == "ring" and config.n_clusters > 2:
+        _wire_ring(engine, config, topo, controller_factory)
+    else:
+        _wire_mesh(engine, config, topo, controller_factory)
+
+    return topo
+
+
+def _add_inter_link(engine, config, topo, controller_factory, src: int, dst: int) -> None:
+    link = FlitLink(
+        engine,
+        f"switch{src}->switch{dst}",
+        bytes_per_cycle=config.inter_cluster_bw,
+        latency=config.link_latency,
+        sink=topo.switches[dst].receive_flit_from_network,
+    )
+    controller = controller_factory(f"egress{src}->{dst}", link, src, dst)
+    topo.switches[src].attach_egress(dst, controller)
+    topo.inter_links.append(link)
+    topo.controllers.append(controller)
+
+
+def _wire_mesh(engine, config, topo, controller_factory) -> None:
+    """A direct inter-cluster link (and controller) per ordered pair."""
+    for src in range(config.n_clusters):
+        for dst in range(config.n_clusters):
+            if src != dst:
+                _add_inter_link(engine, config, topo, controller_factory, src, dst)
+
+
+def _wire_ring(engine, config, topo, controller_factory) -> None:
+    """Adjacent-cluster links only, with shortest-path next-hop routes.
+
+    Distance ties break clockwise.  Packets reassemble at every
+    intermediate switch (store-and-forward per hop), pay its pipeline
+    latency, and re-enter that hop's egress controller — so NetCrafter
+    stitches per link, consistent with the paper's same-route constraint.
+    """
+    n = config.n_clusters
+    for src in range(n):
+        for dst in ((src + 1) % n, (src - 1) % n):
+            _add_inter_link(engine, config, topo, controller_factory, src, dst)
+    for src in range(n):
+        for dst in range(n):
+            if src == dst:
+                continue
+            clockwise = (dst - src) % n
+            counter = (src - dst) % n
+            via = (src + 1) % n if clockwise <= counter else (src - 1) % n
+            topo.switches[src].set_route(dst, via)

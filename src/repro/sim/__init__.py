@@ -1,0 +1,13 @@
+"""Discrete-event simulation kernel.
+
+The simulator is event-driven rather than globally clocked: components
+schedule callbacks at absolute integer cycle times on a shared
+:class:`~repro.sim.engine.Engine`.  Ties are broken FIFO so that the
+simulation is fully deterministic for a given seed.
+"""
+
+from repro.sim.engine import Engine
+from repro.sim.component import Component
+from repro.sim.queues import BoundedQueue
+
+__all__ = ["Engine", "Component", "BoundedQueue"]

@@ -1,0 +1,29 @@
+"""Base class for simulated hardware components."""
+
+from __future__ import annotations
+
+from repro.sim.engine import Engine
+
+
+class Component:
+    """A named piece of simulated hardware bound to an :class:`Engine`.
+
+    Components communicate by direct method calls and by scheduling events
+    on the shared engine; there is no global tick.
+    """
+
+    def __init__(self, engine: Engine, name: str) -> None:
+        self.engine = engine
+        self.name = name
+
+    @property
+    def now(self) -> int:
+        """Current cycle, forwarded from the engine."""
+        return self.engine.now
+
+    def schedule(self, delay: int, callback, *args) -> None:
+        """Schedule ``callback(*args)`` ``delay`` cycles from now."""
+        self.engine.schedule(delay, callback, *args)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name!r}>"

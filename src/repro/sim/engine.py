@@ -1,0 +1,105 @@
+"""Event engine: a deterministic, heapq-based discrete-event scheduler.
+
+All simulated time is expressed in integer cycles of the 1 GHz core clock
+(per the paper's Table 2 every structure is clocked at 1 GHz, so a single
+clock domain suffices).  Events scheduled for the same cycle fire in the
+order they were scheduled (FIFO tie-break via a monotonically increasing
+sequence number), which keeps runs reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid uses of the engine (e.g. scheduling in the past)."""
+
+
+class Engine:
+    """A discrete-event scheduler with integer-cycle timestamps."""
+
+    def __init__(self) -> None:
+        self._queue: List[Tuple[int, int, Callable[..., None], tuple]] = []
+        self._now = 0
+        self._seq = 0
+        self._events_processed = 0
+        self._running = False
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in cycles."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events executed so far."""
+        return self._events_processed
+
+    def schedule(self, delay: int, callback: Callable[..., None], *args: Any) -> None:
+        """Schedule ``callback(*args)`` to run ``delay`` cycles from now.
+
+        ``delay`` must be non-negative; a zero delay runs the callback later
+        in the current cycle (after all previously scheduled same-cycle
+        events).
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self.schedule_at(self._now + int(delay), callback, *args)
+
+    def schedule_at(self, time: int, callback: Callable[..., None], *args: Any) -> None:
+        """Schedule ``callback(*args)`` at absolute cycle ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at cycle {time}, current cycle is {self._now}"
+            )
+        heapq.heappush(self._queue, (int(time), self._seq, callback, args))
+        self._seq += 1
+
+    def peek_time(self) -> Optional[int]:
+        """Return the timestamp of the next pending event, or ``None``."""
+        if not self._queue:
+            return None
+        return self._queue[0][0]
+
+    def step(self) -> bool:
+        """Execute the single next event.  Returns ``False`` if none pending."""
+        if not self._queue:
+            return False
+        time, _seq, callback, args = heapq.heappop(self._queue)
+        self._now = time
+        self._events_processed += 1
+        callback(*args)
+        return True
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the queue drains, ``until`` cycles pass, or
+        ``max_events`` events execute.
+
+        Returns the number of events executed by this call.
+        """
+        if self._running:
+            raise SimulationError("engine is already running (re-entrant run())")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                if until is not None and self._queue[0][0] > until:
+                    self._now = until
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                self.step()
+                executed += 1
+        finally:
+            self._running = False
+        return executed
+
+    def run_until_idle(self, max_events: Optional[int] = None) -> int:
+        """Run until no events remain.  Convenience alias of :meth:`run`."""
+        return self.run(until=None, max_events=max_events)
+
+    def pending_events(self) -> int:
+        """Number of events currently queued."""
+        return len(self._queue)

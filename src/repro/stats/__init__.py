@@ -1,0 +1,6 @@
+"""Statistics: counters, histograms, and per-run reports."""
+
+from repro.stats.collectors import LatencyStat, RunStats
+from repro.stats.report import RunResult, geometric_mean
+
+__all__ = ["LatencyStat", "RunStats", "RunResult", "geometric_mean"]

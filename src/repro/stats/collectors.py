@@ -1,0 +1,126 @@
+"""Run-wide statistic collectors shared by simulator components."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Optional
+
+
+class LatencyStat:
+    """Mean/max/percentiles over recorded latencies.
+
+    Keeps every sample up to a bound (simulation runs are small), then
+    degrades gracefully to streaming mean/max only.
+    """
+
+    #: above this many samples, stop retaining them (percentiles freeze)
+    MAX_SAMPLES = 200_000
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0
+        self.max = 0
+        self._samples = []
+
+    def record(self, latency: int) -> None:
+        self.count += 1
+        self.total += latency
+        if latency > self.max:
+            self.max = latency
+        if len(self._samples) < self.MAX_SAMPLES:
+            self._samples.append(latency)
+
+    def mean(self) -> float:
+        if self.count == 0:
+            return 0.0
+        return self.total / self.count
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (0-100) by nearest-rank."""
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be within 0..100")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = max(0, min(len(ordered) - 1, round(p / 100 * (len(ordered) - 1))))
+        return float(ordered[rank])
+
+    def merge(self, other: "LatencyStat") -> None:
+        self.count += other.count
+        self.total += other.total
+        self.max = max(self.max, other.max)
+        room = self.MAX_SAMPLES - len(self._samples)
+        if room > 0:
+            self._samples.extend(other._samples[:room])
+
+
+class RunStats:
+    """Counters updated in place by CUs, GMMUs, RDMA engines, etc.
+
+    One instance exists per simulation run; the experiment harness reads
+    it (together with link and controller stats) into a
+    :class:`~repro.stats.report.RunResult`.
+    """
+
+    def __init__(self) -> None:
+        # instruction/work proxies
+        self.mem_ops = 0
+        self.reads = 0
+        self.writes = 0
+        # L1 behaviour (aggregated over all CUs)
+        self.l1_hits = 0
+        self.l1_misses = 0
+        self.l1_sector_misses = 0
+        self.l1_refetches = 0  # waiter re-issues after an incompatible sector fill
+        self.l1_mshr_stall_retries = 0
+        # locality of read fills
+        self.local_reads = 0
+        self.remote_reads_intra = 0
+        self.remote_reads_inter = 0
+        self.remote_writes_intra = 0
+        self.remote_writes_inter = 0
+        self.local_writes = 0
+        # Figure 7: bytes the wavefront needs per inter-cluster read request
+        self.read_req_bytes_hist: Counter = Counter()
+        # remote access latency, split by whether it crossed clusters
+        self.remote_read_latency_inter = LatencyStat()
+        self.remote_read_latency_intra = LatencyStat()
+        # page-table walks
+        self.ptw_walks = 0
+        self.ptw_latency = LatencyStat()
+        self.ptw_pte_accesses = 0
+        self.ptw_remote_pte_accesses = 0
+        self.ptw_inter_pte_accesses = 0
+        # hardware-coherence extension traffic
+        self.coherence_inv_sent = 0
+        self.coherence_inv_sent_inter = 0
+        self.coherence_inv_received = 0
+        # execution milestones
+        self.kernel_count = 0
+        self.finish_cycle: Optional[int] = None
+
+    # -- derived metrics ---------------------------------------------------
+
+    @property
+    def l1_accesses(self) -> int:
+        return self.l1_hits + self.l1_misses + self.l1_sector_misses
+
+    def l1_mpki(self) -> float:
+        """L1 misses per kilo memory-operation (instruction proxy)."""
+        if self.mem_ops == 0:
+            return 0.0
+        return 1000.0 * (self.l1_misses + self.l1_sector_misses) / self.mem_ops
+
+    def record_read_request_bytes(self, bytes_needed: int) -> None:
+        """Bucket an inter-cluster read by needed bytes (<=16/32/48/64)."""
+        bucket = min(64, ((max(1, bytes_needed) + 15) // 16) * 16)
+        self.read_req_bytes_hist[bucket] += 1
+
+    def fraction_requests_at_most(self, nbytes: int) -> float:
+        total = sum(self.read_req_bytes_hist.values())
+        if total == 0:
+            return 0.0
+        small = sum(
+            count for bucket, count in self.read_req_bytes_hist.items() if bucket <= nbytes
+        )
+        return small / total

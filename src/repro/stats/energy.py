@@ -1,0 +1,93 @@
+"""Energy accounting: representative per-event costs over a finished run.
+
+The paper reports performance only; energy is a natural companion
+metric for a traffic-reduction technique, so this model tallies the
+major contributors from the run's event counters:
+
+* wire energy per byte, split inter-cluster (off-package SerDes) vs
+  intra-cluster (on-package links);
+* switch pipeline and Cluster Queue SRAM energy per flit;
+* cache and DRAM access energy per event.
+
+The default constants are *representative* of published ranges for
+HBM-class memory and package links (order-of-magnitude correct, not
+calibrated to any product); every figure derived from them is a relative
+comparison between configurations under the same constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-event energy costs in picojoules."""
+
+    inter_link_pj_per_byte: float = 10.0  # off-package SerDes
+    intra_link_pj_per_byte: float = 4.0   # on-package link
+    switch_pj_per_flit: float = 5.0
+    cq_sram_pj_per_flit: float = 2.0
+    l1_pj_per_access: float = 25.0
+    l2_pj_per_access: float = 200.0
+    dram_pj_per_access: float = 2000.0
+
+
+@dataclass
+class EnergyBreakdown:
+    """Picojoule totals per contributor for one run."""
+
+    components: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_pj(self) -> float:
+        return sum(self.components.values())
+
+    @property
+    def network_pj(self) -> float:
+        """The traffic-dependent share NetCrafter can influence."""
+        return sum(
+            self.components.get(key, 0.0)
+            for key in ("inter_links", "intra_links", "switches", "cluster_queues")
+        )
+
+    def as_rows(self) -> str:
+        lines = [
+            f"{name:16s} {value / 1e6:10.3f} uJ"
+            for name, value in sorted(self.components.items())
+        ]
+        lines.append(f"{'total':16s} {self.total_pj / 1e6:10.3f} uJ")
+        return "\n".join(lines)
+
+
+def estimate_energy(system, result, model: EnergyModel = None) -> EnergyBreakdown:
+    """Tally energy from a finished :class:`MultiGpuSystem` run."""
+    model = model or EnergyModel()
+    breakdown = EnergyBreakdown()
+    topo = system.topology
+
+    inter_bytes = sum(link.stats.wire_bytes for link in topo.inter_links)
+    intra_bytes = sum(link.stats.wire_bytes for link in topo.intra_links())
+    breakdown.components["inter_links"] = inter_bytes * model.inter_link_pj_per_byte
+    breakdown.components["intra_links"] = intra_bytes * model.intra_link_pj_per_byte
+
+    switch_flits = sum(link.stats.flits for link in topo.inter_links) + sum(
+        link.stats.flits for link in topo.intra_links()
+    )
+    breakdown.components["switches"] = switch_flits * model.switch_pj_per_flit
+
+    cq_flits = sum(c.stats.flits_entered for c in topo.controllers)
+    breakdown.components["cluster_queues"] = cq_flits * model.cq_sram_pj_per_flit
+
+    stats = result.stats
+    breakdown.components["l1_caches"] = stats.l1_accesses * model.l1_pj_per_access
+    l2_accesses = sum(
+        gpu.l2.read_requests + gpu.l2.write_requests for gpu in system.gpus.values()
+    )
+    breakdown.components["l2_caches"] = l2_accesses * model.l2_pj_per_access
+    dram_accesses = sum(
+        gpu.dram.reads + gpu.dram.writes for gpu in system.gpus.values()
+    )
+    breakdown.components["dram"] = dram_accesses * model.dram_pj_per_access
+    return breakdown

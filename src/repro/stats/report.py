@@ -1,0 +1,93 @@
+"""Per-run results assembled by the experiment harness."""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from repro.stats.collectors import RunStats
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean, the conventional average for speedup series."""
+    values = [v for v in values]
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+@dataclass
+class RunResult:
+    """Everything an experiment needs from one finished simulation."""
+
+    workload: str
+    config_label: str
+    cycles: int
+    stats: RunStats
+    #: inter-cluster wire traffic, summed over both directions
+    inter_flits_sent: int = 0
+    inter_wire_bytes: int = 0
+    inter_useful_bytes: int = 0
+    inter_busy_cycles: float = 0.0
+    #: controller-level counters, summed over all egress controllers
+    flits_entered: int = 0
+    flits_absorbed: int = 0
+    parents_stitched: int = 0
+    packets_trimmed: int = 0
+    trim_bytes_saved: int = 0
+    ptw_flits: int = 0
+    data_flits: int = 0
+    ptw_bytes: int = 0
+    data_bytes: int = 0
+    occupancy: Counter = field(default_factory=Counter)
+    #: intra-cluster (GPU<->switch) aggregate busy time, for utilization
+    intra_busy_cycles: float = 0.0
+    intra_links: int = 0
+    inter_links: int = 0
+    #: per-contributor energy estimate (repro.stats.energy), attached by
+    #: MultiGpuSystem at collection time
+    energy: Optional[object] = None
+
+    # -- derived ------------------------------------------------------------
+
+    def speedup_over(self, baseline: "RunResult") -> float:
+        """Baseline cycles / our cycles (>1 means faster)."""
+        if self.cycles <= 0:
+            raise ValueError("run has no cycles")
+        return baseline.cycles / self.cycles
+
+    def inter_utilization(self) -> float:
+        """Mean utilization of inter-cluster links over the run."""
+        if self.cycles <= 0 or self.inter_links == 0:
+            return 0.0
+        return min(1.0, self.inter_busy_cycles / (self.cycles * self.inter_links))
+
+    def stitch_rate(self) -> float:
+        if self.flits_entered == 0:
+            return 0.0
+        return self.flits_absorbed / self.flits_entered
+
+    def ptw_traffic_fraction(self) -> float:
+        """PTW share of useful bytes on the inter-cluster network (Fig 9)."""
+        total = self.ptw_bytes + self.data_bytes
+        if total == 0:
+            return 0.0
+        return self.ptw_bytes / total
+
+    def padded_fraction_distribution(self, flit_size: int) -> Dict[float, float]:
+        """Fraction of flits by padded share (Figure 6), normalized."""
+        total = sum(self.occupancy.values())
+        if total == 0:
+            return {}
+        dist: Dict[float, float] = {}
+        for used, count in self.occupancy.items():
+            padded = round((flit_size - used) / flit_size, 2)
+            dist[padded] = dist.get(padded, 0.0) + count / total
+        return dist
+
+    def mean_inter_read_latency(self) -> float:
+        return self.stats.remote_read_latency_inter.mean()

@@ -1,0 +1,86 @@
+"""Traffic-conservation verification: analytic cross-checks of a run.
+
+The memory system's event counters predict, exactly, how many packets of
+each type must have crossed the inter-cluster egress controllers:
+
+* every inter-cluster read fetch issues one READ_REQ one way and one
+  READ_RSP back;
+* every inter-cluster write issues one WRITE_REQ and one WRITE_RSP;
+* every inter-cluster PTE access issues one PT_REQ and one PT_RSP;
+* every inter-cluster invalidation issues one INV_REQ and one INV_RSP.
+
+``verify_traffic`` recomputes those predictions from the
+:class:`~repro.stats.collectors.RunStats` counters and compares them
+against the per-type packet counts the controllers actually observed.
+A non-empty result means the simulator lost, duplicated, or misrouted
+traffic — integration tests assert it is empty for every configuration.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List
+
+from repro.network.packet import PacketType
+
+
+def expected_inter_packets(stats) -> Dict[PacketType, int]:
+    """Predict per-type inter-cluster packet counts from event counters."""
+    reads = stats.remote_reads_inter
+    writes = stats.remote_writes_inter
+    pt_reads = stats.ptw_inter_pte_accesses
+    invalidations = stats.coherence_inv_sent_inter
+    return {
+        PacketType.READ_REQ: reads,
+        PacketType.READ_RSP: reads,
+        PacketType.WRITE_REQ: writes,
+        PacketType.WRITE_RSP: writes,
+        PacketType.PT_REQ: pt_reads,
+        PacketType.PT_RSP: pt_reads,
+        PacketType.INV_REQ: invalidations,
+        PacketType.INV_RSP: invalidations,
+    }
+
+
+def observed_inter_packets(system) -> Dict[PacketType, int]:
+    """Per-type packet counts summed over all egress controllers."""
+    observed: Counter = Counter()
+    for controller in system.topology.controllers:
+        observed.update(controller.stats.packets_by_type)
+    return {ptype: observed.get(ptype, 0) for ptype in PacketType}
+
+
+def verify_traffic(system, result) -> List[str]:
+    """Compare predictions to observations; returns discrepancy strings.
+
+    An empty list means every packet the memory system generated is
+    accounted for at the egress controllers — nothing lost, duplicated,
+    or misrouted.  Only exact for single-hop (mesh) topologies: ring
+    forwarding legitimately re-counts packets at intermediate hops.
+    """
+    if system.config.inter_topology == "ring" and system.config.n_clusters > 2:
+        raise ValueError(
+            "verify_traffic is exact only for mesh topologies; ring "
+            "forwarding re-counts packets at intermediate hops"
+        )
+    problems: List[str] = []
+    expected = expected_inter_packets(result.stats)
+    observed = observed_inter_packets(system)
+    for ptype in PacketType:
+        want = expected.get(ptype, 0)
+        got = observed.get(ptype, 0)
+        if want != got:
+            problems.append(
+                f"{ptype.value}: expected {want} inter-cluster packets, "
+                f"controllers saw {got}"
+            )
+    total_flits = sum(
+        c.stats.flits_sent + c.stats.flits_absorbed
+        for c in system.topology.controllers
+    )
+    entered = sum(c.stats.flits_entered for c in system.topology.controllers)
+    if total_flits != entered:
+        problems.append(
+            f"flit conservation: {entered} entered vs {total_flits} left"
+        )
+    return problems

@@ -1,0 +1,26 @@
+"""Virtual memory substrate: page table, TLBs, walkers, placement.
+
+Section 2.3 of the paper: each CU has a private L1 TLB; a shared L2 TLB
+and GMMU (page-walk cache + 16 parallel walkers) serve each GPU.  The
+system uses a shared 4-level radix page table under unified virtual
+memory; PTEs are cached in the L2 data cache of their home GPU.  Page
+placement follows LASP, extended so each leaf PTE page (mapping a 2 MB
+region) lives on the GPU holding the region's first data page.
+"""
+
+from repro.vm.page_table import PageTable, PageTableNode, PAGE_SIZE, PTE_BYTES
+from repro.vm.placement import AddressSpace, LaspPlacement
+from repro.vm.tlb import Tlb, PageWalkCache
+from repro.vm.gmmu import Gmmu
+
+__all__ = [
+    "PageTable",
+    "PageTableNode",
+    "PAGE_SIZE",
+    "PTE_BYTES",
+    "AddressSpace",
+    "LaspPlacement",
+    "Tlb",
+    "PageWalkCache",
+    "Gmmu",
+]

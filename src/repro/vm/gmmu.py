@@ -1,0 +1,126 @@
+"""GPU Memory Management Unit: L2 TLB, page-walk cache, parallel walkers.
+
+Section 2.3: on an L2 TLB miss, the PWC is probed with a longest-prefix
+match; depending on the hit level a walk performs 1-4 PTE reads, served
+by one of 16 parallel walkers.  Each PTE read goes through the memory
+system of the GPU holding the page-table node (local L2/DRAM, or a
+PT_REQ/PT_RSP exchange across the network).  Completed translations are
+inserted into the PWC and L2 TLB and returned to the requesting CU.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque
+
+from repro.memory.mshr import Mshr
+from repro.sim.component import Component
+from repro.sim.engine import Engine
+from repro.stats.collectors import RunStats
+from repro.vm.page_table import PageTable
+from repro.vm.tlb import PageWalkCache, Tlb
+
+#: PteAccessFn(pte_addr, home_gpu, completion_callback)
+PteAccessFn = Callable[[int, int, Callable[[], None]], None]
+
+
+class Gmmu(Component):
+    """One GPU's shared translation machinery behind the per-CU L1 TLBs."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        name: str,
+        gpu_id: int,
+        page_table: PageTable,
+        l2_tlb: Tlb,
+        pwc: PageWalkCache,
+        pte_access: PteAccessFn,
+        stats: RunStats,
+        n_walkers: int = 16,
+        walk_mshr_entries: int = 64,
+    ) -> None:
+        super().__init__(engine, name)
+        self.gpu_id = gpu_id
+        self.page_table = page_table
+        self.l2_tlb = l2_tlb
+        self.pwc = pwc
+        self.pte_access = pte_access
+        self.stats = stats
+        self.n_walkers = n_walkers
+        self._walkers_busy = 0
+        self._walk_mshr = Mshr(walk_mshr_entries, name=f"{name}.walk_mshr")
+        self._walk_queue: Deque[int] = deque()
+        self.translations_requested = 0
+
+    # -- public API ------------------------------------------------------------
+
+    def translate(self, vpn: int, callback: Callable[[int], None]) -> None:
+        """Resolve ``vpn``; ``callback(page_paddr)`` fires when done."""
+        self.translations_requested += 1
+        self.schedule(self.l2_tlb.lookup_latency, self._after_l2_tlb, vpn, callback)
+
+    def _after_l2_tlb(self, vpn: int, callback: Callable[[int], None]) -> None:
+        paddr = self.l2_tlb.lookup(vpn)
+        if paddr is not None:
+            callback(paddr)
+            return
+        status = self._walk_mshr.allocate(vpn, callback)
+        if status == "merged":
+            return
+        if status == "full":
+            # walk MSHR exhausted: retry shortly (back-pressure on the CU)
+            self.schedule(8, self._after_l2_tlb, vpn, callback)
+            return
+        self._walk_queue.append(vpn)
+        self._dispatch()
+
+    # -- walker pool -------------------------------------------------------------
+
+    def _dispatch(self) -> None:
+        while self._walkers_busy < self.n_walkers and self._walk_queue:
+            vpn = self._walk_queue.popleft()
+            self._walkers_busy += 1
+            start_cycle = self.now
+            self.schedule(self.pwc.lookup_latency, self._begin_walk, vpn, start_cycle)
+
+    def _begin_walk(self, vpn: int, start_cycle: int) -> None:
+        self.stats.ptw_walks += 1
+        hit_level = self.pwc.longest_prefix_level(vpn)
+        path = self.page_table.walk_path(vpn)
+        remaining = path[hit_level:]
+        self._walk_step(vpn, start_cycle, remaining, 0)
+
+    def _walk_step(self, vpn: int, start_cycle: int, path, index: int) -> None:
+        if index >= len(path):
+            self._finish_walk(vpn, start_cycle)
+            return
+        _level, pte_addr, node_gpu = path[index]
+        self.stats.ptw_pte_accesses += 1
+        if node_gpu != self.gpu_id:
+            self.stats.ptw_remote_pte_accesses += 1
+        self.pte_access(
+            pte_addr,
+            node_gpu,
+            lambda: self._walk_step(vpn, start_cycle, path, index + 1),
+        )
+
+    def _finish_walk(self, vpn: int, start_cycle: int) -> None:
+        paddr = self.page_table.translate_vpn(vpn)
+        if paddr is None:  # pragma: no cover - pages are premapped
+            raise KeyError(f"walk completed for unmapped vpn {vpn:#x}")
+        self.pwc.insert_path(vpn)
+        self.l2_tlb.insert(vpn, paddr)
+        self.stats.ptw_latency.record(self.now - start_cycle)
+        for waiter in self._walk_mshr.release(vpn):
+            waiter(paddr)
+        self._walkers_busy -= 1
+        self._dispatch()
+
+    @property
+    def walkers_busy(self) -> int:
+        return self._walkers_busy
+
+    @property
+    def walks_queued(self) -> int:
+        return len(self._walk_queue)

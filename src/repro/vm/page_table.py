@@ -1,0 +1,125 @@
+"""Four-level radix page table shared by all GPUs (UVM).
+
+x86-style layout: 4 KB pages, 9 index bits per level, 8-byte PTEs, so a
+leaf (level-4) node maps a 2 MB virtual region.  Every node occupies one
+simulated physical frame on some GPU; a page-table walk reads one PTE
+per level at ``node.addr + index * 8``, which is what the walkers
+simulate (and what the home GPU's L2 caches).
+
+Leaf node placement follows the paper's LASP extension: the leaf node
+for a 2 MB region lives on the GPU that owns the region's *first mapped
+data page*.  Interior (levels 1-3) nodes live on the root GPU; they are
+almost always served by the page-walk cache after first touch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+PAGE_SIZE = 4096
+PTE_BYTES = 8
+LEVELS = 4
+BITS_PER_LEVEL = 9
+
+
+@dataclass
+class PageTableNode:
+    """One 4 KB page-table node resident on ``gpu`` at physical ``addr``."""
+
+    level: int
+    gpu: int
+    addr: int
+    children: Dict[int, "PageTableNode"] = field(default_factory=dict)
+    entries: Dict[int, int] = field(default_factory=dict)  # leaf: index -> paddr
+
+
+def split_vpn(vpn: int) -> List[int]:
+    """Decompose a virtual page number into per-level radix indices."""
+    indices = []
+    for level in range(LEVELS):
+        shift = BITS_PER_LEVEL * (LEVELS - 1 - level)
+        indices.append((vpn >> shift) & ((1 << BITS_PER_LEVEL) - 1))
+    return indices
+
+
+class PageTable:
+    """The shared radix table, with node frames allocated per placement."""
+
+    def __init__(self, address_space, root_gpu: int = 0) -> None:
+        self.address_space = address_space
+        self.root_gpu = root_gpu
+        self.root = self._new_node(level=1, gpu=root_gpu)
+        self.nodes_created = 1
+
+    def _new_node(self, level: int, gpu: int) -> PageTableNode:
+        addr = self.address_space.alloc_frame(gpu)
+        return PageTableNode(level=level, gpu=gpu, addr=addr)
+
+    # -- mapping ---------------------------------------------------------------
+
+    def map(self, vpn: int, paddr: int, leaf_owner_hint: int) -> None:
+        """Install the translation ``vpn -> paddr``.
+
+        ``leaf_owner_hint`` places a newly created leaf node (the paper's
+        PTE co-placement: the hint is the owner of the first data page
+        mapped in the 2 MB region).
+        """
+        indices = split_vpn(vpn)
+        node = self.root
+        for level in range(1, LEVELS):
+            index = indices[level - 1]
+            child = node.children.get(index)
+            if child is None:
+                child_level = level + 1
+                gpu = leaf_owner_hint if child_level == LEVELS else self.root_gpu
+                child = self._new_node(level=child_level, gpu=gpu)
+                node.children[index] = child
+                self.nodes_created += 1
+            node = child
+        node.entries[indices[LEVELS - 1]] = paddr
+
+    def translate_vpn(self, vpn: int) -> Optional[int]:
+        """Functional lookup (no timing): physical page address or None."""
+        indices = split_vpn(vpn)
+        node = self.root
+        for level in range(1, LEVELS):
+            node = node.children.get(indices[level - 1])
+            if node is None:
+                return None
+        return node.entries.get(indices[LEVELS - 1])
+
+    # -- walk support -------------------------------------------------------------
+
+    def walk_path(self, vpn: int) -> List[Tuple[int, int, int]]:
+        """PTE accesses a full walk performs: ``[(level, pte_addr, gpu)]``.
+
+        One entry per level 1..4; the PTE for level k lives in the level-k
+        node at ``node.addr + index_k * 8`` on that node's GPU.  Raises
+        ``KeyError`` for unmapped pages (all pages are premapped by LASP
+        before kernel launch, so a walk never faults in this model).
+        """
+        indices = split_vpn(vpn)
+        path: List[Tuple[int, int, int]] = []
+        node = self.root
+        for level in range(1, LEVELS + 1):
+            index = indices[level - 1]
+            path.append((level, node.addr + index * PTE_BYTES, node.gpu))
+            if level == LEVELS:
+                if index not in node.entries:
+                    raise KeyError(f"vpn {vpn:#x} is not mapped")
+            else:
+                child = node.children.get(index)
+                if child is None:
+                    raise KeyError(f"vpn {vpn:#x} is not mapped at level {level}")
+                node = child
+        return path
+
+    def leaf_node(self, vpn: int) -> Optional[PageTableNode]:
+        indices = split_vpn(vpn)
+        node = self.root
+        for level in range(1, LEVELS):
+            node = node.children.get(indices[level - 1])
+            if node is None:
+                return None
+        return node

@@ -1,0 +1,27 @@
+"""Workload models: the 15 applications of Table 3 as trace generators.
+
+Real kernels are replaced by deterministic generators that reproduce
+each benchmark's *memory access pattern* (random / gather / scatter /
+adjacent / partitioned, plus data-parallel DNN training), including the
+per-wavefront bytes-needed distributions that drive Observation 2 and
+the remote-access mix that drives the network results.  See DESIGN.md §5
+for the substitution rationale.
+"""
+
+from repro.workloads.base import Scale, WorkloadGenerator, Array
+from repro.workloads.registry import (
+    get_workload,
+    all_workload_names,
+    workload_table,
+    WORKLOADS,
+)
+
+__all__ = [
+    "Scale",
+    "WorkloadGenerator",
+    "Array",
+    "get_workload",
+    "all_workload_names",
+    "workload_table",
+    "WORKLOADS",
+]

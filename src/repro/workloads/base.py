@@ -1,0 +1,177 @@
+"""Workload-generation framework: scales, virtual arrays, the generator ABC.
+
+A workload generator produces a :class:`~repro.gpu.cta.WorkloadTrace`
+for a given system shape and scale.  Generators also encode the *result*
+of LASP's static analysis: each CTA carries its assigned GPU and each
+kernel carries a page->owner map (Section 2.2).
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.gpu.cta import (
+    CtaTrace,
+    KernelTrace,
+    LINE_BYTES,
+    MemAccess,
+    WavefrontTrace,
+    WorkloadTrace,
+)
+from repro.vm.page_table import PAGE_SIZE
+
+#: virtual arrays are spaced 1 GB apart so they never share a 2 MB region
+ARRAY_STRIDE = 1 << 30
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Knobs controlling trace size (simulation cost) per workload."""
+
+    ctas_per_gpu: int = 16
+    wavefronts_per_cta: int = 6
+    accesses_per_wavefront: int = 16
+    #: data pages per GPU per major array
+    pages_per_gpu: int = 32
+
+    @classmethod
+    def tiny(cls) -> "Scale":
+        """For unit tests: completes in tens of milliseconds."""
+        return cls(ctas_per_gpu=2, wavefronts_per_cta=1, accesses_per_wavefront=6, pages_per_gpu=8)
+
+    @classmethod
+    def small(cls) -> "Scale":
+        """For quick experiments and CI benchmarks.
+
+        Sized so remote-heavy workloads keep the inter-cluster link busy
+        (the congestion regime of Section 3.1) while a full run stays
+        under a second of wall clock.
+        """
+        return cls(ctas_per_gpu=16, wavefronts_per_cta=4, accesses_per_wavefront=10, pages_per_gpu=16)
+
+    @classmethod
+    def default(cls) -> "Scale":
+        return cls()
+
+
+class Array:
+    """A virtual array with a page-ownership (placement) policy.
+
+    ``policy`` is ``"interleave"`` (pages round-robin across GPUs — shared
+    structures reached randomly) or ``"block"`` (contiguous page blocks
+    per GPU — LASP's partitioned placement for streaming arrays).
+    """
+
+    def __init__(
+        self,
+        index: int,
+        pages: int,
+        n_gpus: int,
+        policy: str = "block",
+    ) -> None:
+        if policy not in ("interleave", "block"):
+            raise ValueError(f"unknown placement policy {policy!r}")
+        if pages < n_gpus:
+            pages = n_gpus  # every GPU owns at least one page
+        self.base = (index + 1) * ARRAY_STRIDE
+        self.pages = pages
+        self.n_gpus = n_gpus
+        self.policy = policy
+
+    @property
+    def size_bytes(self) -> int:
+        return self.pages * PAGE_SIZE
+
+    def addr(self, offset: int) -> int:
+        """Virtual address ``offset`` bytes into the array (wraps)."""
+        return self.base + (offset % self.size_bytes)
+
+    def owner_of_page(self, page_index: int) -> int:
+        page_index %= self.pages
+        if self.policy == "interleave":
+            return page_index % self.n_gpus
+        pages_per_gpu = max(1, self.pages // self.n_gpus)
+        return min(self.n_gpus - 1, page_index // pages_per_gpu)
+
+    def page_owner_map(self) -> Dict[int, int]:
+        """vpn -> owner for every page of the array."""
+        first_vpn = self.base // PAGE_SIZE
+        return {
+            first_vpn + p: self.owner_of_page(p) for p in range(self.pages)
+        }
+
+    def gpu_block_range(self, gpu: int) -> range:
+        """Byte-offset range of the block owned by ``gpu`` (block policy)."""
+        pages_per_gpu = max(1, self.pages // self.n_gpus)
+        start = gpu * pages_per_gpu * PAGE_SIZE
+        return range(start, start + pages_per_gpu * PAGE_SIZE)
+
+
+def aligned_access(array: Array, offset: int, nbytes: int, is_write: bool = False) -> MemAccess:
+    """Build an access that never straddles a cache line."""
+    addr = array.addr(offset)
+    room = LINE_BYTES - (addr % LINE_BYTES)
+    return MemAccess(vaddr=addr, nbytes=min(nbytes, room), is_write=is_write)
+
+
+class WorkloadGenerator(abc.ABC):
+    """Base class for all Table 3 workload models."""
+
+    #: short name as in Table 3 (e.g. ``"gups"``)
+    name: str = ""
+    #: access pattern label as in Table 3
+    pattern: str = ""
+    #: originating benchmark suite, for the Table 3 reproduction
+    suite: str = ""
+
+    def build(
+        self,
+        n_gpus: int,
+        scale: Optional[Scale] = None,
+        seed: int = 0,
+    ) -> WorkloadTrace:
+        """Generate the deterministic trace for this workload."""
+        scale = scale or Scale.default()
+        rng = random.Random((hash(self.name) ^ seed) & 0xFFFFFFFF)
+        kernels = self._kernels(n_gpus, scale, rng)
+        trace = WorkloadTrace(name=self.name, kernels=kernels)
+        trace.validate()
+        return trace
+
+    @abc.abstractmethod
+    def _kernels(
+        self, n_gpus: int, scale: Scale, rng: random.Random
+    ) -> List[KernelTrace]:
+        """Produce the kernel sequence."""
+
+    # -- shared helpers -------------------------------------------------------
+
+    def _make_kernel(
+        self,
+        kernel_name: str,
+        n_gpus: int,
+        scale: Scale,
+        arrays: List[Array],
+        wavefront_builder,
+    ) -> KernelTrace:
+        """Standard kernel shape: ``ctas_per_gpu`` CTAs on each GPU.
+
+        ``wavefront_builder(gpu, cta_index, wf_index) -> List[MemAccess]``.
+        """
+        ctas: List[CtaTrace] = []
+        for gpu in range(n_gpus):
+            for cta_index in range(scale.ctas_per_gpu):
+                wavefronts = [
+                    WavefrontTrace(
+                        accesses=wavefront_builder(gpu, cta_index, wf_index)
+                    )
+                    for wf_index in range(scale.wavefronts_per_cta)
+                ]
+                ctas.append(CtaTrace(gpu=gpu, wavefronts=wavefronts))
+        page_owner: Dict[int, int] = {}
+        for array in arrays:
+            page_owner.update(array.page_owner_map())
+        return KernelTrace(name=kernel_name, ctas=ctas, page_owner=page_owner)

@@ -1,0 +1,175 @@
+"""Data-parallel DNN training workloads (DNNMark models).
+
+Section 5.1: VGG16 and ResNet18 train on Tiny-ImageNet-200 and LeNet on
+MNIST under data parallelism.  Each GPU holds a weight replica and its
+own batch shard, so forward/backward kernels are local and streaming,
+while the per-layer gradient exchange reads gradient shards from every
+other GPU — the classic all-reduce traffic that stresses the
+inter-cluster network with full-line transfers.
+
+The layer graphs are reduced to per-layer traffic *weights* (relative
+parameter/activation volume); what matters to NetCrafter is the traffic
+shape, not the arithmetic (DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from repro.gpu.cta import KernelTrace, LINE_BYTES, MemAccess
+from repro.workloads.base import Array, Scale, WorkloadGenerator
+
+
+class DnnTraining(WorkloadGenerator):
+    """Shared machinery: per-layer compute + gradient-exchange kernels."""
+
+    pattern = "data-parallel"
+    suite = "DNNMark"
+    #: relative traffic weight per layer (subclasses define)
+    layer_weights: Sequence[float] = ()
+    #: cap on simulated layers so tiny scales stay tiny
+    max_layers: int = 20
+
+    @staticmethod
+    def _per_layer_scale(scale: Scale) -> Scale:
+        """DNN workloads run many kernels (2 per layer); shrink each one so
+        the total trace volume stays comparable to the other workloads."""
+        return Scale(
+            ctas_per_gpu=max(1, scale.ctas_per_gpu // 2),
+            wavefronts_per_cta=1,
+            accesses_per_wavefront=max(2, scale.accesses_per_wavefront // 2),
+            pages_per_gpu=scale.pages_per_gpu,
+        )
+
+    def _kernels(self, n_gpus: int, scale: Scale, rng: random.Random) -> List[KernelTrace]:
+        scale = self._per_layer_scale(scale)
+        activations = Array(0, scale.pages_per_gpu * n_gpus, n_gpus, "block")
+        weights = Array(1, scale.pages_per_gpu * n_gpus, n_gpus, "block")
+        gradients = Array(2, scale.pages_per_gpu * n_gpus, n_gpus, "block")
+        arrays = [activations, weights, gradients]
+        kernels: List[KernelTrace] = []
+        for layer, weight in enumerate(self.layer_weights[: self.max_layers]):
+            kernels.append(
+                self._compute_kernel(
+                    f"{self.name}_l{layer}_fwdbwd", n_gpus, scale, arrays, weight
+                )
+            )
+            kernels.append(
+                self._exchange_kernel(
+                    f"{self.name}_l{layer}_allreduce",
+                    n_gpus,
+                    scale,
+                    arrays,
+                    gradients,
+                    weight,
+                    rng,
+                )
+            )
+        return kernels
+
+    def _scaled_accesses(self, scale: Scale, weight: float) -> int:
+        return max(2, int(round(scale.accesses_per_wavefront * weight)))
+
+    def _compute_kernel(
+        self,
+        kernel_name: str,
+        n_gpus: int,
+        scale: Scale,
+        arrays: List[Array],
+        weight: float,
+    ) -> KernelTrace:
+        activations, weights, gradients = arrays
+        n_accesses = self._scaled_accesses(scale, weight)
+
+        def wavefront(gpu: int, cta: int, wf: int) -> List[MemAccess]:
+            accesses: List[MemAccess] = []
+            block = activations.gpu_block_range(gpu)
+            lines = max(1, len(block) // LINE_BYTES)
+            base_slot = (cta * scale.wavefronts_per_cta + wf) * n_accesses
+            for i in range(n_accesses):
+                offset = block.start + ((base_slot + i) % lines) * LINE_BYTES
+                if i % 3 == 2:
+                    accesses.append(
+                        MemAccess(
+                            vaddr=gradients.addr(offset), nbytes=LINE_BYTES, is_write=True
+                        )
+                    )
+                elif i % 3 == 1:
+                    accesses.append(MemAccess(vaddr=weights.addr(offset), nbytes=LINE_BYTES))
+                else:
+                    accesses.append(
+                        MemAccess(vaddr=activations.addr(offset), nbytes=LINE_BYTES)
+                    )
+            return accesses
+
+        return self._make_kernel(kernel_name, n_gpus, scale, arrays, wavefront)
+
+    def _exchange_kernel(
+        self,
+        kernel_name: str,
+        n_gpus: int,
+        scale: Scale,
+        arrays: List[Array],
+        gradients: Array,
+        weight: float,
+        rng: random.Random,
+    ) -> KernelTrace:
+        n_accesses = self._scaled_accesses(scale, weight)
+
+        def wavefront(gpu: int, cta: int, wf: int) -> List[MemAccess]:
+            accesses: List[MemAccess] = []
+            for i in range(n_accesses):
+                if i % 4 == 3:
+                    # accumulate locally
+                    block = gradients.gpu_block_range(gpu)
+                    lines = max(1, len(block) // LINE_BYTES)
+                    offset = block.start + (
+                        (cta * scale.wavefronts_per_cta + wf + i) % lines
+                    ) * LINE_BYTES
+                    accesses.append(
+                        MemAccess(
+                            vaddr=gradients.addr(offset), nbytes=LINE_BYTES, is_write=True
+                        )
+                    )
+                else:
+                    # read a peer GPU's gradient shard (full lines)
+                    peer = rng.randrange(n_gpus - 1)
+                    if peer >= gpu:
+                        peer += 1
+                    block = gradients.gpu_block_range(peer)
+                    lines = max(1, len(block) // LINE_BYTES)
+                    offset = block.start + (
+                        (cta * scale.wavefronts_per_cta + wf + i * 7) % lines
+                    ) * LINE_BYTES
+                    accesses.append(
+                        MemAccess(vaddr=gradients.addr(offset), nbytes=LINE_BYTES)
+                    )
+            return accesses
+
+        return self._make_kernel(kernel_name, n_gpus, scale, arrays, wavefront)
+
+
+class Vgg16(DnnTraining):
+    """VGG16 on Tiny-ImageNet-200: deep stack of heavy conv/FC layers."""
+
+    name = "vgg16"
+    # 13 conv layers growing in parameter volume plus 3 fat FC layers
+    layer_weights = (0.3, 0.3, 0.5, 0.5, 0.7, 0.7, 0.7, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.5, 1.2, 0.6)
+    max_layers = 16
+
+
+class Lenet(DnnTraining):
+    """LeNet-5 on MNIST: five small layers."""
+
+    name = "lenet"
+    layer_weights = (0.4, 0.6, 0.8, 0.6, 0.3)
+    max_layers = 5
+
+
+class Resnet18(DnnTraining):
+    """ResNet18 on Tiny-ImageNet-200: residual blocks of moderate size."""
+
+    name = "rnet18"
+    layer_weights = (0.4,) + (0.6,) * 8 + (0.8,) * 6 + (1.0,) * 3
+    max_layers = 18

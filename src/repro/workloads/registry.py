@@ -1,0 +1,69 @@
+"""Workload registry: Table 3's application list, by name."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.workloads.base import WorkloadGenerator
+from repro.workloads.dnn import Lenet, Resnet18, Vgg16
+from repro.workloads.synthetic import (
+    Atax,
+    BlackScholes,
+    Gups,
+    Im2Col,
+    LargeGemm,
+    MatrixTranspose,
+    MaximalIndependentSet,
+    Mm2,
+    Mvt,
+    PageRank,
+    ShocReduction,
+    Spmv,
+    Syr2k,
+)
+
+#: Table 3 order
+_TABLE3_GENERATORS = [
+    Gups(),
+    MatrixTranspose(),
+    MaximalIndependentSet(),
+    Im2Col(),
+    Atax(),
+    BlackScholes(),
+    Mm2(),
+    Mvt(),
+    Spmv(),
+    PageRank(),
+    ShocReduction(),
+    Syr2k(),
+    Vgg16(),
+    Lenet(),
+    Resnet18(),
+]
+
+WORKLOADS: Dict[str, WorkloadGenerator] = {gen.name: gen for gen in _TABLE3_GENERATORS}
+#: extra workloads used by specific experiments (not in Table 3)
+WORKLOADS["gemm_large"] = LargeGemm()
+
+
+def get_workload(name: str) -> WorkloadGenerator:
+    """Look up a generator by its Table 3 abbreviation (case-insensitive)."""
+    try:
+        return WORKLOADS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {', '.join(sorted(WORKLOADS))}"
+        ) from None
+
+
+def all_workload_names() -> List[str]:
+    """The 15 evaluated applications, in Table 3 order."""
+    return [gen.name for gen in _TABLE3_GENERATORS]
+
+
+def workload_table() -> List[Dict[str, str]]:
+    """Rows reproducing Table 3 (abbr, pattern, suite)."""
+    return [
+        {"abbr": gen.name.upper(), "pattern": gen.pattern, "suite": gen.suite}
+        for gen in _TABLE3_GENERATORS
+    ]

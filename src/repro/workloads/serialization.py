@@ -1,0 +1,119 @@
+"""Workload trace serialization: dump and reload traces as JSON.
+
+Useful for archiving the exact traffic an experiment saw, diffing
+generator changes, and feeding externally-captured traces (e.g. from a
+real profiler) into the simulator.  The format is versioned and
+validated on load; addresses are stored as hex strings so dumps are
+human-auditable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.gpu.cta import (
+    CtaTrace,
+    KernelTrace,
+    MemAccess,
+    WavefrontTrace,
+    WorkloadTrace,
+)
+
+FORMAT_VERSION = 1
+
+
+class TraceFormatError(ValueError):
+    """Raised when a serialized trace is malformed or unsupported."""
+
+
+def trace_to_dict(trace: WorkloadTrace) -> Dict[str, Any]:
+    """Convert a workload trace into a JSON-safe dictionary."""
+    return {
+        "format": "repro-netcrafter-trace",
+        "version": FORMAT_VERSION,
+        "name": trace.name,
+        "kernels": [
+            {
+                "name": kernel.name,
+                "page_owner": {hex(vpn): owner for vpn, owner in kernel.page_owner.items()},
+                "ctas": [
+                    {
+                        "gpu": cta.gpu,
+                        "wavefronts": [
+                            [
+                                [hex(acc.vaddr), acc.nbytes, int(acc.is_write)]
+                                for acc in wf.accesses
+                            ]
+                            for wf in cta.wavefronts
+                        ],
+                    }
+                    for cta in kernel.ctas
+                ],
+            }
+            for kernel in trace.kernels
+        ],
+    }
+
+
+def trace_from_dict(data: Dict[str, Any]) -> WorkloadTrace:
+    """Rebuild a workload trace from :func:`trace_to_dict` output."""
+    if not isinstance(data, dict):
+        raise TraceFormatError("trace document must be a JSON object")
+    if data.get("format") != "repro-netcrafter-trace":
+        raise TraceFormatError("not a repro trace document")
+    if data.get("version") != FORMAT_VERSION:
+        raise TraceFormatError(
+            f"unsupported trace version {data.get('version')!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    try:
+        kernels = []
+        for kernel_doc in data["kernels"]:
+            ctas = []
+            for cta_doc in kernel_doc["ctas"]:
+                wavefronts = [
+                    WavefrontTrace(
+                        accesses=[
+                            MemAccess(
+                                vaddr=int(vaddr, 16),
+                                nbytes=int(nbytes),
+                                is_write=bool(is_write),
+                            )
+                            for vaddr, nbytes, is_write in wf_doc
+                        ]
+                    )
+                    for wf_doc in cta_doc["wavefronts"]
+                ]
+                ctas.append(CtaTrace(gpu=int(cta_doc["gpu"]), wavefronts=wavefronts))
+            page_owner = {
+                int(vpn, 16): int(owner)
+                for vpn, owner in kernel_doc["page_owner"].items()
+            }
+            kernels.append(
+                KernelTrace(
+                    name=str(kernel_doc["name"]), ctas=ctas, page_owner=page_owner
+                )
+            )
+        trace = WorkloadTrace(name=str(data["name"]), kernels=kernels)
+    except TraceFormatError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TraceFormatError(f"malformed trace document: {exc}") from exc
+    trace.validate()
+    return trace
+
+
+def save_trace(trace: WorkloadTrace, path: Union[str, Path]) -> None:
+    """Write a trace to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(trace_to_dict(trace)))
+
+
+def load_trace(path: Union[str, Path]) -> WorkloadTrace:
+    """Load and validate a trace previously written by :func:`save_trace`."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(f"invalid JSON in {path}: {exc}") from exc
+    return trace_from_dict(data)

@@ -1,0 +1,482 @@
+"""The twelve non-DNN workloads of Table 3, as access-pattern models.
+
+Each class reproduces the benchmark's memory behaviour as seen by the
+network: the mix of streaming (adjacent), gather, scatter, random and
+partitioned accesses, the per-request bytes-needed distribution
+(Figure 7), and LASP's CTA/page placement.  Sizes follow the
+:class:`~repro.workloads.base.Scale` knobs rather than the original
+problem sizes (DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.gpu.cta import KernelTrace, LINE_BYTES, MemAccess
+from repro.workloads.base import Array, Scale, WorkloadGenerator, aligned_access
+
+
+def _sequential_offset(
+    array: Array, gpu: int, cta: int, wf: int, i: int, scale: Scale
+) -> int:
+    """Disjoint, streaming line offsets within the GPU's own block."""
+    block = array.gpu_block_range(gpu)
+    lines_in_block = max(1, len(block) // LINE_BYTES)
+    slot = (cta * scale.wavefronts_per_cta + wf) * scale.accesses_per_wavefront + i
+    return block.start + (slot % lines_in_block) * LINE_BYTES
+
+
+class Gups(WorkloadGenerator):
+    """Multi-threaded random 8-byte read-modify-write over a huge table."""
+
+    name = "gups"
+    pattern = "random"
+    suite = "MGPUSim"
+
+    def _kernels(self, n_gpus: int, scale: Scale, rng: random.Random) -> List[KernelTrace]:
+        table = Array(0, scale.pages_per_gpu * n_gpus, n_gpus, "interleave")
+
+        def wavefront(gpu: int, cta: int, wf: int) -> List[MemAccess]:
+            accesses: List[MemAccess] = []
+            for _ in range(max(1, scale.accesses_per_wavefront // 2)):
+                offset = (rng.randrange(table.size_bytes) // 8) * 8
+                accesses.append(aligned_access(table, offset, 8))
+                accesses.append(aligned_access(table, offset, 8, is_write=True))
+            return accesses
+
+        return [self._make_kernel("gups_update", n_gpus, scale, [table], wavefront)]
+
+
+class MatrixTranspose(WorkloadGenerator):
+    """Column-wise gather reads, row-wise streaming writes (AMDAPPSDK MT)."""
+
+    name = "mt"
+    pattern = "gather"
+    suite = "AMDAPPSDK"
+
+    def _kernels(self, n_gpus: int, scale: Scale, rng: random.Random) -> List[KernelTrace]:
+        src = Array(0, scale.pages_per_gpu * n_gpus, n_gpus, "block")
+        dst = Array(1, scale.pages_per_gpu * n_gpus, n_gpus, "block")
+
+        def wavefront(gpu: int, cta: int, wf: int) -> List[MemAccess]:
+            # Tiled transpose: each gathered source line is read as two
+            # 16 B tile rows separated in time by the destination writes
+            # of the first tile — intra-line reuse that conventional line
+            # fills exploit and sectored/trimmed fills forfeit (Fig 16).
+            n = scale.accesses_per_wavefront
+            n_lines = max(1, n // 4)
+            bases = [
+                (rng.randrange(src.size_bytes) // LINE_BYTES) * LINE_BYTES
+                for _ in range(n_lines)
+            ]
+            accesses: List[MemAccess] = [
+                aligned_access(src, base, 16) for base in bases
+            ]
+            for i in range(max(0, n - 2 * n_lines)):
+                offset = _sequential_offset(dst, gpu, cta, wf, i, scale)
+                accesses.append(
+                    MemAccess(vaddr=dst.addr(offset), nbytes=LINE_BYTES, is_write=True)
+                )
+            accesses.extend(aligned_access(src, base + 16, 16) for base in bases)
+            return accesses
+
+        return [self._make_kernel("mt_transpose", n_gpus, scale, [src, dst], wavefront)]
+
+
+class MaximalIndependentSet(WorkloadGenerator):
+    """Pannotia MIS: random small reads over an interleaved graph."""
+
+    name = "mis"
+    pattern = "random"
+    suite = "Pannotia"
+
+    def _kernels(self, n_gpus: int, scale: Scale, rng: random.Random) -> List[KernelTrace]:
+        nodes = Array(0, scale.pages_per_gpu * n_gpus, n_gpus, "interleave")
+        adjacency = Array(1, scale.pages_per_gpu * n_gpus, n_gpus, "block")
+
+        def wavefront(gpu: int, cta: int, wf: int) -> List[MemAccess]:
+            accesses: List[MemAccess] = []
+            for i in range(scale.accesses_per_wavefront):
+                roll = rng.random()
+                if roll < 0.6:
+                    # neighbour status probe: 8 B at a random node
+                    offset = (rng.randrange(nodes.size_bytes) // 8) * 8
+                    accesses.append(aligned_access(nodes, offset, 8))
+                elif roll < 0.9:
+                    # local adjacency-list scan
+                    offset = _sequential_offset(adjacency, gpu, cta, wf, i, scale)
+                    accesses.append(MemAccess(vaddr=adjacency.addr(offset), nbytes=LINE_BYTES))
+                else:
+                    # mark node removed
+                    offset = (rng.randrange(nodes.size_bytes) // 8) * 8
+                    accesses.append(aligned_access(nodes, offset, 8, is_write=True))
+            return accesses
+
+        return [
+            self._make_kernel("mis_select", n_gpus, scale, [nodes, adjacency], wavefront)
+        ]
+
+
+class Im2Col(WorkloadGenerator):
+    """DNNMark im2col: streaming adjacent reads/writes, high locality."""
+
+    name = "im2col"
+    pattern = "adjacent"
+    suite = "DNNMark"
+
+    def _kernels(self, n_gpus: int, scale: Scale, rng: random.Random) -> List[KernelTrace]:
+        image = Array(0, scale.pages_per_gpu * n_gpus, n_gpus, "block")
+        columns = Array(1, scale.pages_per_gpu * n_gpus, n_gpus, "block")
+
+        def wavefront(gpu: int, cta: int, wf: int) -> List[MemAccess]:
+            accesses: List[MemAccess] = []
+            neighbor = (gpu + 1) % n_gpus
+            for i in range(scale.accesses_per_wavefront):
+                if i % 2 == 0:
+                    # halo rows occasionally come from the neighbouring block
+                    source_gpu = neighbor if rng.random() < 0.15 else gpu
+                    offset = _sequential_offset(image, source_gpu, cta, wf, i, scale)
+                    accesses.append(MemAccess(vaddr=image.addr(offset), nbytes=LINE_BYTES))
+                else:
+                    offset = _sequential_offset(columns, gpu, cta, wf, i, scale)
+                    accesses.append(
+                        MemAccess(vaddr=columns.addr(offset), nbytes=LINE_BYTES, is_write=True)
+                    )
+            return accesses
+
+        return [self._make_kernel("im2col", n_gpus, scale, [image, columns], wavefront)]
+
+
+class Atax(WorkloadGenerator):
+    """Polybench ATAX: local row streaming, scattered vector updates."""
+
+    name = "atax"
+    pattern = "scatter"
+    suite = "Polybench"
+
+    def _kernels(self, n_gpus: int, scale: Scale, rng: random.Random) -> List[KernelTrace]:
+        matrix = Array(0, scale.pages_per_gpu * n_gpus, n_gpus, "block")
+        x_vec = Array(1, n_gpus * 2, n_gpus, "interleave")
+        y_vec = Array(2, n_gpus * 2, n_gpus, "interleave")
+
+        def wavefront(gpu: int, cta: int, wf: int) -> List[MemAccess]:
+            accesses: List[MemAccess] = []
+            for i in range(scale.accesses_per_wavefront):
+                roll = i % 3
+                if roll == 0:
+                    offset = _sequential_offset(matrix, gpu, cta, wf, i, scale)
+                    accesses.append(MemAccess(vaddr=matrix.addr(offset), nbytes=LINE_BYTES))
+                elif roll == 1:
+                    offset = (rng.randrange(x_vec.size_bytes) // 8) * 8
+                    accesses.append(aligned_access(x_vec, offset, 8))
+                else:
+                    offset = (rng.randrange(y_vec.size_bytes) // 8) * 8
+                    accesses.append(aligned_access(y_vec, offset, 8, is_write=True))
+            return accesses
+
+        return [
+            self._make_kernel("atax", n_gpus, scale, [matrix, x_vec, y_vec], wavefront)
+        ]
+
+
+class BlackScholes(WorkloadGenerator):
+    """AMDAPPSDK BlackScholes: perfectly partitioned streaming."""
+
+    name = "bs"
+    pattern = "partitioned"
+    suite = "AMDAPPSDK"
+
+    def _kernels(self, n_gpus: int, scale: Scale, rng: random.Random) -> List[KernelTrace]:
+        options = Array(0, scale.pages_per_gpu * n_gpus, n_gpus, "block")
+        prices = Array(1, scale.pages_per_gpu * n_gpus, n_gpus, "block")
+
+        def wavefront(gpu: int, cta: int, wf: int) -> List[MemAccess]:
+            accesses: List[MemAccess] = []
+            for i in range(scale.accesses_per_wavefront):
+                if i % 2 == 0:
+                    offset = _sequential_offset(options, gpu, cta, wf, i, scale)
+                    accesses.append(MemAccess(vaddr=options.addr(offset), nbytes=LINE_BYTES))
+                else:
+                    offset = _sequential_offset(prices, gpu, cta, wf, i, scale)
+                    accesses.append(
+                        MemAccess(vaddr=prices.addr(offset), nbytes=LINE_BYTES, is_write=True)
+                    )
+            return accesses
+
+        return [
+            self._make_kernel("blackscholes", n_gpus, scale, [options, prices], wavefront)
+        ]
+
+
+class Mm2(WorkloadGenerator):
+    """Polybench 2MM: two chained GEMMs with column gathers."""
+
+    name = "mm2"
+    pattern = "gather"
+    suite = "Polybench"
+
+    def _gemm_kernel(
+        self,
+        kernel_name: str,
+        n_gpus: int,
+        scale: Scale,
+        rng: random.Random,
+        array_base: int,
+        gather_bytes: int = 16,
+    ) -> KernelTrace:
+        a_mat = Array(array_base, scale.pages_per_gpu * n_gpus, n_gpus, "block")
+        b_mat = Array(array_base + 1, scale.pages_per_gpu * n_gpus, n_gpus, "interleave")
+        c_mat = Array(array_base + 2, scale.pages_per_gpu * n_gpus, n_gpus, "block")
+
+        def wavefront(gpu: int, cta: int, wf: int) -> List[MemAccess]:
+            # The inner GEMM loop revisits each gathered B line for its
+            # next sub-tile (spatial intra-line reuse): sweep chunk 0 of
+            # every line, do the local streaming work, then sweep chunk 1.
+            # This is what conventional line fills exploit and sectored /
+            # trimmed fills forfeit (Figures 16 and 17).
+            n = scale.accesses_per_wavefront
+            n_lines = max(1, n // 4)
+            bases = [
+                (rng.randrange(b_mat.size_bytes) // LINE_BYTES) * LINE_BYTES
+                for _ in range(n_lines)
+            ]
+            accesses: List[MemAccess] = [
+                aligned_access(b_mat, base, gather_bytes) for base in bases
+            ]
+            for i in range(max(0, n - 2 * n_lines)):
+                if i % 2 == 0:
+                    offset = _sequential_offset(a_mat, gpu, cta, wf, i, scale)
+                    accesses.append(MemAccess(vaddr=a_mat.addr(offset), nbytes=LINE_BYTES))
+                else:
+                    offset = _sequential_offset(c_mat, gpu, cta, wf, i, scale)
+                    accesses.append(
+                        MemAccess(vaddr=c_mat.addr(offset), nbytes=LINE_BYTES, is_write=True)
+                    )
+            accesses.extend(
+                aligned_access(b_mat, base + gather_bytes, gather_bytes)
+                for base in bases
+            )
+            return accesses
+
+        return self._make_kernel(
+            kernel_name, n_gpus, scale, [a_mat, b_mat, c_mat], wavefront
+        )
+
+    def _kernels(self, n_gpus: int, scale: Scale, rng: random.Random) -> List[KernelTrace]:
+        return [
+            self._gemm_kernel("mm2_first", n_gpus, scale, rng, array_base=0),
+            self._gemm_kernel("mm2_second", n_gpus, scale, rng, array_base=3),
+        ]
+
+
+class Mvt(WorkloadGenerator):
+    """Polybench MVT: A*y1 gather then A^T*y2 scatter."""
+
+    name = "mvt"
+    pattern = "scatter,gather"
+    suite = "Polybench"
+
+    def _kernels(self, n_gpus: int, scale: Scale, rng: random.Random) -> List[KernelTrace]:
+        matrix = Array(0, scale.pages_per_gpu * n_gpus, n_gpus, "block")
+        vec_in = Array(1, n_gpus * 2, n_gpus, "interleave")
+        vec_out = Array(2, n_gpus * 2, n_gpus, "interleave")
+
+        def gather_wavefront(gpu: int, cta: int, wf: int) -> List[MemAccess]:
+            accesses: List[MemAccess] = []
+            for i in range(scale.accesses_per_wavefront):
+                if i % 2 == 0:
+                    offset = _sequential_offset(matrix, gpu, cta, wf, i, scale)
+                    accesses.append(MemAccess(vaddr=matrix.addr(offset), nbytes=LINE_BYTES))
+                else:
+                    offset = (rng.randrange(vec_in.size_bytes) // 8) * 8
+                    accesses.append(aligned_access(vec_in, offset, 8))
+            return accesses
+
+        def scatter_wavefront(gpu: int, cta: int, wf: int) -> List[MemAccess]:
+            accesses: List[MemAccess] = []
+            for i in range(scale.accesses_per_wavefront):
+                if i % 2 == 0:
+                    offset = _sequential_offset(matrix, gpu, cta, wf, i, scale)
+                    accesses.append(MemAccess(vaddr=matrix.addr(offset), nbytes=LINE_BYTES))
+                else:
+                    offset = (rng.randrange(vec_out.size_bytes) // 8) * 8
+                    accesses.append(aligned_access(vec_out, offset, 8, is_write=True))
+            return accesses
+
+        arrays = [matrix, vec_in, vec_out]
+        return [
+            self._make_kernel("mvt_gather", n_gpus, scale, arrays, gather_wavefront),
+            self._make_kernel("mvt_scatter", n_gpus, scale, arrays, scatter_wavefront),
+        ]
+
+
+class Spmv(WorkloadGenerator):
+    """SHOC SpMV: local CSR streaming plus random x-vector gathers."""
+
+    name = "spmv"
+    pattern = "random"
+    suite = "SHOC"
+
+    def _kernels(self, n_gpus: int, scale: Scale, rng: random.Random) -> List[KernelTrace]:
+        csr = Array(0, scale.pages_per_gpu * n_gpus, n_gpus, "block")
+        x_vec = Array(1, scale.pages_per_gpu * n_gpus, n_gpus, "interleave")
+        y_vec = Array(2, n_gpus * 2, n_gpus, "block")
+
+        def wavefront(gpu: int, cta: int, wf: int) -> List[MemAccess]:
+            accesses: List[MemAccess] = []
+            for i in range(scale.accesses_per_wavefront):
+                roll = i % 4
+                if roll == 0:
+                    offset = _sequential_offset(csr, gpu, cta, wf, i, scale)
+                    accesses.append(MemAccess(vaddr=csr.addr(offset), nbytes=LINE_BYTES))
+                elif roll == 3:
+                    offset = _sequential_offset(y_vec, gpu, cta, wf, i, scale)
+                    accesses.append(
+                        MemAccess(vaddr=y_vec.addr(offset), nbytes=8, is_write=True)
+                    )
+                else:
+                    # sparse x[col] gathers dominate the network traffic
+                    offset = (rng.randrange(x_vec.size_bytes) // 8) * 8
+                    accesses.append(aligned_access(x_vec, offset, 8))
+            return accesses
+
+        return [
+            self._make_kernel("spmv", n_gpus, scale, [csr, x_vec, y_vec], wavefront)
+        ]
+
+
+class PageRank(WorkloadGenerator):
+    """Hetero-Mark PR: random rank-vector probes over two iterations."""
+
+    name = "pr"
+    pattern = "random"
+    suite = "Hetero-Mark"
+
+    def _kernels(self, n_gpus: int, scale: Scale, rng: random.Random) -> List[KernelTrace]:
+        links = Array(0, scale.pages_per_gpu * n_gpus, n_gpus, "block")
+        ranks = Array(1, scale.pages_per_gpu * n_gpus, n_gpus, "interleave")
+        arrays = [links, ranks]
+
+        def iteration(kernel_name: str) -> KernelTrace:
+            def wavefront(gpu: int, cta: int, wf: int) -> List[MemAccess]:
+                # PR walks adjacency lists in 32 B chunks, coming back for
+                # the second half of each cache line after probing ranks:
+                # spatial reuse that a 16 B sector cache forfeits (the
+                # paper notes PR regresses with 16 B sectors, Fig 16).
+                n = scale.accesses_per_wavefront
+                n_adj = max(1, n // 4)
+                bases = [
+                    (rng.randrange(links.size_bytes) // LINE_BYTES) * LINE_BYTES
+                    for _ in range(n_adj)
+                ]
+                accesses: List[MemAccess] = [
+                    aligned_access(links, base, 32) for base in bases
+                ]
+                for _i in range(max(0, n - 2 * n_adj)):
+                    if rng.random() < 0.25:
+                        offset = (rng.randrange(ranks.size_bytes) // 8) * 8
+                        accesses.append(aligned_access(ranks, offset, 8, is_write=True))
+                    else:
+                        offset = (rng.randrange(ranks.size_bytes) // 8) * 8
+                        accesses.append(aligned_access(ranks, offset, 8))
+                accesses.extend(
+                    aligned_access(links, base + 32, 32) for base in bases
+                )
+                return accesses
+
+            return self._make_kernel(kernel_name, n_gpus, scale, arrays, wavefront)
+
+        return [iteration("pr_iter0"), iteration("pr_iter1")]
+
+
+class ShocReduction(WorkloadGenerator):
+    """SHOC reduction: local streaming then a cross-GPU gather of partials."""
+
+    name = "sr"
+    pattern = "gather"
+    suite = "SHOC"
+
+    def _kernels(self, n_gpus: int, scale: Scale, rng: random.Random) -> List[KernelTrace]:
+        data = Array(0, scale.pages_per_gpu * n_gpus, n_gpus, "block")
+        partials = Array(1, n_gpus, n_gpus, "interleave")
+        arrays = [data, partials]
+
+        def reduce_wavefront(gpu: int, cta: int, wf: int) -> List[MemAccess]:
+            accesses: List[MemAccess] = []
+            for i in range(scale.accesses_per_wavefront):
+                if i == scale.accesses_per_wavefront - 1:
+                    offset = (rng.randrange(partials.size_bytes) // 8) * 8
+                    accesses.append(aligned_access(partials, offset, 8, is_write=True))
+                elif i % 3 == 2:
+                    # gather partial sums produced by other GPUs
+                    offset = (rng.randrange(partials.size_bytes) // 8) * 8
+                    accesses.append(aligned_access(partials, offset, 8))
+                else:
+                    offset = _sequential_offset(data, gpu, cta, wf, i, scale)
+                    accesses.append(MemAccess(vaddr=data.addr(offset), nbytes=LINE_BYTES))
+            return accesses
+
+        return [self._make_kernel("sr_reduce", n_gpus, scale, arrays, reduce_wavefront)]
+
+
+class Syr2k(WorkloadGenerator):
+    """Polybench SYR2K: adjacent rank-2k update with modest remote reads."""
+
+    name = "syr2k"
+    pattern = "adjacent"
+    suite = "Polybench"
+
+    def _kernels(self, n_gpus: int, scale: Scale, rng: random.Random) -> List[KernelTrace]:
+        a_mat = Array(0, scale.pages_per_gpu * n_gpus, n_gpus, "block")
+        b_mat = Array(1, scale.pages_per_gpu * n_gpus, n_gpus, "block")
+        c_mat = Array(2, scale.pages_per_gpu * n_gpus, n_gpus, "block")
+
+        def wavefront(gpu: int, cta: int, wf: int) -> List[MemAccess]:
+            accesses: List[MemAccess] = []
+            for i in range(scale.accesses_per_wavefront):
+                roll = i % 4
+                if roll == 0:
+                    offset = _sequential_offset(a_mat, gpu, cta, wf, i, scale)
+                    accesses.append(MemAccess(vaddr=a_mat.addr(offset), nbytes=LINE_BYTES))
+                elif roll == 1:
+                    # the transposed operand occasionally crosses blocks
+                    source_gpu = rng.randrange(n_gpus) if rng.random() < 0.3 else gpu
+                    offset = _sequential_offset(b_mat, source_gpu, cta, wf, i, scale)
+                    accesses.append(MemAccess(vaddr=b_mat.addr(offset), nbytes=LINE_BYTES))
+                elif roll == 2:
+                    offset = _sequential_offset(c_mat, gpu, cta, wf, i, scale)
+                    accesses.append(MemAccess(vaddr=c_mat.addr(offset), nbytes=LINE_BYTES))
+                else:
+                    offset = _sequential_offset(c_mat, gpu, cta, wf, i, scale)
+                    accesses.append(
+                        MemAccess(vaddr=c_mat.addr(offset), nbytes=LINE_BYTES, is_write=True)
+                    )
+            return accesses
+
+        return [
+            self._make_kernel("syr2k", n_gpus, scale, [a_mat, b_mat, c_mat], wavefront)
+        ]
+
+
+class LargeGemm(Mm2):
+    """Large GEMM kernels for the Figure 17 trim-granularity study."""
+
+    name = "gemm_large"
+    pattern = "gather"
+    suite = "synthetic"
+
+    def __init__(self, gather_bytes: int = 8) -> None:
+        self.gather_bytes = gather_bytes
+
+    def _kernels(self, n_gpus: int, scale: Scale, rng: random.Random) -> List[KernelTrace]:
+        return [
+            self._gemm_kernel(
+                "gemm_large",
+                n_gpus,
+                scale,
+                rng,
+                array_base=0,
+                gather_bytes=self.gather_bytes,
+            )
+        ]

@@ -1,0 +1,235 @@
+"""Tests for the Cluster Queue's partitioning and scheduling."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.cluster_queue import (
+    ClusterQueue,
+    FIFO_PARTITION,
+    PRIORITY_DATA_PARTITION,
+    PTW_PARTITION,
+)
+from repro.network.flit import segment_packet
+from repro.network.packet import Packet, PacketType
+
+
+def _flit(ptype=PacketType.READ_REQ, index=0):
+    return segment_packet(Packet(ptype=ptype, src_gpu=0, dst_gpu=2), 16)[index]
+
+
+def _queue(capacity=64, by_type=True, ptw=False, scheduler="age"):
+    return ClusterQueue(
+        capacity=capacity, partition_by_type=by_type, separate_ptw=ptw,
+        scheduler=scheduler,
+    )
+
+
+def test_invalid_capacity():
+    with pytest.raises(ValueError):
+        _queue(capacity=0)
+
+
+def test_invalid_scheduler():
+    with pytest.raises(ValueError):
+        _queue(scheduler="priority")
+
+
+def test_fifo_partition_when_untyped():
+    q = _queue(by_type=False)
+    q.push(_flit(PacketType.READ_REQ))
+    q.push(_flit(PacketType.WRITE_RSP))
+    parts = q.partitions()
+    assert len(parts) == 1
+    assert parts[0].key == FIFO_PARTITION
+
+
+def test_type_partitions():
+    q = _queue(by_type=True)
+    q.push(_flit(PacketType.READ_REQ))
+    q.push(_flit(PacketType.WRITE_RSP))
+    keys = {p.key for p in q.partitions()}
+    assert keys == {"read_req", "write_rsp"}
+
+
+def test_ptw_partition_split_out():
+    q = _queue(by_type=True, ptw=True)
+    q.push(_flit(PacketType.PT_REQ))
+    q.push(_flit(PacketType.PT_RSP))
+    q.push(_flit(PacketType.READ_REQ))
+    keys = {p.key for p in q.partitions()}
+    assert PTW_PARTITION in keys
+    assert q.get_partition(PTW_PARTITION) is not None
+    assert len(q.get_partition(PTW_PARTITION)) == 2
+
+
+def test_ptw_partition_even_when_untyped():
+    """Figure 8 uses priority over a FIFO baseline: PTW still separates."""
+    q = _queue(by_type=False, ptw=True)
+    q.push(_flit(PacketType.PT_REQ))
+    q.push(_flit(PacketType.READ_REQ))
+    keys = {p.key for p in q.partitions()}
+    assert keys == {PTW_PARTITION, FIFO_PARTITION}
+
+
+def test_priority_data_partition():
+    q = _queue(by_type=False)
+    q.push(_flit(), priority_data=True)
+    assert q.partitions()[0].key == PRIORITY_DATA_PARTITION
+
+
+def test_capacity_rejects_and_counts():
+    q = _queue(capacity=2)
+    assert q.push(_flit())
+    assert q.push(_flit())
+    assert not q.push(_flit())
+    assert q.rejected == 1
+    assert q.free_entries == 0
+
+
+def test_age_selection_serves_oldest_across_partitions():
+    q = _queue(scheduler="age")
+    first = _flit(PacketType.WRITE_RSP)
+    second = _flit(PacketType.READ_REQ)
+    q.push(first)
+    q.push(second)
+    part, _ = q.select_partition(now=0)
+    assert part.flits[0] is first
+
+
+def test_age_selection_is_fifo_equivalent_in_single_partition():
+    q = _queue(by_type=False, scheduler="age")
+    flits = [_flit() for _ in range(5)]
+    for f in flits:
+        q.push(f)
+    popped = []
+    while not q.is_empty():
+        part, _ = q.select_partition(now=0)
+        popped.append(q.pop_from(part))
+    assert popped == flits
+
+
+def test_rr_selection_rotates():
+    q = _queue(scheduler="rr")
+    for _ in range(2):
+        q.push(_flit(PacketType.READ_REQ))
+        q.push(_flit(PacketType.WRITE_RSP))
+    served = []
+    while not q.is_empty():
+        part, _ = q.select_partition(now=0)
+        served.append(part.key)
+        q.pop_from(part)
+    assert served == ["read_req", "write_rsp", "read_req", "write_rsp"]
+
+
+def test_prefer_overrides_order():
+    q = _queue(ptw=True)
+    q.push(_flit(PacketType.READ_REQ))
+    q.push(_flit(PacketType.PT_REQ))
+    part, _ = q.select_partition(now=0, prefer=PTW_PARTITION)
+    assert part.key == PTW_PARTITION
+
+
+def test_prefer_ignored_when_empty():
+    q = _queue(ptw=True)
+    q.push(_flit(PacketType.READ_REQ))
+    part, _ = q.select_partition(now=0, prefer=PTW_PARTITION)
+    assert part.key == "read_req"
+
+
+def test_blocked_partition_skipped_until_expiry():
+    q = _queue()
+    q.push(_flit(PacketType.READ_REQ))
+    part = q.partitions()[0]
+    part.blocked_until = 100
+    chosen, earliest = q.select_partition(now=50)
+    assert chosen is None and earliest == 100
+    chosen, _ = q.select_partition(now=100)
+    assert chosen is part
+
+
+def test_blocked_partition_earliest_reported():
+    q = _queue()
+    q.push(_flit(PacketType.READ_REQ))
+    q.push(_flit(PacketType.WRITE_RSP))
+    a, b = q.partitions()
+    a.blocked_until, b.blocked_until = 80, 40
+    _, earliest = q.select_partition(now=0)
+    assert earliest == 40
+
+
+def test_empty_queue_selects_nothing():
+    q = _queue()
+    assert q.select_partition(now=0) == (None, None)
+
+
+def test_remove_flit():
+    q = _queue()
+    keep, drop = _flit(), _flit()
+    q.push(keep)
+    q.push(drop)
+    assert q.remove_flit(drop)
+    assert not q.remove_flit(drop)
+    assert len(q) == 1
+
+
+def test_push_front_restores_head():
+    q = _queue()
+    a, b = _flit(), _flit()
+    q.push(a)
+    q.push(b)
+    part = q.partitions()[0]
+    head = q.pop_from(part)
+    q.push_front(head, part.key)
+    assert part.flits[0] is a
+    assert len(q) == 2
+
+
+def test_stitch_candidates_cross_partitions_bounded_depth():
+    q = _queue()
+    parent = segment_packet(
+        Packet(ptype=PacketType.READ_RSP, src_gpu=0, dst_gpu=2), 16
+    )[-1]
+    for _ in range(12):
+        q.push(_flit(PacketType.READ_REQ))
+    q.push(_flit(PacketType.WRITE_RSP))
+    seen = list(q.stitch_candidates(parent, search_depth=8))
+    # 8 of the read_reqs (depth bound) + the write_rsp
+    assert len(seen) == 9
+
+
+def test_stitch_candidates_skip_parent():
+    q = _queue()
+    parent = _flit(PacketType.READ_REQ)
+    q.push(parent)
+    assert list(q.stitch_candidates(parent, 8)) == []
+
+
+def test_blocked_partitions_listing():
+    q = _queue()
+    q.push(_flit(PacketType.READ_REQ))
+    part = q.partitions()[0]
+    assert q.blocked_partitions(now=0) == []
+    part.blocked_until = 10
+    assert q.blocked_partitions(now=5) == [part]
+    assert q.blocked_partitions(now=10) == []
+
+
+@given(
+    kinds=st.lists(st.sampled_from(list(PacketType)), min_size=1, max_size=50),
+    scheduler=st.sampled_from(["age", "rr"]),
+)
+def test_every_pushed_flit_is_eventually_served(kinds, scheduler):
+    """Property: draining via select/pop returns exactly what was pushed."""
+    q = ClusterQueue(capacity=128, partition_by_type=True, separate_ptw=True,
+                     scheduler=scheduler)
+    pushed = []
+    for kind in kinds:
+        flit = _flit(kind)
+        assert q.push(flit)
+        pushed.append(flit)
+    drained = []
+    while not q.is_empty():
+        part, earliest = q.select_partition(now=0)
+        assert part is not None
+        drained.append(q.pop_from(part))
+    assert sorted(f.fid for f in drained) == sorted(f.fid for f in pushed)

@@ -1,0 +1,258 @@
+"""End-to-end tests of the NetCrafter egress controller."""
+
+import pytest
+
+from repro.core.config import NetCrafterConfig, PriorityMode
+from repro.core.controller import NetCrafterController, PassthroughController
+from repro.network.link import FlitLink
+from repro.network.packet import Packet, PacketType
+from repro.network.switch import ReassemblyBuffer
+from repro.sim.engine import Engine
+
+
+def _setup(config, bandwidth=16.0, latency=0, capacity=None):
+    eng = Engine()
+    flits = []
+    link = FlitLink(eng, "link", bandwidth, latency, sink=flits.append)
+    ctrl = NetCrafterController(
+        eng, "ctrl", link, 16, config, queue_capacity=capacity
+    )
+    return eng, ctrl, link, flits
+
+
+def _pkt(ptype=PacketType.READ_RSP, **kwargs):
+    return Packet(ptype=ptype, src_gpu=0, dst_gpu=2, **kwargs)
+
+
+class TestBaselineEgress:
+    def test_passthrough_sends_all_flits_fifo(self):
+        eng, ctrl, link, flits = _setup(NetCrafterConfig.baseline())
+        pkts = [_pkt(PacketType.READ_REQ) for _ in range(3)]
+        for p in pkts:
+            ctrl.accept_packet(p)
+        eng.run()
+        assert [f.packet.pid for f in flits] == [p.pid for p in pkts]
+        assert ctrl.stats.flits_sent == 3
+
+    def test_passthrough_controller_class(self):
+        eng = Engine()
+        flits = []
+        link = FlitLink(eng, "l", 16.0, 0, flits.append)
+        ctrl = PassthroughController(eng, "c", link, 16)
+        ctrl.accept_packet(_pkt())
+        eng.run()
+        assert len(flits) == 5
+        assert ctrl.stats.flits_absorbed == 0
+
+    def test_multi_packet_flit_accounting(self):
+        eng, ctrl, link, flits = _setup(NetCrafterConfig.baseline())
+        ctrl.accept_packet(_pkt(PacketType.READ_RSP))  # 5 flits
+        ctrl.accept_packet(_pkt(PacketType.WRITE_RSP))  # 1 flit
+        eng.run()
+        assert ctrl.stats.flits_entered == 6
+        assert ctrl.stats.flits_sent == 6
+
+    def test_occupancy_histogram_records_entry_sizes(self):
+        eng, ctrl, link, flits = _setup(NetCrafterConfig.baseline())
+        ctrl.accept_packet(_pkt(PacketType.READ_RSP))
+        eng.run()
+        assert ctrl.stats.occupancy[16] == 4
+        assert ctrl.stats.occupancy[4] == 1
+        dist = ctrl.stats.padded_fraction_distribution(16)
+        assert dist[0.0] == 4 and dist[0.75] == 1
+
+    def test_ptw_vs_data_accounting(self):
+        eng, ctrl, link, flits = _setup(NetCrafterConfig.baseline())
+        ctrl.accept_packet(_pkt(PacketType.PT_REQ))
+        ctrl.accept_packet(_pkt(PacketType.READ_REQ))
+        eng.run()
+        assert ctrl.stats.ptw_flits == 1
+        assert ctrl.stats.data_flits == 1
+        assert ctrl.stats.ptw_bytes == 12
+
+
+class TestStitching:
+    def test_tail_absorbs_read_request(self):
+        cfg = NetCrafterConfig.stitching_only()
+        eng, ctrl, link, flits = _setup(cfg)
+        ctrl.accept_packet(_pkt(PacketType.READ_RSP))
+        ctrl.accept_packet(_pkt(PacketType.READ_REQ))
+        eng.run()
+        # 5 rsp flits + 1 req flit = 6 entered; req rides in the rsp tail
+        assert ctrl.stats.flits_entered == 6
+        assert ctrl.stats.flits_sent == 5
+        assert ctrl.stats.flits_absorbed == 1
+        assert ctrl.stitch_rate() == pytest.approx(1 / 6)
+
+    def test_unstitched_when_nothing_fits(self):
+        cfg = NetCrafterConfig.stitching_only()
+        eng, ctrl, link, flits = _setup(cfg)
+        ctrl.accept_packet(_pkt(PacketType.READ_REQ))
+        ctrl.accept_packet(_pkt(PacketType.READ_REQ))  # 12 > 4 empty
+        eng.run()
+        assert ctrl.stats.flits_sent == 2
+        assert ctrl.stats.flits_absorbed == 0
+
+    def test_stitched_flits_unstitch_at_receiver(self):
+        cfg = NetCrafterConfig.stitching_only()
+        eng, ctrl, link, flits = _setup(cfg)
+        rsp, req = _pkt(PacketType.READ_RSP), _pkt(PacketType.READ_REQ)
+        ctrl.accept_packet(rsp)
+        ctrl.accept_packet(req)
+        eng.run()
+        done = []
+        buf = ReassemblyBuffer(16, done.append)
+        for flit in flits:
+            buf.receive(flit)
+        assert set(done) == {rsp, req}
+
+    def test_wire_bytes_reduced_vs_baseline(self):
+        def run(cfg):
+            eng, ctrl, link, flits = _setup(cfg)
+            for _ in range(10):
+                ctrl.accept_packet(_pkt(PacketType.READ_RSP))
+                ctrl.accept_packet(_pkt(PacketType.READ_REQ))
+            eng.run()
+            return link.stats.wire_bytes
+
+        base = run(NetCrafterConfig.baseline())
+        stitched = run(NetCrafterConfig.stitching_only())
+        assert stitched < base
+
+
+class TestTrimming:
+    def test_trim_applied_at_egress(self):
+        cfg = NetCrafterConfig.trimming_only()
+        eng, ctrl, link, flits = _setup(cfg)
+        pkt = _pkt(bytes_needed=8, trim_allowed=True)
+        ctrl.accept_packet(pkt)
+        eng.run()
+        assert pkt.trimmed
+        assert ctrl.packets_trimmed == 1
+        assert ctrl.trim_bytes_saved == 48
+        assert len(flits) == 2  # 20 B -> 2 flits instead of 5
+
+    def test_trim_skipped_without_bits(self):
+        cfg = NetCrafterConfig.trimming_only()
+        eng, ctrl, link, flits = _setup(cfg)
+        ctrl.accept_packet(_pkt(bytes_needed=8, trim_allowed=False))
+        eng.run()
+        assert len(flits) == 5
+        assert ctrl.packets_trimmed == 0
+
+    def test_trim_disabled_in_baseline(self):
+        eng, ctrl, link, flits = _setup(NetCrafterConfig.baseline())
+        ctrl.accept_packet(_pkt(bytes_needed=8, trim_allowed=True))
+        eng.run()
+        assert len(flits) == 5
+
+
+class TestSequencing:
+    def test_ptw_flits_jump_the_queue(self):
+        cfg = NetCrafterConfig.sequencing_only()
+        eng, ctrl, link, flits = _setup(cfg)
+        data = [_pkt(PacketType.READ_RSP) for _ in range(3)]
+        for p in data:
+            ctrl.accept_packet(p)
+        pt = _pkt(PacketType.PT_RSP)
+        ctrl.accept_packet(pt)
+        eng.run()
+        # the PT flit must not be last even though it arrived last
+        order = [f.packet.pid for f in flits]
+        assert order.index(pt.pid) < len(order) - 1
+
+    def test_no_priority_in_baseline(self):
+        eng, ctrl, link, flits = _setup(NetCrafterConfig.baseline())
+        data = [_pkt(PacketType.READ_RSP) for _ in range(3)]
+        for p in data:
+            ctrl.accept_packet(p)
+        pt = _pkt(PacketType.PT_RSP)
+        ctrl.accept_packet(pt)
+        eng.run()
+        assert flits[-1].packet.pid == pt.pid  # strict FIFO
+
+
+class TestPooling:
+    def test_idle_link_overrides_pooling(self):
+        """Work-conserving egress: with nothing else to send, a pooled
+        flit is served instead of idling the link for the window."""
+        cfg = NetCrafterConfig.stitching_with_selective_pooling(200)
+        eng = Engine()
+        arrivals = []
+        link = FlitLink(eng, "link", 16.0, 0, sink=lambda f: arrivals.append(eng.now))
+        ctrl = NetCrafterController(eng, "ctrl", link, 16, cfg)
+        ctrl.accept_packet(_pkt(PacketType.READ_RSP))
+        eng.run()
+        assert len(arrivals) == 5
+        assert ctrl.pooling.flits_pooled == 1
+        assert ctrl.pooling.pooled_then_ejected == 1
+        assert arrivals[-1] < 32  # not delayed by the 200-cycle window
+
+    def test_pooled_flit_waits_while_link_has_other_work(self):
+        """With competing traffic the pooled partition genuinely defers:
+        its tail is served later than strict FIFO order would have."""
+        cfg = NetCrafterConfig.stitching_with_selective_pooling(64)
+        eng, ctrl, link, flits = _setup(cfg)
+        rsp = _pkt(PacketType.READ_RSP)
+        ctrl.accept_packet(rsp)
+        for _ in range(4):  # write bursts keep the link busy
+            ctrl.accept_packet(_pkt(PacketType.WRITE_REQ))
+        eng.run()
+        order = [f.packet.pid for f in flits]
+        # the pooled rsp tail was deferred behind younger write flits
+        assert order[-1] == rsp.pid or order.index(rsp.pid) > 5
+        assert ctrl.pooling.flits_pooled >= 1
+
+    def test_arrival_releases_pooled_flit_early(self):
+        cfg = NetCrafterConfig.stitching_with_selective_pooling(200)
+        eng = Engine()
+        arrivals = []
+        link = FlitLink(eng, "link", 16.0, 0, sink=lambda f: arrivals.append(eng.now))
+        ctrl = NetCrafterController(eng, "ctrl", link, 16, cfg)
+        ctrl.accept_packet(_pkt(PacketType.READ_RSP))
+        # competing stream so the pooled tail is genuinely waiting
+        for _ in range(3):
+            ctrl.accept_packet(_pkt(PacketType.WRITE_REQ))
+        eng.run(until=8)
+        ctrl.accept_packet(_pkt(PacketType.READ_REQ))
+        eng.run()
+        # the READ_REQ was stitched into the waiting rsp tail
+        assert ctrl.stats.flits_absorbed >= 1
+
+    def test_ptw_never_pooled_under_selective(self):
+        cfg = NetCrafterConfig.stitching_with_selective_pooling(1000)
+        eng, ctrl, link, flits = _setup(cfg)
+        ctrl.accept_packet(_pkt(PacketType.PT_RSP))
+        eng.run()
+        assert len(flits) == 1
+        assert eng.now < 100
+        assert ctrl.pooling.flits_pooled == 0
+
+
+class TestBackpressure:
+    def test_pending_packets_admitted_as_queue_drains(self):
+        eng, ctrl, link, flits = _setup(NetCrafterConfig.baseline(), capacity=16)
+        for _ in range(10):  # 50 flits > 16 entries
+            ctrl.accept_packet(_pkt(PacketType.READ_RSP))
+        eng.run()
+        assert len(flits) == 50
+        assert ctrl.stats.flits_sent == 50
+
+    def test_minimum_capacity_enforced(self):
+        with pytest.raises(ValueError):
+            _setup(NetCrafterConfig.baseline(), capacity=0)
+
+
+class TestDataMatchedPriority:
+    def test_tagged_data_preferred(self):
+        cfg = NetCrafterConfig(
+            priority_mode=PriorityMode.DATA_MATCHED, data_priority_fraction=1.0
+        )
+        eng, ctrl, link, flits = _setup(cfg)
+        first = _pkt(PacketType.PT_REQ)  # never tagged
+        ctrl.accept_packet(first)
+        tagged = _pkt(PacketType.READ_REQ)
+        ctrl.accept_packet(tagged)
+        eng.run()
+        assert flits[0].packet.pid in (first.pid, tagged.pid)
+        assert ctrl.sequencer.prioritized_packets == 1

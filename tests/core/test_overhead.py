@@ -1,0 +1,57 @@
+"""Tests for the Section 4.5 hardware-overhead model."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.config import NetCrafterConfig
+from repro.core.overhead import (
+    MI250X_L2_BYTES,
+    TOFINO_SRAM_BYTES,
+    controller_overhead,
+    overhead_report,
+)
+
+
+def test_paper_numbers_with_table2_config():
+    """Section 4.5: 16 KB CQ + 16 B buffer = 16.02 KB per cluster."""
+    overhead = controller_overhead(SystemConfig.table2(), NetCrafterConfig.full())
+    assert overhead.cluster_queue_bytes == 16 * 1024
+    assert overhead.stitch_buffer_bytes == 16
+    assert overhead.total_kib == pytest.approx(16.02, abs=0.01)
+
+
+def test_fraction_of_mi250x_l2():
+    """Paper: ~0.098% of the MI250X's 16 MB L2."""
+    overhead = controller_overhead(SystemConfig.table2(), NetCrafterConfig.full())
+    assert overhead.fraction_of(MI250X_L2_BYTES) == pytest.approx(0.00098, abs=0.00002)
+
+
+def test_fraction_of_tofino():
+    """Paper: ~0.024% of a Tofino-class switch's 64 MB SRAM."""
+    overhead = controller_overhead(SystemConfig.table2(), NetCrafterConfig.full())
+    assert overhead.fraction_of(TOFINO_SRAM_BYTES) == pytest.approx(0.000245, abs=0.00001)
+
+
+def test_scales_with_cq_entries_and_flit_size():
+    small = controller_overhead(
+        SystemConfig.default(),
+        NetCrafterConfig.full().with_overrides(cluster_queue_entries=256),
+    )
+    assert small.cluster_queue_bytes == 256 * 16
+    wide = controller_overhead(
+        SystemConfig.default().with_overrides(flit_size=8), NetCrafterConfig.full()
+    )
+    assert wide.cluster_queue_bytes == 1024 * 8
+    assert wide.stitch_buffer_bytes == 8
+
+
+def test_invalid_reference_rejected():
+    overhead = controller_overhead()
+    with pytest.raises(ValueError):
+        overhead.fraction_of(0)
+
+
+def test_report_renders():
+    report = overhead_report(SystemConfig.table2())
+    assert "16.02 KiB" in report
+    assert "0.098%" in report

@@ -1,0 +1,93 @@
+"""Tests for (Selective) Flit Pooling decisions."""
+
+import pytest
+
+from repro.core.pooling import (
+    MIN_POOLABLE_EMPTY_BYTES,
+    MIN_WHOLE_PACKET_BYTES,
+    PoolingGovernor,
+)
+from repro.network.flit import segment_packet
+from repro.network.packet import Packet, PacketType
+
+
+def _flit(ptype, index=-1):
+    return segment_packet(Packet(ptype=ptype, src_gpu=0, dst_gpu=2), 16)[index]
+
+
+def test_invalid_window():
+    with pytest.raises(ValueError):
+        PoolingGovernor(window=0, selective=False)
+
+
+def test_pools_padded_tail():
+    gov = PoolingGovernor(window=32, selective=False)
+    tail = _flit(PacketType.READ_RSP)  # 12 empty
+    assert gov.should_pool(tail)
+
+
+def test_never_pools_twice():
+    gov = PoolingGovernor(window=32, selective=False)
+    tail = _flit(PacketType.READ_RSP)
+    unblock = gov.pool(tail, now=100)
+    assert unblock == 132
+    assert tail.pooled
+    assert not gov.should_pool(tail)
+
+
+def test_full_flit_never_pooled():
+    gov = PoolingGovernor(window=32, selective=False)
+    body = _flit(PacketType.READ_RSP, index=0)  # 16/16 used
+    assert not gov.should_pool(body)
+
+
+def test_plain_pooling_pools_barely_padded_flits():
+    """Paper-literal plain pooling: a READ_REQ flit (4 empty bytes) pools
+    — this is exactly what makes plain Flit Pooling degrade
+    latency-sensitive traffic in Figure 18."""
+    gov = PoolingGovernor(window=32, selective=False)
+    req = _flit(PacketType.READ_REQ)
+    assert req.empty_bytes == MIN_WHOLE_PACKET_BYTES
+    assert gov.should_pool(req)
+
+
+def test_selective_skips_barely_padded_flits():
+    """Selective pooling only waits when a fragment candidate could fit."""
+    gov = PoolingGovernor(window=32, selective=True)
+    req = _flit(PacketType.READ_REQ)
+    assert req.empty_bytes < MIN_POOLABLE_EMPTY_BYTES
+    assert not gov.should_pool(req)
+
+
+def test_selective_exempts_ptw():
+    selective = PoolingGovernor(window=32, selective=True)
+    plain = PoolingGovernor(window=32, selective=False)
+    pt = _flit(PacketType.PT_RSP)
+    # PT_RSP: 12 used, 4 empty -> plain pools it, selective never does
+    assert plain.should_pool(pt)
+    assert not selective.should_pool(pt)
+    # a padded non-PTW flit pools under both
+    wr = _flit(PacketType.WRITE_RSP)
+    assert plain.should_pool(wr)
+    assert selective.should_pool(wr)
+
+
+def test_outcome_accounting_only_for_pooled_flits():
+    gov = PoolingGovernor(window=32, selective=False)
+    tail = _flit(PacketType.READ_RSP)
+    gov.record_outcome(tail, stitched=True)  # not pooled yet: ignored
+    assert gov.pooled_then_stitched == 0
+    gov.pool(tail, now=0)
+    gov.record_outcome(tail, stitched=True)
+    gov.record_outcome(_flit(PacketType.WRITE_RSP), stitched=False)  # unpooled
+    assert gov.pooled_then_stitched == 1
+    assert gov.pooled_then_ejected == 0
+    assert gov.flits_pooled == 1
+
+
+def test_pooled_then_ejected_counted():
+    gov = PoolingGovernor(window=32, selective=True)
+    tail = _flit(PacketType.READ_RSP)
+    gov.pool(tail, now=0)
+    gov.record_outcome(tail, stitched=False)
+    assert gov.pooled_then_ejected == 1

@@ -1,0 +1,50 @@
+"""Tests for the Sequencing (priority) policy."""
+
+from repro.core.cluster_queue import PRIORITY_DATA_PARTITION, PTW_PARTITION
+from repro.core.config import PriorityMode
+from repro.core.sequencing import SequencingPolicy
+from repro.network.packet import Packet, PacketType
+
+
+def _pkt(ptype=PacketType.READ_RSP):
+    return Packet(ptype=ptype, src_gpu=0, dst_gpu=2)
+
+
+def test_none_mode_has_no_preference():
+    policy = SequencingPolicy(PriorityMode.NONE)
+    assert policy.preferred_partition is None
+    assert not policy.tag_priority_data(_pkt())
+
+
+def test_ptw_mode_prefers_ptw_partition():
+    policy = SequencingPolicy(PriorityMode.PTW)
+    assert policy.preferred_partition == PTW_PARTITION
+    # PTW mode never tags data
+    assert not policy.tag_priority_data(_pkt())
+
+
+def test_data_matched_prefers_priority_partition():
+    policy = SequencingPolicy(PriorityMode.DATA_MATCHED)
+    assert policy.preferred_partition == PRIORITY_DATA_PARTITION
+
+
+def test_data_matched_tags_roughly_the_fraction():
+    policy = SequencingPolicy(PriorityMode.DATA_MATCHED, 0.13, seed=1)
+    n = 5000
+    tagged = sum(policy.tag_priority_data(_pkt()) for _ in range(n))
+    assert 0.09 * n < tagged < 0.17 * n
+    assert policy.prioritized_packets == tagged
+
+
+def test_data_matched_never_tags_ptw():
+    policy = SequencingPolicy(PriorityMode.DATA_MATCHED, 1.0, seed=1)
+    assert not policy.tag_priority_data(_pkt(PacketType.PT_REQ))
+    assert policy.tag_priority_data(_pkt(PacketType.READ_RSP))
+
+
+def test_tagging_deterministic_per_seed():
+    a = SequencingPolicy(PriorityMode.DATA_MATCHED, 0.5, seed=7)
+    b = SequencingPolicy(PriorityMode.DATA_MATCHED, 0.5, seed=7)
+    seq_a = [a.tag_priority_data(_pkt()) for _ in range(100)]
+    seq_b = [b.tag_priority_data(_pkt()) for _ in range(100)]
+    assert seq_a == seq_b

@@ -1,0 +1,89 @@
+"""Tests for the Trim Engine."""
+
+import pytest
+
+from repro.core.trimming import TrimEngine
+from repro.network.packet import Packet, PacketType
+
+
+def _rsp(bytes_needed=8, trim_allowed=True, payload=64):
+    return Packet(
+        ptype=PacketType.READ_RSP, src_gpu=0, dst_gpu=2,
+        bytes_needed=bytes_needed, trim_allowed=trim_allowed,
+        payload_bytes=payload,
+    )
+
+
+def test_trims_eligible_response():
+    engine = TrimEngine(threshold_bytes=16, sector_bytes=16)
+    pkt = _rsp(bytes_needed=8)
+    assert engine.maybe_trim(pkt)
+    assert pkt.payload_bytes == 16
+    assert pkt.original_payload_bytes == 64
+    assert pkt.trimmed
+    assert engine.packets_trimmed == 1
+    assert engine.bytes_saved == 48
+
+
+def test_trim_reduces_flit_count():
+    engine = TrimEngine()
+    pkt = _rsp(bytes_needed=8)
+    assert pkt.flit_count(16) == 5
+    engine.maybe_trim(pkt)
+    assert pkt.flit_count(16) == 2  # 4 B header + 16 B sector
+
+
+def test_above_threshold_not_trimmed():
+    engine = TrimEngine(threshold_bytes=16)
+    pkt = _rsp(bytes_needed=32)
+    assert not engine.maybe_trim(pkt)
+    assert pkt.payload_bytes == 64
+
+
+def test_trim_bits_unset_not_trimmed():
+    engine = TrimEngine()
+    pkt = _rsp(trim_allowed=False)
+    assert not engine.maybe_trim(pkt)
+
+
+def test_non_read_rsp_never_trimmed():
+    engine = TrimEngine()
+    pkt = Packet(
+        ptype=PacketType.WRITE_REQ, src_gpu=0, dst_gpu=2,
+        bytes_needed=8, trim_allowed=True,
+    )
+    assert not engine.maybe_trim(pkt)
+
+
+def test_already_small_payload_not_trimmed():
+    engine = TrimEngine(sector_bytes=16)
+    pkt = _rsp(bytes_needed=8, payload=16)
+    assert not engine.maybe_trim(pkt)
+
+
+def test_exactly_threshold_is_trimmed():
+    engine = TrimEngine(threshold_bytes=16)
+    pkt = _rsp(bytes_needed=16)
+    assert engine.maybe_trim(pkt)
+
+
+def test_smaller_granularities():
+    for g in (4, 8):
+        engine = TrimEngine(threshold_bytes=g, sector_bytes=g)
+        pkt = _rsp(bytes_needed=g)
+        assert engine.maybe_trim(pkt)
+        assert pkt.payload_bytes == g
+
+
+def test_invalid_configs_rejected():
+    with pytest.raises(ValueError):
+        TrimEngine(sector_bytes=0)
+    with pytest.raises(ValueError):
+        TrimEngine(threshold_bytes=8, sector_bytes=16)
+
+
+def test_bytes_saved_accumulates():
+    engine = TrimEngine()
+    for _ in range(3):
+        engine.maybe_trim(_rsp())
+    assert engine.bytes_saved == 3 * 48

@@ -1,0 +1,44 @@
+"""Tests for the experiment CLI."""
+
+import pytest
+
+from repro.experiments.__main__ import DRIVERS, main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig14" in out and "tables" in out
+
+
+def test_tables(capsys):
+    assert main(["tables"]) == 0
+    out = capsys.readouterr().out
+    assert "table1" in out and "Interconnect" in out
+
+
+def test_unknown_target(capsys):
+    assert main(["fig99"]) == 2
+    assert "unknown target" in capsys.readouterr().err
+
+
+def test_every_figure_registered():
+    expected = {f"fig{i}" for i in (3, 4, 5, 6, 7, 8, 9, 12, 14, 15, 16, 17, 18, 19, 20, 21, 22)}
+    assert expected <= set(DRIVERS)
+    assert {"abl_scheduler", "abl_cq_capacity"} <= set(DRIVERS)
+
+
+@pytest.mark.parametrize("target", ["fig6", "fig9"])
+def test_run_single_figure_quick(capsys, target, monkeypatch):
+    # shrink the quick scale further for test speed
+    from repro.experiments import __main__ as cli
+    from repro.experiments.runner import ExperimentScale
+    from repro.workloads.base import Scale
+
+    monkeypatch.setitem(
+        cli.SCALES,
+        "quick",
+        lambda: ExperimentScale(scale=Scale.tiny(), workloads=("gups",)),
+    )
+    assert main([target, "--scale", "quick"]) == 0
+    assert target in capsys.readouterr().out

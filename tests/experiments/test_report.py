@@ -1,0 +1,37 @@
+"""Tests for the markdown report generator."""
+
+from repro.experiments.report import figure_to_markdown, generate_report
+from repro.experiments.figures import FigureResult
+from repro.experiments.runner import ExperimentScale
+from repro.workloads.base import Scale
+
+EXP = ExperimentScale(scale=Scale.tiny(), workloads=("gups",))
+
+
+def test_figure_to_markdown_structure():
+    result = FigureResult(
+        "figX", "Demo", ["a", "b"], {"s1": [1.0, 2.0], "s2": [3.0, 4.0]},
+        notes="a note",
+    )
+    md = figure_to_markdown(result)
+    assert "### figX: Demo" in md
+    assert "| a | 1.000 | 3.000 |" in md
+    assert "*a note*" in md
+
+
+def test_generate_report_contains_all_parts(tmp_path):
+    path = tmp_path / "report.md"
+    text = generate_report(EXP, path=path, include_extensions=False)
+    assert path.read_text() == text
+    assert "# NetCrafter reproduction report" in text
+    assert "### Table 1" in text
+    assert "### fig14" in text
+    assert "### fig22" in text
+    assert "Hardware overhead" in text
+    assert "16.02 KiB" in text
+
+
+def test_generate_report_with_extensions():
+    text = generate_report(EXP, include_extensions=True)
+    assert "ext_coherence" in text
+    assert "abl_scheduler" in text

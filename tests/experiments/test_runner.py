@@ -1,0 +1,73 @@
+"""Tests for the experiment runner and its cache."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.config import NetCrafterConfig
+from repro.experiments.runner import (
+    ExperimentScale,
+    clear_cache,
+    run_one,
+    run_pair,
+)
+from repro.workloads.base import Scale
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+def test_run_one_returns_result():
+    result = run_one("gups", scale=Scale.tiny())
+    assert result.cycles > 0
+    assert result.workload == "gups"
+
+
+def test_cache_returns_same_object():
+    a = run_one("gups", scale=Scale.tiny())
+    b = run_one("gups", scale=Scale.tiny())
+    assert a is b
+
+
+def test_cache_distinguishes_configs():
+    a = run_one("gups", scale=Scale.tiny())
+    b = run_one("gups", netcrafter=NetCrafterConfig.full(), scale=Scale.tiny())
+    assert a is not b
+
+
+def test_cache_bypass():
+    a = run_one("gups", scale=Scale.tiny(), use_cache=False)
+    b = run_one("gups", scale=Scale.tiny(), use_cache=False)
+    assert a is not b
+    assert a.cycles == b.cycles  # still deterministic
+
+
+def test_run_pair():
+    base, out = run_pair("gups", NetCrafterConfig.full(), scale=Scale.tiny())
+    assert base.config_label == "baseline"
+    assert out.config_label != "baseline"
+
+
+class TestExperimentScale:
+    def test_quick_subset(self):
+        exp = ExperimentScale.quick()
+        assert "gups" in exp.workload_names()
+        assert len(exp.workload_names()) < 15
+
+    def test_standard_covers_all(self):
+        assert len(ExperimentScale.standard().workload_names()) == 15
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "quick")
+        quick = ExperimentScale.from_env()
+        assert quick.scale == Scale.small()
+        assert len(quick.workload_names()) < 15
+        monkeypatch.setenv("REPRO_SCALE", "standard")
+        assert ExperimentScale.from_env().scale == Scale.small()
+        monkeypatch.setenv("REPRO_SCALE", "full")
+        assert ExperimentScale.from_env().scale == Scale.default()
+        monkeypatch.delenv("REPRO_SCALE")
+        assert ExperimentScale.from_env().scale == Scale.small()

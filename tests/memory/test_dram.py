@@ -1,0 +1,58 @@
+"""Tests for the DRAM latency/bandwidth model."""
+
+import pytest
+
+from repro.memory.dram import Dram
+from repro.sim.engine import Engine
+
+
+def test_fixed_latency_plus_transfer():
+    eng = Engine()
+    dram = Dram(eng, "d", latency=100, bytes_per_cycle=64.0)
+    done = []
+    dram.access(64, lambda: done.append(eng.now))
+    eng.run()
+    assert done == [101]  # 100 latency + 1 transfer cycle
+
+
+def test_small_access_rounds_up_transfer():
+    eng = Engine()
+    dram = Dram(eng, "d", latency=10, bytes_per_cycle=1024.0)
+    done = []
+    dram.access(8, lambda: done.append(eng.now))
+    eng.run()
+    assert done == [11]
+
+
+def test_reads_and_writes_counted():
+    eng = Engine()
+    dram = Dram(eng, "d")
+    dram.access(64, lambda: None)
+    dram.access(64, lambda: None, is_write=True)
+    eng.run()
+    assert dram.reads == 1
+    assert dram.writes == 1
+    assert dram.bytes_transferred == 128
+
+
+def test_outstanding_cap_queues_excess():
+    eng = Engine()
+    dram = Dram(eng, "d", latency=100, bytes_per_cycle=1024.0, max_outstanding=2)
+    done = []
+    for _ in range(4):
+        dram.access(64, lambda: done.append(eng.now))
+    assert dram.outstanding == 4
+    eng.run()
+    # first two complete at 101, queued pair starts then: 202
+    assert done == [101, 101, 202, 202]
+    assert dram.outstanding == 0
+
+
+def test_parallelism_within_cap():
+    eng = Engine()
+    dram = Dram(eng, "d", latency=100, max_outstanding=64)
+    done = []
+    for _ in range(8):
+        dram.access(64, lambda: done.append(eng.now))
+    eng.run()
+    assert done == [101] * 8

@@ -1,0 +1,69 @@
+"""Tests for the MSHR pool."""
+
+import pytest
+
+from repro.memory.mshr import Mshr
+
+
+def test_invalid_size():
+    with pytest.raises(ValueError):
+        Mshr(0)
+
+
+def test_allocate_then_merge():
+    m = Mshr(4)
+    assert m.allocate(0x100, "a") == "allocated"
+    assert m.allocate(0x100, "b") == "merged"
+    assert len(m) == 1
+    assert m.merges == 1
+    assert m.allocations == 1
+
+
+def test_full_reported():
+    m = Mshr(1)
+    assert m.allocate(0x100, "a") == "allocated"
+    assert m.allocate(0x200, "b") == "full"
+    assert m.full_stalls == 1
+
+
+def test_merge_possible_even_when_full():
+    m = Mshr(1)
+    m.allocate(0x100, "a")
+    assert m.allocate(0x100, "b") == "merged"
+
+
+def test_release_returns_waiters_in_order():
+    m = Mshr(4)
+    m.allocate(0x100, "a")
+    m.allocate(0x100, "b")
+    m.allocate(0x100, "c")
+    assert m.release(0x100) == ["a", "b", "c"]
+    assert len(m) == 0
+
+
+def test_release_unknown_key_is_empty():
+    m = Mshr(4)
+    assert m.release(0x999) == []
+
+
+def test_lookup():
+    m = Mshr(4)
+    m.allocate(0x100, "a")
+    assert m.lookup(0x100).waiters == ["a"]
+    assert m.lookup(0x200) is None
+
+
+def test_slot_reusable_after_release():
+    m = Mshr(1)
+    m.allocate(0x100, "a")
+    m.release(0x100)
+    assert m.allocate(0x200, "b") == "allocated"
+
+
+def test_tuple_keys_supported():
+    """The L1 keys entries by (line, fetch_mask) for sector fetches."""
+    m = Mshr(4)
+    assert m.allocate((0x100, 0b0001), "a") == "allocated"
+    assert m.allocate((0x100, 0b0010), "b") == "allocated"
+    assert m.allocate((0x100, 0b0001), "c") == "merged"
+    assert m.release((0x100, 0b0001)) == ["a", "c"]

@@ -1,0 +1,139 @@
+"""Tests for the cluster switch: routing, pipeline, reassembly."""
+
+from repro.network.flit import segment_packet
+from repro.network.link import PacketLink
+from repro.network.packet import Packet, PacketType
+from repro.network.switch import ClusterSwitch, ReassemblyBuffer
+from repro.sim.engine import Engine
+
+CLUSTER_MAP = {0: 0, 1: 0, 2: 1, 3: 1}
+
+
+def _switch(eng, cluster=0, pipeline=30):
+    return ClusterSwitch(
+        eng, f"sw{cluster}", cluster_id=cluster,
+        cluster_of_gpu=CLUSTER_MAP, pipeline_latency=pipeline, flit_size=16,
+    )
+
+
+class _FakeEgress:
+    def __init__(self):
+        self.packets = []
+
+    def accept_packet(self, packet):
+        self.packets.append(packet)
+
+
+class TestReassembly:
+    def test_single_flit_packet_delivers_immediately(self):
+        done = []
+        buf = ReassemblyBuffer(16, done.append)
+        pkt = Packet(ptype=PacketType.READ_REQ, src_gpu=2, dst_gpu=0)
+        buf.receive(segment_packet(pkt, 16)[0])
+        assert done == [pkt]
+        assert buf.pending_packets() == 0
+
+    def test_multi_flit_packet_waits_for_all(self):
+        done = []
+        buf = ReassemblyBuffer(16, done.append)
+        pkt = Packet(ptype=PacketType.READ_RSP, src_gpu=2, dst_gpu=0)
+        flits = segment_packet(pkt, 16)
+        for flit in flits[:-1]:
+            buf.receive(flit)
+            assert done == []
+        buf.receive(flits[-1])
+        assert done == [pkt]
+
+    def test_out_of_order_flits_still_complete(self):
+        done = []
+        buf = ReassemblyBuffer(16, done.append)
+        pkt = Packet(ptype=PacketType.READ_RSP, src_gpu=2, dst_gpu=0)
+        flits = segment_packet(pkt, 16)
+        for flit in reversed(flits):
+            buf.receive(flit)
+        assert done == [pkt]
+
+    def test_unstitching_counts_embedded_flits(self):
+        done = []
+        buf = ReassemblyBuffer(16, done.append)
+        rsp = Packet(ptype=PacketType.READ_RSP, src_gpu=2, dst_gpu=0)
+        req = Packet(ptype=PacketType.READ_REQ, src_gpu=2, dst_gpu=0)
+        rsp_flits = segment_packet(rsp, 16)
+        req_flit = segment_packet(req, 16)[0]
+        rsp_flits[-1].absorb(req_flit)
+        for flit in rsp_flits:
+            buf.receive(flit)
+        assert rsp in done and req in done
+        assert buf.flits_unstitched == 1
+
+    def test_interleaved_packets(self):
+        done = []
+        buf = ReassemblyBuffer(16, done.append)
+        a = Packet(ptype=PacketType.READ_RSP, src_gpu=2, dst_gpu=0)
+        b = Packet(ptype=PacketType.READ_RSP, src_gpu=2, dst_gpu=1)
+        fa, fb = segment_packet(a, 16), segment_packet(b, 16)
+        for x, y in zip(fa, fb):
+            buf.receive(x)
+            buf.receive(y)
+        assert set(done) == {a, b}
+
+
+class TestSwitchRouting:
+    def test_local_packet_forwarded_to_gpu_link(self):
+        eng = Engine()
+        sw = _switch(eng, cluster=0, pipeline=5)
+        delivered = []
+        link = PacketLink(eng, "down", 128.0, 0, 16, sink=delivered.append)
+        sw.attach_gpu_link(1, link)
+        pkt = Packet(ptype=PacketType.READ_REQ, src_gpu=0, dst_gpu=1)
+        sw.receive_packet_from_gpu(pkt)
+        eng.run()
+        assert delivered == [pkt]
+        assert sw.packets_routed == 1
+
+    def test_remote_packet_handed_to_egress(self):
+        eng = Engine()
+        sw = _switch(eng, cluster=0)
+        egress = _FakeEgress()
+        sw.attach_egress(1, egress)
+        pkt = Packet(ptype=PacketType.READ_REQ, src_gpu=0, dst_gpu=3)
+        sw.receive_packet_from_gpu(pkt)
+        eng.run()
+        assert egress.packets == [pkt]
+
+    def test_pipeline_latency_applied(self):
+        eng = Engine()
+        sw = _switch(eng, cluster=0, pipeline=30)
+        egress = _FakeEgress()
+        times = []
+        original = egress.accept_packet
+        egress.accept_packet = lambda p: (times.append(eng.now), original(p))
+        sw.attach_egress(1, egress)
+        sw.receive_packet_from_gpu(Packet(ptype=PacketType.READ_REQ, src_gpu=0, dst_gpu=2))
+        eng.run()
+        assert times == [30]
+
+    def test_flits_from_network_reassemble_then_route(self):
+        eng = Engine()
+        sw = _switch(eng, cluster=0, pipeline=5)
+        delivered = []
+        link = PacketLink(eng, "down", 128.0, 0, 16, sink=delivered.append)
+        sw.attach_gpu_link(0, link)
+        pkt = Packet(ptype=PacketType.READ_RSP, src_gpu=2, dst_gpu=0)
+        for flit in segment_packet(pkt, 16):
+            sw.receive_flit_from_network(flit)
+        eng.run()
+        assert delivered == [pkt]
+
+    def test_full_downlink_retries(self):
+        eng = Engine()
+        sw = _switch(eng, cluster=0, pipeline=1)
+        delivered = []
+        link = PacketLink(eng, "down", 16.0, 0, 16, sink=delivered.append, buffer_entries=1)
+        sw.attach_gpu_link(0, link)
+        for _ in range(3):
+            sw.receive_packet_from_gpu(
+                Packet(ptype=PacketType.READ_RSP, src_gpu=1, dst_gpu=0)
+            )
+        eng.run()
+        assert len(delivered) == 3

@@ -1,0 +1,30 @@
+"""Tests for the component base class."""
+
+from repro.sim.component import Component
+from repro.sim.engine import Engine
+
+
+def test_component_binds_engine_and_name():
+    eng = Engine()
+    comp = Component(eng, "widget")
+    assert comp.engine is eng
+    assert comp.name == "widget"
+
+
+def test_now_forwards_engine_time():
+    eng = Engine()
+    comp = Component(eng, "c")
+    assert comp.now == 0
+    eng.schedule(42, lambda: None)
+    eng.run()
+    assert comp.now == 42
+
+
+def test_schedule_helper():
+    eng = Engine()
+    comp = Component(eng, "c")
+    fired = []
+    comp.schedule(7, fired.append, "x")
+    eng.run()
+    assert fired == ["x"]
+    assert eng.now == 7

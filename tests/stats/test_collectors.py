@@ -1,0 +1,88 @@
+"""Tests for statistic collectors."""
+
+import pytest
+
+from repro.stats.collectors import LatencyStat, RunStats
+
+
+class TestLatencyStat:
+    def test_empty(self):
+        stat = LatencyStat()
+        assert stat.mean() == 0.0
+        assert stat.count == 0
+
+    def test_record(self):
+        stat = LatencyStat()
+        for latency in (10, 20, 30):
+            stat.record(latency)
+        assert stat.count == 3
+        assert stat.mean() == pytest.approx(20.0)
+        assert stat.max == 30
+
+    def test_merge(self):
+        a, b = LatencyStat(), LatencyStat()
+        a.record(10)
+        b.record(30)
+        a.merge(b)
+        assert a.count == 2
+        assert a.mean() == pytest.approx(20.0)
+        assert a.max == 30
+        assert a.percentile(100) == 30.0
+
+    def test_percentiles(self):
+        stat = LatencyStat()
+        for latency in range(1, 101):
+            stat.record(latency)
+        assert stat.percentile(0) == 1.0
+        assert stat.percentile(50) == pytest.approx(50.0, abs=1)
+        assert stat.percentile(95) == pytest.approx(95.0, abs=1)
+        assert stat.percentile(100) == 100.0
+
+    def test_percentile_empty_and_bounds(self):
+        stat = LatencyStat()
+        assert stat.percentile(95) == 0.0
+        with pytest.raises(ValueError):
+            stat.percentile(101)
+
+    def test_sample_cap(self):
+        stat = LatencyStat()
+        stat.MAX_SAMPLES = 10  # instance attribute shadows the class bound
+        for latency in range(100):
+            stat.record(latency)
+        assert stat.count == 100
+        assert len(stat._samples) == 10
+
+
+class TestRunStats:
+    def test_l1_mpki(self):
+        stats = RunStats()
+        stats.mem_ops = 2000
+        stats.l1_misses = 30
+        stats.l1_sector_misses = 10
+        assert stats.l1_mpki() == pytest.approx(20.0)
+
+    def test_l1_mpki_no_ops(self):
+        assert RunStats().l1_mpki() == 0.0
+
+    def test_l1_accesses_sum(self):
+        stats = RunStats()
+        stats.l1_hits, stats.l1_misses, stats.l1_sector_misses = 5, 3, 2
+        assert stats.l1_accesses == 10
+
+    def test_read_request_bucketing(self):
+        stats = RunStats()
+        for nbytes, bucket in [(1, 16), (8, 16), (16, 16), (17, 32), (33, 48), (64, 64), (0, 16)]:
+            stats.record_read_request_bytes(nbytes)
+            assert stats.read_req_bytes_hist[bucket] >= 1
+
+    def test_fraction_requests_at_most(self):
+        stats = RunStats()
+        stats.record_read_request_bytes(8)
+        stats.record_read_request_bytes(30)
+        stats.record_read_request_bytes(64)
+        assert stats.fraction_requests_at_most(16) == pytest.approx(1 / 3)
+        assert stats.fraction_requests_at_most(32) == pytest.approx(2 / 3)
+        assert stats.fraction_requests_at_most(64) == pytest.approx(1.0)
+
+    def test_fraction_empty(self):
+        assert RunStats().fraction_requests_at_most(16) == 0.0

@@ -1,0 +1,73 @@
+"""Tests for run results and report helpers."""
+
+import pytest
+
+from repro.stats.collectors import RunStats
+from repro.stats.report import RunResult, geometric_mean
+
+
+def _result(cycles=1000, **kwargs):
+    return RunResult(
+        workload="w", config_label="c", cycles=cycles, stats=RunStats(), **kwargs
+    )
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_single(self):
+        assert geometric_mean([3.0]) == pytest.approx(3.0)
+
+    def test_empty(self):
+        assert geometric_mean([]) == 0.0
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestRunResult:
+    def test_speedup(self):
+        base = _result(cycles=2000)
+        fast = _result(cycles=1000)
+        assert fast.speedup_over(base) == pytest.approx(2.0)
+
+    def test_speedup_zero_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            _result(cycles=0).speedup_over(_result())
+
+    def test_inter_utilization(self):
+        r = _result(cycles=100, inter_busy_cycles=120.0, inter_links=2)
+        assert r.inter_utilization() == pytest.approx(0.6)
+
+    def test_utilization_clamped(self):
+        r = _result(cycles=10, inter_busy_cycles=1000.0, inter_links=1)
+        assert r.inter_utilization() == 1.0
+
+    def test_utilization_no_links(self):
+        assert _result().inter_utilization() == 0.0
+
+    def test_stitch_rate(self):
+        r = _result(flits_entered=100, flits_absorbed=15)
+        assert r.stitch_rate() == pytest.approx(0.15)
+        assert _result().stitch_rate() == 0.0
+
+    def test_ptw_fraction(self):
+        r = _result(ptw_bytes=13, data_bytes=87)
+        assert r.ptw_traffic_fraction() == pytest.approx(0.13)
+        assert _result().ptw_traffic_fraction() == 0.0
+
+    def test_padded_distribution_normalized(self):
+        r = _result()
+        r.occupancy[16] = 4  # full flits
+        r.occupancy[12] = 1  # 25% padded
+        r.occupancy[4] = 1  # 75% padded
+        dist = r.padded_fraction_distribution(16)
+        assert dist[0.0] == pytest.approx(4 / 6)
+        assert dist[0.25] == pytest.approx(1 / 6)
+        assert dist[0.75] == pytest.approx(1 / 6)
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_padded_distribution_empty(self):
+        assert _result().padded_fraction_distribution(16) == {}

@@ -1,0 +1,128 @@
+"""Tests for the GMMU: L2 TLB, PWC and parallel walkers."""
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.stats.collectors import RunStats
+from repro.vm.gmmu import Gmmu
+from repro.vm.page_table import PageTable
+from repro.vm.placement import AddressSpace, LaspPlacement
+from repro.vm.tlb import PageWalkCache, Tlb
+
+
+class _Harness:
+    def __init__(self, n_walkers=4, pte_delay=50, remote_extra=100):
+        self.engine = Engine()
+        self.space = AddressSpace(4)
+        self.page_table = PageTable(self.space, root_gpu=0)
+        self.placement = LaspPlacement(self.space, self.page_table)
+        self.stats = RunStats()
+        self.pte_delay = pte_delay
+        self.remote_extra = remote_extra
+        self.pte_accesses = []
+        self.gmmu = Gmmu(
+            self.engine, "gmmu", gpu_id=0,
+            page_table=self.page_table,
+            l2_tlb=Tlb(8, assoc=8, lookup_latency=10),
+            pwc=PageWalkCache(16, lookup_latency=10),
+            pte_access=self._pte_access,
+            stats=self.stats,
+            n_walkers=n_walkers,
+            walk_mshr_entries=8,
+        )
+
+    def _pte_access(self, addr, gpu, callback):
+        self.pte_accesses.append((addr, gpu))
+        delay = self.pte_delay + (self.remote_extra if gpu != 0 else 0)
+        self.engine.schedule(delay, callback)
+
+    def map(self, vpn, owner=0):
+        self.placement.map_page(vpn, owner)
+
+
+def test_cold_walk_touches_four_levels():
+    h = _Harness()
+    h.map(0x100)
+    got = []
+    h.gmmu.translate(0x100, got.append)
+    h.engine.run()
+    assert len(got) == 1
+    assert h.stats.ptw_walks == 1
+    assert h.stats.ptw_pte_accesses == 4
+    assert h.stats.ptw_latency.count == 1
+
+
+def test_l2_tlb_hit_skips_walk():
+    h = _Harness()
+    h.map(0x100)
+    h.gmmu.translate(0x100, lambda p: None)
+    h.engine.run()
+    h.gmmu.translate(0x100, lambda p: None)
+    h.engine.run()
+    assert h.stats.ptw_walks == 1  # second translate hit the L2 TLB
+
+
+def test_pwc_shortens_sibling_walk():
+    h = _Harness()
+    h.map(0x100)
+    h.map(0x101)
+    h.gmmu.translate(0x100, lambda p: None)
+    h.engine.run()
+    before = h.stats.ptw_pte_accesses
+    h.gmmu.translate(0x101, lambda p: None)
+    h.engine.run()
+    # level-3 PWC hit: only the leaf PTE is read
+    assert h.stats.ptw_pte_accesses == before + 1
+
+
+def test_concurrent_same_vpn_walks_merge():
+    h = _Harness()
+    h.map(0x300)
+    got = []
+    for _ in range(5):
+        h.gmmu.translate(0x300, got.append)
+    h.engine.run()
+    assert len(got) == 5
+    assert h.stats.ptw_walks == 1
+
+
+def test_walker_pool_limits_parallelism():
+    h = _Harness(n_walkers=2)
+    for i in range(6):
+        h.map(0x1000 + i * 0x400)  # distinct regions -> full walks
+    for i in range(6):
+        h.gmmu.translate(0x1000 + i * 0x400, lambda p: None)
+    h.engine.run(until=25)  # past L2 TLB + PWC latency of first dispatches
+    assert h.gmmu.walkers_busy <= 2
+    h.engine.run()
+    assert h.stats.ptw_walks == 6
+
+
+def test_remote_pte_accesses_counted():
+    h = _Harness()
+    h.map(0x500, owner=3)  # leaf on GPU 3 -> remote leaf PTE read
+    h.gmmu.translate(0x500, lambda p: None)
+    h.engine.run()
+    assert h.stats.ptw_remote_pte_accesses >= 1
+    assert any(gpu == 3 for _addr, gpu in h.pte_accesses)
+
+
+def test_translation_result_correct():
+    h = _Harness()
+    h.map(0x200, owner=1)
+    expected = h.page_table.translate_vpn(0x200)
+    got = []
+    h.gmmu.translate(0x200, got.append)
+    h.engine.run()
+    assert got == [expected]
+
+
+def test_walk_mshr_full_retries():
+    h = _Harness(n_walkers=1)
+    for i in range(12):
+        h.map(0x2000 + i * 0x400)
+    got = []
+    for i in range(12):
+        h.gmmu.translate(0x2000 + i * 0x400, got.append)
+    h.engine.run()
+    assert len(got) == 12

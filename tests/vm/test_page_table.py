@@ -1,0 +1,121 @@
+"""Tests for the 4-level radix page table."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.vm.page_table import (
+    BITS_PER_LEVEL,
+    LEVELS,
+    PAGE_SIZE,
+    PTE_BYTES,
+    PageTable,
+    split_vpn,
+)
+from repro.vm.placement import AddressSpace
+
+
+def _pt(n_gpus=4, root=0):
+    return PageTable(AddressSpace(n_gpus), root_gpu=root)
+
+
+def test_split_vpn_roundtrip():
+    vpn = 0x123456789
+    parts = split_vpn(vpn)
+    assert len(parts) == LEVELS
+    rebuilt = 0
+    for p in parts:
+        rebuilt = (rebuilt << BITS_PER_LEVEL) | p
+    assert rebuilt == vpn & ((1 << (BITS_PER_LEVEL * LEVELS)) - 1)
+
+
+def test_map_and_translate():
+    pt = _pt()
+    pt.map(0x1000, 0xABC000, leaf_owner_hint=2)
+    assert pt.translate_vpn(0x1000) == 0xABC000
+    assert pt.translate_vpn(0x1001) is None
+
+
+def test_walk_path_has_four_levels():
+    pt = _pt()
+    pt.map(0x42, 0x1000, leaf_owner_hint=1)
+    path = pt.walk_path(0x42)
+    assert [level for level, _, _ in path] == [1, 2, 3, 4]
+
+
+def test_walk_path_unmapped_raises():
+    pt = _pt()
+    with pytest.raises(KeyError):
+        pt.walk_path(0x999)
+
+
+def test_leaf_placed_on_hint_gpu():
+    pt = _pt()
+    pt.map(0x42, 0x1000, leaf_owner_hint=3)
+    leaf = pt.leaf_node(0x42)
+    assert leaf.gpu == 3
+
+
+def test_interior_nodes_on_root_gpu():
+    pt = _pt(root=1)
+    pt.map(0x42, 0x1000, leaf_owner_hint=3)
+    path = pt.walk_path(0x42)
+    for level, _addr, gpu in path[:-1]:
+        assert gpu == 1
+    assert path[-1][2] == 3
+
+
+def test_leaf_owner_fixed_by_first_page_in_region():
+    """PTE co-placement: the 2 MB region's leaf follows its first page."""
+    pt = _pt()
+    base = 0x200  # region of 512 pages
+    pt.map(base, 0x1000, leaf_owner_hint=2)
+    pt.map(base + 1, 0x2000, leaf_owner_hint=0)  # same region, later page
+    leaf = pt.leaf_node(base)
+    assert leaf.gpu == 2  # owner stays with the first mapping
+    assert pt.leaf_node(base + 1) is leaf
+
+
+def test_different_regions_get_different_leaves():
+    pt = _pt()
+    pt.map(0x0, 0x1000, leaf_owner_hint=0)
+    pt.map(0x200, 0x2000, leaf_owner_hint=1)  # next 2 MB region
+    assert pt.leaf_node(0x0) is not pt.leaf_node(0x200)
+
+
+def test_pte_addresses_within_node_frame():
+    pt = _pt()
+    pt.map(0x1FF, 0x1000, leaf_owner_hint=1)
+    for _level, pte_addr, _gpu in pt.walk_path(0x1FF):
+        assert pte_addr % PTE_BYTES == 0
+
+
+def test_adjacent_vpns_share_leaf_pte_line():
+    """PTEs of adjacent pages land in the same node (L2 locality)."""
+    pt = _pt()
+    pt.map(0x100, 0x1000, leaf_owner_hint=0)
+    pt.map(0x101, 0x2000, leaf_owner_hint=0)
+    a = pt.walk_path(0x100)[-1][1]
+    b = pt.walk_path(0x101)[-1][1]
+    assert abs(a - b) == PTE_BYTES
+
+
+def test_nodes_created_counted():
+    pt = _pt()
+    assert pt.nodes_created == 1  # root
+    pt.map(0x0, 0x1000, leaf_owner_hint=0)
+    assert pt.nodes_created == 4  # root + L2 + L3 + leaf
+
+
+@given(vpns=st.lists(st.integers(0, 2**30), unique=True, min_size=1, max_size=40))
+def test_many_mappings_translate_back(vpns):
+    pt = _pt()
+    space = AddressSpace(4)
+    expected = {}
+    for i, vpn in enumerate(vpns):
+        paddr = space.alloc_frame(i % 4)
+        pt.map(vpn, paddr, leaf_owner_hint=i % 4)
+        expected[vpn] = paddr
+    for vpn, paddr in expected.items():
+        assert pt.translate_vpn(vpn) == paddr
+        path = pt.walk_path(vpn)
+        assert len(path) == LEVELS

@@ -1,0 +1,87 @@
+"""Tests for the workload-generation framework."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.vm.page_table import PAGE_SIZE
+from repro.workloads.base import ARRAY_STRIDE, Array, Scale, aligned_access
+
+
+class TestScale:
+    def test_presets_ordered_by_size(self):
+        tiny, small, default = Scale.tiny(), Scale.small(), Scale.default()
+        def volume(s):
+            return s.ctas_per_gpu * s.wavefronts_per_cta * s.accesses_per_wavefront
+        assert volume(tiny) < volume(small) <= volume(default)
+
+    def test_frozen_and_hashable(self):
+        assert hash(Scale.tiny()) == hash(Scale.tiny())
+
+
+class TestArray:
+    def test_arrays_do_not_overlap(self):
+        a = Array(0, 64, 4)
+        b = Array(1, 64, 4)
+        assert a.base + a.size_bytes <= b.base
+        assert b.base - a.base == ARRAY_STRIDE
+
+    def test_minimum_one_page_per_gpu(self):
+        arr = Array(0, 2, 4)
+        assert arr.pages == 4
+
+    def test_addr_wraps(self):
+        arr = Array(0, 4, 4)
+        assert arr.addr(arr.size_bytes + 5) == arr.base + 5
+
+    def test_interleave_policy(self):
+        arr = Array(0, 8, 4, "interleave")
+        owners = [arr.owner_of_page(p) for p in range(8)]
+        assert owners == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_block_policy(self):
+        arr = Array(0, 8, 4, "block")
+        owners = [arr.owner_of_page(p) for p in range(8)]
+        assert owners == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_block_policy_clamps_remainder(self):
+        arr = Array(0, 9, 4, "block")
+        assert arr.owner_of_page(8) == 3
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            Array(0, 8, 4, "hash")
+
+    def test_page_owner_map_covers_all_pages(self):
+        arr = Array(2, 16, 4, "interleave")
+        owners = arr.page_owner_map()
+        assert len(owners) == 16
+        first_vpn = arr.base // PAGE_SIZE
+        assert set(owners) == {first_vpn + p for p in range(16)}
+
+    def test_gpu_block_range(self):
+        arr = Array(0, 8, 4, "block")
+        rng = arr.gpu_block_range(1)
+        assert rng.start == 2 * PAGE_SIZE
+        assert len(rng) == 2 * PAGE_SIZE
+        # every page in the block is owned by that GPU
+        for offset in range(rng.start, rng.start + len(rng), PAGE_SIZE):
+            assert arr.owner_of_page(offset // PAGE_SIZE) == 1
+
+
+class TestAlignedAccess:
+    def test_simple(self):
+        arr = Array(0, 4, 4)
+        acc = aligned_access(arr, 8, 8)
+        assert acc.vaddr == arr.base + 8
+        assert acc.nbytes == 8
+
+    def test_clamps_at_line_end(self):
+        arr = Array(0, 4, 4)
+        acc = aligned_access(arr, 60, 16)
+        assert acc.nbytes == 4  # clipped to stay in the line
+
+    @given(offset=st.integers(0, 1 << 20), nbytes=st.integers(1, 64))
+    def test_never_straddles(self, offset, nbytes):
+        arr = Array(0, 16, 4)
+        acc = aligned_access(arr, offset, nbytes)
+        assert (acc.vaddr % 64) + acc.nbytes <= 64

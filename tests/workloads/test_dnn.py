@@ -1,0 +1,64 @@
+"""Tests for the data-parallel DNN workload models."""
+
+import pytest
+
+from repro.workloads.base import Scale
+from repro.workloads.dnn import Lenet, Resnet18, Vgg16
+
+N_GPUS = 4
+SCALE = Scale.tiny()
+
+
+@pytest.mark.parametrize("cls,layers", [(Vgg16, 16), (Lenet, 5), (Resnet18, 18)])
+def test_two_kernels_per_layer(cls, layers):
+    trace = cls().build(n_gpus=N_GPUS, scale=SCALE, seed=0)
+    assert len(trace.kernels) == 2 * layers
+    names = [k.name for k in trace.kernels]
+    assert names[0].endswith("l0_fwdbwd")
+    assert names[1].endswith("l0_allreduce")
+
+
+def test_layer_weights_scale_access_counts():
+    trace = Vgg16().build(n_gpus=N_GPUS, scale=Scale.small(), seed=0)
+    light = trace.kernels[0]  # layer 0: weight 0.3
+    heavy = trace.kernels[26]  # layer 13: weight 1.5
+    assert heavy.access_count() > light.access_count()
+
+
+def test_compute_kernels_are_local():
+    trace = Lenet().build(n_gpus=N_GPUS, scale=SCALE, seed=0)
+    compute = trace.kernels[0]
+    for cta in compute.ctas:
+        for wf in cta.wavefronts:
+            for acc in wf.accesses:
+                assert compute.page_owner[acc.vpn] == cta.gpu
+
+
+def test_allreduce_kernels_read_remote_gradients():
+    trace = Lenet().build(n_gpus=N_GPUS, scale=SCALE, seed=0)
+    exchange = trace.kernels[1]
+    remote_reads = 0
+    for cta in exchange.ctas:
+        for wf in cta.wavefronts:
+            for acc in wf.accesses:
+                if not acc.is_write and exchange.page_owner[acc.vpn] != cta.gpu:
+                    remote_reads += 1
+    assert remote_reads > 0
+
+
+def test_allreduce_uses_full_lines():
+    trace = Vgg16().build(n_gpus=N_GPUS, scale=SCALE, seed=0)
+    exchange = trace.kernels[1]
+    for cta in exchange.ctas:
+        for wf in cta.wavefronts:
+            for acc in wf.accesses:
+                assert acc.nbytes == 64
+
+
+def test_per_layer_scale_reduction_keeps_volume_bounded():
+    full = Scale.small()
+    trace = Vgg16().build(n_gpus=N_GPUS, scale=full, seed=0)
+    # 32 kernels must not explode past a comparable single-kernel workload
+    per_kernel = trace.total_accesses() / len(trace.kernels)
+    single = full.ctas_per_gpu * full.wavefronts_per_cta * full.accesses_per_wavefront
+    assert per_kernel < single

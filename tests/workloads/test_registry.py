@@ -1,0 +1,47 @@
+"""Tests for the workload registry and Table 3 reproduction."""
+
+import pytest
+
+from repro.workloads.registry import (
+    WORKLOADS,
+    all_workload_names,
+    get_workload,
+    workload_table,
+)
+
+TABLE3_NAMES = [
+    "gups", "mt", "mis", "im2col", "atax", "bs", "mm2", "mvt",
+    "spmv", "pr", "sr", "syr2k", "vgg16", "lenet", "rnet18",
+]
+
+
+def test_fifteen_workloads_in_table3_order():
+    assert all_workload_names() == TABLE3_NAMES
+
+
+def test_lookup_by_name_case_insensitive():
+    assert get_workload("GUPS").name == "gups"
+    assert get_workload("Spmv").name == "spmv"
+
+
+def test_unknown_workload_raises_with_known_list():
+    with pytest.raises(KeyError, match="known:"):
+        get_workload("nope")
+
+
+def test_gemm_large_registered_but_not_in_table3():
+    assert "gemm_large" in WORKLOADS
+    assert "gemm_large" not in all_workload_names()
+
+
+def test_table3_rows_have_patterns_and_suites():
+    rows = workload_table()
+    assert len(rows) == 15
+    by_abbr = {r["abbr"]: r for r in rows}
+    assert by_abbr["GUPS"]["pattern"] == "random"
+    assert by_abbr["GUPS"]["suite"] == "MGPUSim"
+    assert by_abbr["MT"]["pattern"] == "gather"
+    assert by_abbr["ATAX"]["pattern"] == "scatter"
+    assert by_abbr["BS"]["pattern"] == "partitioned"
+    assert by_abbr["SYR2K"]["pattern"] == "adjacent"
+    assert by_abbr["VGG16"]["suite"] == "DNNMark"

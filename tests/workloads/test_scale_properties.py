@@ -1,0 +1,42 @@
+"""Property tests: workload generators stay valid at arbitrary scales."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.base import Scale
+from repro.workloads.registry import get_workload
+
+scales = st.builds(
+    Scale,
+    ctas_per_gpu=st.integers(1, 6),
+    wavefronts_per_cta=st.integers(1, 3),
+    accesses_per_wavefront=st.integers(1, 12),
+    pages_per_gpu=st.integers(1, 16),
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(scale=scales, name=st.sampled_from(["gups", "mm2", "pr", "bs", "lenet"]))
+def test_any_scale_builds_valid_traces(scale, name):
+    trace = get_workload(name).build(n_gpus=4, scale=scale, seed=1)
+    trace.validate()
+    assert trace.total_accesses() > 0
+    for kernel in trace.kernels:
+        for cta in kernel.ctas:
+            assert 0 <= cta.gpu < 4
+            for wf in cta.wavefronts:
+                for acc in wf.accesses:
+                    assert 1 <= acc.nbytes <= 64
+                    assert (acc.vaddr % 64) + acc.nbytes <= 64
+
+
+@settings(max_examples=10, deadline=None)
+@given(scale=scales)
+def test_tiny_scales_still_simulate(scale):
+    """Even degenerate scales run end-to-end without deadlock."""
+    from repro.gpu.system import MultiGpuSystem
+
+    trace = get_workload("gups").build(n_gpus=4, scale=scale, seed=0)
+    system = MultiGpuSystem()
+    system.load(trace)
+    result = system.run()
+    assert result.stats.mem_ops == trace.total_accesses()

@@ -1,0 +1,149 @@
+"""Tests for workload trace serialization."""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpu.cta import (
+    CtaTrace,
+    KernelTrace,
+    MemAccess,
+    WavefrontTrace,
+    WorkloadTrace,
+)
+from repro.vm.page_table import PAGE_SIZE
+from repro.workloads.base import Scale
+from repro.workloads.registry import get_workload
+from repro.workloads.serialization import (
+    TraceFormatError,
+    load_trace,
+    save_trace,
+    trace_from_dict,
+    trace_to_dict,
+)
+
+
+def _snapshot(trace):
+    return [
+        (kernel.name, cta.gpu, acc.vaddr, acc.nbytes, acc.is_write)
+        for kernel in trace.kernels
+        for cta in kernel.ctas
+        for wf in cta.wavefronts
+        for acc in wf.accesses
+    ]
+
+
+def test_roundtrip_generated_workload(tmp_path):
+    trace = get_workload("spmv").build(n_gpus=4, scale=Scale.tiny(), seed=1)
+    path = tmp_path / "spmv.json"
+    save_trace(trace, path)
+    loaded = load_trace(path)
+    assert loaded.name == trace.name
+    assert _snapshot(loaded) == _snapshot(trace)
+    assert [k.page_owner for k in loaded.kernels] == [
+        k.page_owner for k in trace.kernels
+    ]
+
+
+def test_loaded_trace_runs(tmp_path):
+    from repro.gpu.system import MultiGpuSystem
+
+    trace = get_workload("gups").build(n_gpus=4, scale=Scale.tiny(), seed=0)
+    path = tmp_path / "gups.json"
+    save_trace(trace, path)
+    system = MultiGpuSystem()
+    system.load(load_trace(path))
+    result = system.run()
+    assert result.stats.mem_ops == trace.total_accesses()
+
+
+def test_addresses_stored_as_hex(tmp_path):
+    trace = get_workload("bs").build(n_gpus=4, scale=Scale.tiny(), seed=0)
+    doc = trace_to_dict(trace)
+    first_access = doc["kernels"][0]["ctas"][0]["wavefronts"][0][0]
+    assert first_access[0].startswith("0x")
+
+
+def test_rejects_wrong_format():
+    with pytest.raises(TraceFormatError, match="not a repro trace"):
+        trace_from_dict({"format": "something-else", "version": 1})
+
+
+def test_rejects_wrong_version():
+    with pytest.raises(TraceFormatError, match="unsupported trace version"):
+        trace_from_dict({"format": "repro-netcrafter-trace", "version": 99})
+
+
+def test_rejects_non_object():
+    with pytest.raises(TraceFormatError):
+        trace_from_dict([1, 2, 3])
+
+
+def test_rejects_malformed_body():
+    with pytest.raises(TraceFormatError, match="malformed"):
+        trace_from_dict(
+            {"format": "repro-netcrafter-trace", "version": 1, "name": "x"}
+        )
+
+
+def test_rejects_invalid_json(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("{ not json")
+    with pytest.raises(TraceFormatError, match="invalid JSON"):
+        load_trace(path)
+
+
+def test_validation_applied_on_load():
+    """A trace whose pages lack owners fails validation at load time."""
+    doc = {
+        "format": "repro-netcrafter-trace",
+        "version": 1,
+        "name": "broken",
+        "kernels": [
+            {
+                "name": "k",
+                "page_owner": {},
+                "ctas": [
+                    {"gpu": 0, "wavefronts": [[["0x10000", 8, 0]]]}
+                ],
+            }
+        ],
+    }
+    with pytest.raises(ValueError, match="lack an owner"):
+        trace_from_dict(doc)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    accesses=st.lists(
+        st.tuples(
+            st.integers(0, 1 << 30),  # page-ish base
+            st.integers(0, 63),       # offset in line? keep legal
+            st.integers(1, 8),
+            st.booleans(),
+        ),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_roundtrip_property(accesses):
+    mem = []
+    owners = {}
+    for base, offset, nbytes, is_write in accesses:
+        vaddr = base * 64 + min(offset, 64 - nbytes)
+        mem.append(MemAccess(vaddr=vaddr, nbytes=nbytes, is_write=is_write))
+        owners[vaddr // PAGE_SIZE] = 0
+    trace = WorkloadTrace(
+        name="prop",
+        kernels=[
+            KernelTrace(
+                name="k",
+                ctas=[CtaTrace(gpu=0, wavefronts=[WavefrontTrace(accesses=mem)])],
+                page_owner=owners,
+            )
+        ],
+    )
+    doc = json.loads(json.dumps(trace_to_dict(trace)))  # force JSON types
+    loaded = trace_from_dict(doc)
+    assert _snapshot(loaded) == _snapshot(trace)

@@ -1,0 +1,146 @@
+"""Tests for the synthetic workload generators' pattern properties."""
+
+import pytest
+
+from repro.vm.page_table import PAGE_SIZE
+from repro.workloads.base import Scale
+from repro.workloads.registry import all_workload_names, get_workload
+
+N_GPUS = 4
+SCALE = Scale.tiny()
+
+
+def _accesses(trace):
+    for kernel in trace.kernels:
+        for cta in kernel.ctas:
+            for wf in cta.wavefronts:
+                yield kernel, cta, wf
+
+
+def _flat_accesses(trace):
+    for kernel, cta, wf in _accesses(trace):
+        for acc in wf.accesses:
+            yield kernel, cta, acc
+
+
+@pytest.mark.parametrize("name", all_workload_names() + ["gemm_large"])
+def test_every_workload_builds_and_validates(name):
+    trace = get_workload(name).build(n_gpus=N_GPUS, scale=SCALE, seed=0)
+    assert trace.total_accesses() > 0
+    trace.validate()  # placement covers every touched page
+
+
+@pytest.mark.parametrize("name", all_workload_names())
+def test_ctas_distributed_across_all_gpus(name):
+    trace = get_workload(name).build(n_gpus=N_GPUS, scale=SCALE, seed=0)
+    gpus = {cta.gpu for kernel in trace.kernels for cta in kernel.ctas}
+    assert gpus == set(range(N_GPUS))
+
+
+@pytest.mark.parametrize("name", all_workload_names())
+def test_deterministic_per_seed(name):
+    def snapshot(seed):
+        trace = get_workload(name).build(n_gpus=N_GPUS, scale=SCALE, seed=seed)
+        return [
+            (cta.gpu, acc.vaddr, acc.nbytes, acc.is_write)
+            for _k, cta, acc in _flat_accesses(trace)
+        ]
+
+    assert snapshot(7) == snapshot(7)
+
+
+def test_gups_needs_at_most_8_bytes():
+    trace = get_workload("gups").build(n_gpus=N_GPUS, scale=SCALE, seed=0)
+    for _k, _c, acc in _flat_accesses(trace):
+        assert acc.nbytes <= 8
+
+
+def test_gups_mixes_reads_and_writes():
+    trace = get_workload("gups").build(n_gpus=N_GPUS, scale=SCALE, seed=0)
+    ops = [acc.is_write for _k, _c, acc in _flat_accesses(trace)]
+    assert any(ops) and not all(ops)
+
+
+def test_blackscholes_fully_partitioned():
+    """BS: every access from a GPU's CTA lands on a page that GPU owns."""
+    trace = get_workload("bs").build(n_gpus=N_GPUS, scale=SCALE, seed=0)
+    for kernel in trace.kernels:
+        for cta in kernel.ctas:
+            for wf in cta.wavefronts:
+                for acc in wf.accesses:
+                    assert kernel.page_owner[acc.vpn] == cta.gpu
+
+
+def test_gups_touches_remote_pages():
+    trace = get_workload("gups").build(n_gpus=N_GPUS, scale=SCALE, seed=0)
+    remote = sum(
+        1
+        for kernel, cta, acc in _flat_accesses(trace)
+        if kernel.page_owner[acc.vpn] != cta.gpu
+    )
+    total = trace.total_accesses()
+    assert remote / total > 0.5  # interleaved table: ~3/4 remote
+
+
+def test_mt_gathers_small_and_writes_full_lines():
+    trace = get_workload("mt").build(n_gpus=N_GPUS, scale=SCALE, seed=0)
+    reads = [acc for _k, _c, acc in _flat_accesses(trace) if not acc.is_write]
+    writes = [acc for _k, _c, acc in _flat_accesses(trace) if acc.is_write]
+    assert all(acc.nbytes <= 16 for acc in reads)
+    assert all(acc.nbytes == 64 for acc in writes)
+
+
+def test_mm2_has_two_kernels():
+    trace = get_workload("mm2").build(n_gpus=N_GPUS, scale=SCALE, seed=0)
+    assert len(trace.kernels) == 2
+
+
+def test_mvt_has_gather_then_scatter_kernels():
+    trace = get_workload("mvt").build(n_gpus=N_GPUS, scale=SCALE, seed=0)
+    assert [k.name for k in trace.kernels] == ["mvt_gather", "mvt_scatter"]
+    gather, scatter = trace.kernels
+    gather_writes = sum(
+        acc.is_write for cta in gather.ctas for wf in cta.wavefronts for acc in wf.accesses
+    )
+    scatter_writes = sum(
+        acc.is_write for cta in scatter.ctas for wf in cta.wavefronts for acc in wf.accesses
+    )
+    assert gather_writes == 0
+    assert scatter_writes > 0
+
+
+def test_pr_runs_two_iterations():
+    trace = get_workload("pr").build(n_gpus=N_GPUS, scale=SCALE, seed=0)
+    assert [k.name for k in trace.kernels] == ["pr_iter0", "pr_iter1"]
+
+
+def test_im2col_mostly_local():
+    trace = get_workload("im2col").build(n_gpus=N_GPUS, scale=SCALE, seed=0)
+    local = sum(
+        1
+        for kernel, cta, acc in _flat_accesses(trace)
+        if kernel.page_owner[acc.vpn] == cta.gpu
+    )
+    assert local / trace.total_accesses() > 0.7
+
+
+def test_spmv_gathers_dominate():
+    trace = get_workload("spmv").build(n_gpus=N_GPUS, scale=SCALE, seed=0)
+    small_reads = sum(
+        1
+        for _k, _c, acc in _flat_accesses(trace)
+        if not acc.is_write and acc.nbytes <= 8
+    )
+    assert small_reads / trace.total_accesses() >= 0.4
+
+
+def test_gemm_large_gather_granularity_configurable():
+    from repro.workloads.synthetic import LargeGemm
+
+    trace = LargeGemm(gather_bytes=8).build(n_gpus=N_GPUS, scale=SCALE, seed=0)
+    gathers = [
+        acc
+        for _k, _c, acc in _flat_accesses(trace)
+        if not acc.is_write and acc.nbytes <= 8
+    ]
+    assert gathers
