@@ -8,6 +8,11 @@ into ``results/`` for EXPERIMENTS.md.
 Scale control: set ``REPRO_SCALE=quick`` for a fast six-workload pass,
 ``standard`` (default) for all 15 workloads at the small experiment
 scale, or ``full`` for the large scale.
+
+Runner control: ``REPRO_JOBS=N`` fans independent simulation points out
+over N worker processes, and ``REPRO_CACHE_DIR=path`` enables the
+persistent result cache so repeat benchmark sessions skip finished
+points entirely.
 """
 
 import os
@@ -15,11 +20,21 @@ from pathlib import Path
 
 import pytest
 
+from repro.experiments import runner
 from repro.experiments.figures import FigureResult
 from repro.experiments.runner import ExperimentScale
 
 _RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 _TABLES = []
+
+
+def pytest_configure(config):
+    jobs = os.environ.get("REPRO_JOBS")
+    if jobs:
+        runner.set_default_jobs(int(jobs))
+    cache_dir = os.environ.get("REPRO_CACHE_DIR")
+    if cache_dir:
+        runner.set_cache_dir(cache_dir)
 
 
 @pytest.fixture(scope="session")
@@ -47,6 +62,10 @@ def record_table():
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if runner.run_stats.points:
+        terminalreporter.section("experiment runner summary")
+        for line in runner.run_stats.summary_lines():
+            terminalreporter.write_line(line)
     if not _TABLES:
         return
     terminalreporter.section("reproduced tables & figures")

@@ -74,6 +74,8 @@ class ClusterQueue:
         self._next_seq = 0
         self.total_accepted = 0
         self.rejected = 0
+        #: pooled heads stitched away whose partition timer we released
+        self.stale_timers_cleared = 0
 
     # -- capacity ---------------------------------------------------------
 
@@ -139,13 +141,25 @@ class ClusterQueue:
         return flit
 
     def remove_flit(self, flit: Flit) -> bool:
-        """Remove a specific staged flit (when it gets stitched away)."""
+        """Remove a specific staged flit (when it gets stitched away).
+
+        A pooled flit at the head of its partition owns that partition's
+        pooling timer.  If the stitch search absorbs it into another
+        parent, the timer must die with it — otherwise the successor
+        flit, which was never pooled, sits blocked until the dead timer
+        expires.
+        """
         for part in self._partitions.values():
+            was_head = bool(part.flits) and part.flits[0] is flit
             try:
                 part.flits.remove(flit)
             except ValueError:
                 continue
             self._count -= 1
+            if was_head and flit.pooled and part.blocked_until:
+                part.blocked_until = 0
+                part.pooled_at = 0
+                self.stale_timers_cleared += 1
             return True
         return False
 

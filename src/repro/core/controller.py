@@ -215,7 +215,14 @@ class NetCrafterController(Component):
             parent = self.queue.pop_from(partition)
             absorbed = 0
             if self.stitch_engine is not None:
+                timers_before = self.queue.stale_timers_cleared
                 absorbed = self.stitch_engine.stitch_all(parent, self.queue)
+                if self.queue.stale_timers_cleared != timers_before:
+                    # a pooled partition head was stitched into this parent,
+                    # releasing its partition's timer; pump again as soon as
+                    # the wire frees up so the (never-pooled) successor flit
+                    # is not held hostage by the dead timer
+                    self._request_pump(self.link.ready_at())
             if (
                 absorbed == 0
                 and self.pooling is not None

@@ -5,16 +5,23 @@ Usage::
     python -m repro.experiments list
     python -m repro.experiments fig14 --scale quick
     python -m repro.experiments fig3 fig9 --scale standard
-    python -m repro.experiments all --scale quick
+    python -m repro.experiments all --scale quick --jobs 4
+
+Independent simulation points fan out over ``--jobs`` worker processes,
+and finished results persist in a content-addressed disk cache (default
+``$REPRO_CACHE_DIR`` or ``.repro_cache``; disable with ``--no-cache``),
+so re-generating figures after the first pass is nearly free.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Dict
 
-from repro.experiments import ablations, extensions, figures
+from repro.experiments import ablations, extensions, figures, runner
+from repro.experiments.cache import default_cache_dir
 from repro.experiments.report import generate_report
 from repro.experiments.runner import ExperimentScale
 from repro.workloads.base import Scale
@@ -90,6 +97,24 @@ def main(argv=None) -> int:
         default="results/report.md",
         help="where 'report' writes its markdown (default: results/report.md)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=int(os.environ.get("REPRO_JOBS", "1")),
+        help="worker processes for independent simulation points "
+        "(default: $REPRO_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent result cache directory "
+        "(default: $REPRO_CACHE_DIR or .repro_cache)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent result cache for this invocation",
+    )
     args = parser.parse_args(argv)
 
     if args.targets == ["list"]:
@@ -98,6 +123,10 @@ def main(argv=None) -> int:
             print(f"  {name}")
         return 0
 
+    runner.set_default_jobs(args.jobs)
+    runner.set_cache_dir(
+        None if args.no_cache else (args.cache_dir or default_cache_dir())
+    )
     exp = SCALES[args.scale]()
     targets = list(DRIVERS) + ["tables"] if args.targets == ["all"] else args.targets
     for target in targets:
@@ -117,6 +146,10 @@ def main(argv=None) -> int:
             return 2
         print(driver(exp).to_table())
         print()
+    if runner.run_stats.points:
+        print("== run summary ==")
+        for line in runner.run_stats.summary_lines():
+            print(f"  {line}")
     return 0
 
 

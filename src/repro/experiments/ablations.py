@@ -13,7 +13,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.config import NetCrafterConfig
 from repro.experiments.figures import FigureResult
-from repro.experiments.runner import ExperimentScale, run_one
+from repro.experiments.runner import ExperimentScale, prefetch_variants, run_one
 from repro.stats.report import geometric_mean
 
 
@@ -26,10 +26,16 @@ def _speedups(exp: ExperimentScale, variant: NetCrafterConfig) -> List[float]:
     return values
 
 
+def _prefetch_configs(exp: ExperimentScale, configs) -> None:
+    """Batch the baseline plus every variant through the parallel runner."""
+    prefetch_variants(exp, [(None, None)] + [(None, cfg) for cfg in configs])
+
+
 def ablate_scheduler(exp: Optional[ExperimentScale] = None) -> FigureResult:
     """Age-ordered vs the paper's round-robin Cluster Queue service."""
     exp = exp or ExperimentScale.standard()
     full = NetCrafterConfig.full()
+    _prefetch_configs(exp, [full, full.with_overrides(scheduler="rr")])
     return FigureResult(
         "abl_scheduler",
         "Full NetCrafter under age-ordered vs round-robin CQ service",
@@ -47,6 +53,7 @@ def ablate_early_release(exp: Optional[ExperimentScale] = None) -> FigureResult:
     """Arrival-triggered release of pooled partitions, on vs off."""
     exp = exp or ExperimentScale.standard()
     sfp = NetCrafterConfig.stitching_with_selective_pooling(32)
+    _prefetch_configs(exp, [sfp, sfp.with_overrides(early_release=False)])
     return FigureResult(
         "abl_early_release",
         "Stitching+SFP32 with and without arrival-triggered early release",
@@ -66,6 +73,9 @@ def ablate_pooling_grace(
     """Work-conserving override grace before serving a pooled flit."""
     exp = exp or ExperimentScale.standard()
     sfp = NetCrafterConfig.stitching_with_selective_pooling(32)
+    _prefetch_configs(
+        exp, [sfp.with_overrides(pooling_grace=grace) for grace in graces]
+    )
     series: Dict[str, List[float]] = {}
     for grace in graces:
         series[f"grace_{grace}"] = _speedups(
@@ -86,11 +96,15 @@ def ablate_search_depth(
 ) -> FigureResult:
     """Stitch-engine associative search window per partition."""
     exp = exp or ExperimentScale.standard()
-    series: Dict[str, List[float]] = {}
-    for depth in depths:
-        cfg = NetCrafterConfig.stitching_with_selective_pooling(32).with_overrides(
+    depth_cfgs = [
+        NetCrafterConfig.stitching_with_selective_pooling(32).with_overrides(
             stitch_search_depth=depth
         )
+        for depth in depths
+    ]
+    prefetch_variants(exp, [(None, cfg) for cfg in depth_cfgs])
+    series: Dict[str, List[float]] = {}
+    for depth, cfg in zip(depths, depth_cfgs):
         series[f"depth_{depth}"] = []
         for name in exp.workload_names():
             out = run_one(name, netcrafter=cfg, scale=exp.scale, seed=exp.seed)
@@ -110,6 +124,13 @@ def ablate_cq_capacity(
 ) -> FigureResult:
     """Cluster Queue SRAM budget (Table 2 uses 1024 x 16 B)."""
     exp = exp or ExperimentScale.standard()
+    _prefetch_configs(
+        exp,
+        [
+            NetCrafterConfig.full().with_overrides(cluster_queue_entries=capacity)
+            for capacity in capacities
+        ],
+    )
     series: Dict[str, List[float]] = {}
     for capacity in capacities:
         cfg = NetCrafterConfig.full().with_overrides(cluster_queue_entries=capacity)

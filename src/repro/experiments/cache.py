@@ -1,0 +1,145 @@
+"""Persistent, content-addressed cache of experiment results.
+
+Every (workload, system, netcrafter, scale, seed) point is hashed into a
+stable fingerprint over the *full* configuration content (every dataclass
+field, not object identity), so a cache entry is valid exactly as long as
+the configuration tuple it describes.  Results are stored as JSON via
+:meth:`repro.stats.report.RunResult.to_dict`, one file per point, sharded
+by fingerprint prefix.
+
+``CACHE_FORMAT_VERSION`` is part of the fingerprint: bump it whenever the
+simulator's observable output changes (new counters, semantic fixes), and
+every stale entry silently becomes a miss instead of poisoning figures.
+
+The cache directory defaults to ``$REPRO_CACHE_DIR`` or ``.repro_cache``
+under the current directory; the experiment CLI enables it by default
+(``--no-cache`` / ``--cache-dir`` override), while library callers opt in
+via :func:`repro.experiments.runner.set_cache_dir`.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.stats.report import RunResult
+
+#: bump whenever simulator output changes for the same configuration
+CACHE_FORMAT_VERSION = 1
+
+
+def _json_default(obj: object) -> object:
+    if isinstance(obj, enum.Enum):
+        return obj.value
+    raise TypeError(f"cannot fingerprint {type(obj).__name__}: {obj!r}")
+
+
+def point_descriptor(point) -> Dict[str, object]:
+    """The full configuration content of a normalized experiment point.
+
+    ``point`` is any object with ``workload``, ``system``, ``netcrafter``,
+    ``scale`` and ``seed`` attributes whose config objects are dataclasses
+    (duck-typed to avoid a circular import with the runner).
+    """
+    return {
+        "format": CACHE_FORMAT_VERSION,
+        "result_schema": RunResult.SCHEMA_VERSION,
+        "workload": point.workload,
+        "system": asdict(point.system),
+        "netcrafter": asdict(point.netcrafter),
+        "scale": asdict(point.scale),
+        "seed": point.seed,
+    }
+
+
+def fingerprint(point) -> str:
+    """Stable content hash identifying one experiment point."""
+    blob = json.dumps(point_descriptor(point), sort_keys=True, default=_json_default)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def default_cache_dir() -> str:
+    """``$REPRO_CACHE_DIR`` if set, else ``.repro_cache`` in the cwd."""
+    return os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
+
+
+class ResultCache:
+    """On-disk RunResult store keyed by configuration fingerprint."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, point) -> Optional[RunResult]:
+        """The cached result for ``point``, or ``None`` on a miss.
+
+        Unreadable or corrupt entries (interrupted writes, format drift)
+        count as misses and are removed so they are rewritten cleanly.
+        """
+        path = self.path_for(fingerprint(point))
+        try:
+            payload = json.loads(path.read_text())
+            result = RunResult.from_dict(payload["result"])
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, point, result: RunResult) -> None:
+        """Persist ``result`` for ``point`` (atomic rename, last wins)."""
+        key = fingerprint(point)
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "key": key,
+            "point": point_descriptor(point),
+            "result": result.to_dict(),
+        }
+        blob = json.dumps(payload, default=_json_default)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(blob)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for entry in list(self.root.glob("*/*.json")):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

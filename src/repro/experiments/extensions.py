@@ -13,7 +13,7 @@ from typing import Dict, List, Optional
 from repro.config import SystemConfig
 from repro.core.config import NetCrafterConfig
 from repro.experiments.figures import FigureResult
-from repro.experiments.runner import ExperimentScale, run_one
+from repro.experiments.runner import ExperimentScale, prefetch_variants, run_one
 from repro.gpu.system import MultiGpuSystem
 from repro.stats.report import geometric_mean
 from repro.vm.alternative_placement import (
@@ -47,6 +47,7 @@ def ext_hw_coherence(exp: Optional[ExperimentScale] = None) -> FigureResult:
         "stitch_rate_hw": [],
     }
     labels = exp.workload_names()
+    prefetch_variants(exp, [(sw, None), (sw, nc), (hw, None), (hw, nc)])
     for name in labels:
         sw_base = run_one(name, system=sw, scale=exp.scale, seed=exp.seed)
         sw_nc = run_one(name, system=sw, netcrafter=nc, scale=exp.scale, seed=exp.seed)
@@ -90,6 +91,23 @@ def ext_scaling(exp: Optional[ExperimentScale] = None) -> FigureResult:
     exp = exp or ExperimentScale.standard()
     nc = NetCrafterConfig.full()
     labels, ideal_series, crafted_series = [], [], []
+    prefetch_variants(
+        exp,
+        [
+            variant
+            for clusters, gpus, fabric in SCALING_TOPOLOGIES
+            for system in (
+                SystemConfig.default().with_overrides(
+                    n_clusters=clusters, gpus_per_cluster=gpus, inter_topology=fabric
+                ),
+            )
+            for variant in (
+                (system, None),
+                (SystemConfig.ideal(system), None),
+                (system, nc),
+            )
+        ],
+    )
     for clusters, gpus, fabric in SCALING_TOPOLOGIES:
         system = SystemConfig.default().with_overrides(
             n_clusters=clusters, gpus_per_cluster=gpus, inter_topology=fabric
@@ -132,6 +150,7 @@ def ext_energy(exp: Optional[ExperimentScale] = None) -> FigureResult:
     nc = NetCrafterConfig.full()
     labels: List[str] = []
     series: Dict[str, List[float]] = {"network_energy": [], "total_energy": []}
+    prefetch_variants(exp, [(None, None), (None, nc)])
     for name in exp.workload_names():
         base = run_one(name, scale=exp.scale, seed=exp.seed)
         out = run_one(name, netcrafter=nc, scale=exp.scale, seed=exp.seed)
@@ -174,6 +193,9 @@ def ext_placement(exp: Optional[ExperimentScale] = None) -> FigureResult:
         node.load(trace)
         return node.run()
 
+    # only the LASP runs flow through the shared runner; the alternative
+    # placements mutate the trace, so they are simulated directly above
+    prefetch_variants(exp, [(system, None)])
     for name in exp.workload_names():
         generator = get_workload(name)
         lasp_trace = generator.build(n_gpus=system.n_gpus, scale=exp.scale, seed=exp.seed)
@@ -208,6 +230,7 @@ def ext_coherence_traffic(exp: Optional[ExperimentScale] = None) -> FigureResult
     exp = exp or ExperimentScale.standard()
     hw = SystemConfig.default().with_overrides(coherence="hardware")
     labels, inv_per_kop, base_cost = [], [], []
+    prefetch_variants(exp, [(None, None), (hw, None)])
     for name in exp.workload_names():
         sw_base = run_one(name, scale=exp.scale, seed=exp.seed)
         hw_base = run_one(name, system=hw, scale=exp.scale, seed=exp.seed)

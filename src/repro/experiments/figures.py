@@ -15,7 +15,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.config import SystemConfig
 from repro.core.config import NetCrafterConfig, PriorityMode
-from repro.experiments.runner import ExperimentScale, run_one
+from repro.experiments.runner import ExperimentScale, prefetch_variants, run_one
 from repro.network.packet import PacketType, packet_census_row
 from repro.stats.report import geometric_mean
 from repro.workloads.registry import workload_table
@@ -83,6 +83,12 @@ def _exp(exp: Optional[ExperimentScale]) -> ExperimentScale:
     return exp or ExperimentScale.standard()
 
 
+#: declare a driver's full point set up front and batch it through the
+#: runner (parallel fan-out + caches); the driver's subsequent ``run_one``
+#: calls are then pure cache lookups
+_prefetch = prefetch_variants
+
+
 # ---------------------------------------------------------------------------
 # Motivation figures (Section 3)
 # ---------------------------------------------------------------------------
@@ -92,6 +98,7 @@ def fig3_ideal_speedup(exp: Optional[ExperimentScale] = None) -> FigureResult:
     """Figure 3: uniform-high-bandwidth 'ideal' vs the non-uniform baseline."""
     exp = _exp(exp)
     labels = exp.workload_names()
+    _prefetch(exp, [(None, None), (SystemConfig.ideal(), None)])
     speedups = []
     for name in labels:
         base = run_one(name, scale=exp.scale, seed=exp.seed)
@@ -113,6 +120,7 @@ def fig4_network_utilization(exp: Optional[ExperimentScale] = None) -> FigureRes
     """Figure 4: inter-cluster network utilization, non-uniform vs ideal."""
     exp = _exp(exp)
     labels = exp.workload_names()
+    _prefetch(exp, [(None, None), (SystemConfig.ideal(), None)])
     non_uniform, ideal = [], []
     for name in labels:
         base = run_one(name, scale=exp.scale, seed=exp.seed)
@@ -132,6 +140,7 @@ def fig5_remote_latency(exp: Optional[ExperimentScale] = None) -> FigureResult:
     """Figure 5: inter-cluster memory latency, ideal normalized to baseline."""
     exp = _exp(exp)
     labels, base_lat, ideal_norm = [], [], []
+    _prefetch(exp, [(None, None), (SystemConfig.ideal(), None)])
     for name in exp.workload_names():
         base = run_one(name, scale=exp.scale, seed=exp.seed)
         up = run_one(name, system=SystemConfig.ideal(), scale=exp.scale, seed=exp.seed)
@@ -156,6 +165,7 @@ def fig6_flit_occupancy(exp: Optional[ExperimentScale] = None) -> FigureResult:
     labels = exp.workload_names()
     pad25, pad75, either = [], [], []
     flit_size = SystemConfig.default().flit_size
+    _prefetch(exp, [(None, None)])
     for name in labels:
         base = run_one(name, scale=exp.scale, seed=exp.seed)
         dist = base.padded_fraction_distribution(flit_size)
@@ -183,6 +193,7 @@ def fig7_cacheline_utilization(exp: Optional[ExperimentScale] = None) -> FigureR
     """Figure 7: inter-cluster reads by bytes the wavefront needs."""
     exp = _exp(exp)
     labels, buckets = [], {16: [], 32: [], 48: [], 64: []}
+    _prefetch(exp, [(None, None)])
     for name in exp.workload_names():
         base = run_one(name, scale=exp.scale, seed=exp.seed)
         total = sum(base.stats.read_req_bytes_hist.values())
@@ -208,6 +219,7 @@ def fig8_ptw_priority(exp: Optional[ExperimentScale] = None) -> FigureResult:
     labels, ptw_prio, data_prio = [], [], []
     ptw_cfg = NetCrafterConfig(priority_mode=PriorityMode.PTW)
     data_cfg = NetCrafterConfig(priority_mode=PriorityMode.DATA_MATCHED)
+    _prefetch(exp, [(None, None), (None, ptw_cfg), (None, data_cfg)])
     for name in exp.workload_names():
         base = run_one(name, scale=exp.scale, seed=exp.seed)
         ptw = run_one(name, netcrafter=ptw_cfg, scale=exp.scale, seed=exp.seed)
@@ -228,6 +240,7 @@ def fig9_ptw_fraction(exp: Optional[ExperimentScale] = None) -> FigureResult:
     """Figure 9: PTW-related share of inter-cluster traffic."""
     exp = _exp(exp)
     labels, ptw_frac, data_frac = [], [], []
+    _prefetch(exp, [(None, None)])
     for name in exp.workload_names():
         base = run_one(name, scale=exp.scale, seed=exp.seed)
         if base.ptw_bytes + base.data_bytes == 0:
@@ -260,6 +273,7 @@ def fig12_stitch_rate(exp: Optional[ExperimentScale] = None) -> FigureResult:
     labels, no_pool, with_pool = [], [], []
     cfg_np = NetCrafterConfig.stitching_only()
     cfg_fp = NetCrafterConfig.stitching_with_selective_pooling(32)
+    _prefetch(exp, [(None, cfg_np), (None, cfg_fp)])
     for name in exp.workload_names():
         a = run_one(name, netcrafter=cfg_np, scale=exp.scale, seed=exp.seed)
         b = run_one(name, netcrafter=cfg_fp, scale=exp.scale, seed=exp.seed)
@@ -293,6 +307,11 @@ def fig14_overall_speedup(exp: Optional[ExperimentScale] = None) -> FigureResult
     labels = exp.workload_names()
     series: Dict[str, List[float]] = {k: [] for k in FIG14_CONFIGS}
     series["sector_cache_16B"] = []
+    _prefetch(
+        exp,
+        [(None, None), (SystemConfig.sector_cache_baseline(), None)]
+        + [(None, cfg) for cfg in FIG14_CONFIGS.values()],
+    )
     for name in labels:
         base = run_one(name, scale=exp.scale, seed=exp.seed)
         for key, cfg in FIG14_CONFIGS.items():
@@ -321,6 +340,7 @@ def fig15_netcrafter_latency(exp: Optional[ExperimentScale] = None) -> FigureRes
     exp = _exp(exp)
     labels, base_norm, crafted = [], [], []
     cfg = NetCrafterConfig.full(32)
+    _prefetch(exp, [(None, None), (None, cfg)])
     for name in exp.workload_names():
         base = run_one(name, scale=exp.scale, seed=exp.seed)
         out = run_one(name, netcrafter=cfg, scale=exp.scale, seed=exp.seed)
@@ -346,6 +366,7 @@ def fig16_l1_mpki(exp: Optional[ExperimentScale] = None) -> FigureResult:
     baseline, trimming, sector = [], [], []
     trim_cfg = NetCrafterConfig.trimming_only()
     sector_sys = SystemConfig.sector_cache_baseline()
+    _prefetch(exp, [(None, None), (None, trim_cfg), (sector_sys, None)])
     for name in labels:
         base = run_one(name, scale=exp.scale, seed=exp.seed)
         trim = run_one(name, netcrafter=trim_cfg, scale=exp.scale, seed=exp.seed)
@@ -368,6 +389,23 @@ def fig17_trim_granularity(exp: Optional[ExperimentScale] = None) -> FigureResul
     exp = _exp(exp)
     granularities = [4, 8, 16]
     trim_mpki, all_trim_mpki = [], []
+    _prefetch(
+        exp,
+        [
+            variant
+            for g in granularities
+            for variant in (
+                (
+                    SystemConfig.default().with_overrides(l1_sector_bytes=g),
+                    NetCrafterConfig.trimming_only().with_overrides(
+                        trim_sector_bytes=g, trim_threshold_bytes=g
+                    ),
+                ),
+                (SystemConfig.sector_cache_baseline(sector_bytes=g), None),
+            )
+        ],
+        workloads=["gemm_large"],
+    )
     for g in granularities:
         sys_g = SystemConfig.default().with_overrides(l1_sector_bytes=g)
         trim_cfg = NetCrafterConfig.trimming_only().with_overrides(
@@ -405,6 +443,11 @@ def _pooling_sweep(
         NetCrafterConfig.stitching_with_selective_pooling
         if selective
         else NetCrafterConfig.stitching_with_pooling
+    )
+    _prefetch(
+        exp,
+        [(None, None), (None, NetCrafterConfig.stitching_only())]
+        + [(None, make(window)) for window in windows],
     )
     for name in labels:
         base = run_one(name, scale=exp.scale, seed=exp.seed)
@@ -452,6 +495,14 @@ def fig20_byte_reduction(
     series: Dict[str, List[float]] = {"stitching": []}
     for window in windows:
         series[f"sfp_{window}"] = []
+    _prefetch(
+        exp,
+        [(None, None), (None, NetCrafterConfig.stitching_only())]
+        + [
+            (None, NetCrafterConfig.stitching_with_selective_pooling(window))
+            for window in windows
+        ],
+    )
     for name in labels:
         base = run_one(name, scale=exp.scale, seed=exp.seed)
         st = run_one(
@@ -488,6 +539,17 @@ def fig21_flit_size(exp: Optional[ExperimentScale] = None) -> FigureResult:
     labels = exp.workload_names()
     series: Dict[str, List[float]] = {"flit_16B": [], "flit_8B": []}
     cfg = NetCrafterConfig.stitching_with_selective_pooling(32)
+    _prefetch(
+        exp,
+        [
+            variant
+            for flit_size in (16, 8)
+            for variant in (
+                (SystemConfig.default().with_overrides(flit_size=flit_size), None),
+                (SystemConfig.default().with_overrides(flit_size=flit_size), cfg),
+            )
+        ],
+    )
     for name in labels:
         for key, flit_size in (("flit_16B", 16), ("flit_8B", 8)):
             sys_f = SystemConfig.default().with_overrides(flit_size=flit_size)
@@ -522,6 +584,27 @@ def fig22_bandwidth_sweep(exp: Optional[ExperimentScale] = None) -> FigureResult
     cfg = NetCrafterConfig.full(32)
     labels = [f"{int(intra)}:{int(inter)}" for intra, inter in FIG22_BANDWIDTHS]
     speedups: List[float] = []
+    _prefetch(
+        exp,
+        [
+            variant
+            for intra, inter in FIG22_BANDWIDTHS
+            for variant in (
+                (
+                    SystemConfig.default().with_overrides(
+                        intra_cluster_bw=intra, inter_cluster_bw=inter
+                    ),
+                    None,
+                ),
+                (
+                    SystemConfig.default().with_overrides(
+                        intra_cluster_bw=intra, inter_cluster_bw=inter
+                    ),
+                    cfg,
+                ),
+            )
+        ],
+    )
     for intra, inter in FIG22_BANDWIDTHS:
         sys_b = SystemConfig.default().with_overrides(
             intra_cluster_bw=intra, inter_cluster_bw=inter

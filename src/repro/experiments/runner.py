@@ -1,19 +1,35 @@
-"""Shared experiment runner with per-process result caching.
+"""Shared experiment runner: caching, and parallel point fan-out.
 
 Figures reuse each other's runs (every speedup figure needs the same
 baseline), so results are memoized on the full configuration key; a
 single pytest session regenerating all figures therefore simulates each
 (workload, config) point exactly once.
+
+Two layers sit on top of that in-process memo:
+
+* :func:`run_many` fans a batch of independent
+  :class:`ExperimentPoint`\\ s out over a ``ProcessPoolExecutor`` —
+  simulation points share nothing, so they are embarrassingly parallel;
+* an optional on-disk :class:`~repro.experiments.cache.ResultCache`
+  (content-addressed by the full configuration) makes repeat figure
+  regeneration nearly free across processes.
+
+Every lookup and execution is tallied in :data:`run_stats` so the CLI
+and benchmark harness can report per-point timing, cache effectiveness,
+and parallel speedup.
 """
 
 from __future__ import annotations
 
 import os
+import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.config import SystemConfig
 from repro.core.config import NetCrafterConfig
+from repro.experiments.cache import ResultCache, default_cache_dir
 from repro.gpu.system import MultiGpuSystem
 from repro.stats.report import RunResult
 from repro.workloads.base import Scale
@@ -62,11 +78,186 @@ class ExperimentScale:
         return cls.standard()
 
 
+@dataclass(frozen=True)
+class ExperimentPoint:
+    """One independent simulation point: a (workload, configuration) tuple.
+
+    ``None`` config fields mean "the default"; :meth:`normalized` fills
+    them in so equal points always hash to the same cache key.
+    """
+
+    workload: str
+    system: Optional[SystemConfig] = None
+    netcrafter: Optional[NetCrafterConfig] = None
+    scale: Optional[Scale] = None
+    seed: int = 0
+
+    def normalized(self) -> "ExperimentPoint":
+        if self.system is not None and self.netcrafter is not None and self.scale is not None:
+            return self
+        return ExperimentPoint(
+            workload=self.workload,
+            system=self.system or SystemConfig.default(),
+            netcrafter=self.netcrafter or NetCrafterConfig.baseline(),
+            scale=self.scale or Scale.small(),
+            seed=self.seed,
+        )
+
+    def key(self) -> tuple:
+        """In-process memo key (the full normalized configuration)."""
+        p = self.normalized()
+        return (p.workload, p.system, p.netcrafter, p.scale, p.seed)
+
+    def label(self) -> str:
+        p = self.normalized()
+        return f"{p.workload}/seed{p.seed}"
+
+
+@dataclass
+class ExecutionStats:
+    """Counters describing where results came from and what they cost."""
+
+    points: int = 0
+    memory_hits: int = 0
+    disk_hits: int = 0
+    executed: int = 0
+    #: summed single-point simulation time (what a serial run would cost)
+    exec_seconds: float = 0.0
+    #: wall-clock spent inside run_many batches
+    wall_seconds: float = 0.0
+    batches: int = 0
+    max_jobs: int = 1
+    #: (label, seconds) of executed points, slowest retained first-come
+    timings: List[Tuple[str, float]] = field(default_factory=list)
+
+    def disk_hit_rate(self) -> float:
+        """Disk hits over points that had to go past the in-process memo."""
+        looked = self.disk_hits + self.executed
+        if looked == 0:
+            return 0.0
+        return self.disk_hits / looked
+
+    def parallel_speedup(self) -> float:
+        """Summed per-point simulation time over batch wall time.
+
+        On an uncontended multi-core machine this approximates the
+        wall-clock speedup over a serial pass; when workers share cores
+        it reads as the concurrency achieved, so the summary labels it
+        "effective parallelism" rather than promising saved time.
+        """
+        if self.wall_seconds <= 0 or self.exec_seconds <= 0:
+            return 1.0
+        return max(1.0, self.exec_seconds / self.wall_seconds)
+
+    def summary_lines(self) -> List[str]:
+        lines = [
+            f"points requested:   {self.points}",
+            f"memory cache hits:  {self.memory_hits}",
+            f"disk cache hits:    {self.disk_hits}",
+            f"simulated:          {self.executed}"
+            f"  ({self.exec_seconds:.1f}s of single-point simulation)",
+            f"batch wall time:    {self.wall_seconds:.1f}s"
+            f"  ({self.batches} batches, up to {self.max_jobs} jobs)",
+            f"disk-cache hit rate: {100.0 * self.disk_hit_rate():.1f}%",
+        ]
+        if self.executed and self.max_jobs > 1:
+            lines.append(
+                f"effective parallelism: {self.parallel_speedup():.2f}x"
+            )
+        if self.timings:
+            slowest = sorted(self.timings, key=lambda t: -t[1])[:5]
+            rendered = ", ".join(f"{lbl} {sec:.2f}s" for lbl, sec in slowest)
+            lines.append(f"slowest points:     {rendered}")
+        return lines
+
+    def reset(self) -> None:
+        self.__init__()
+
+
+#: process-wide tallies; reset with :func:`reset_run_stats`
+run_stats = ExecutionStats()
+
+
+def reset_run_stats() -> None:
+    run_stats.reset()
+
+
 _cache: Dict[tuple, RunResult] = {}
+_default_jobs = 1
+_disk_cache: Optional[ResultCache] = None
 
 
 def clear_cache() -> None:
+    """Drop the in-process memo (the disk cache is left untouched)."""
     _cache.clear()
+
+
+def set_default_jobs(jobs: int) -> None:
+    """Worker-process count :func:`run_many` uses when none is passed."""
+    global _default_jobs
+    _default_jobs = max(1, int(jobs))
+
+
+def set_cache_dir(path: Optional[str]) -> None:
+    """Enable the persistent disk cache rooted at ``path`` (None disables)."""
+    global _disk_cache
+    _disk_cache = ResultCache(path) if path else None
+
+
+def disk_cache() -> Optional[ResultCache]:
+    """The active persistent cache, or ``None`` when disabled."""
+    return _disk_cache
+
+
+def _simulate(point: ExperimentPoint) -> RunResult:
+    point = point.normalized()
+    trace = get_workload(point.workload).build(
+        n_gpus=point.system.n_gpus, scale=point.scale, seed=point.seed
+    )
+    node = MultiGpuSystem(
+        config=point.system, netcrafter=point.netcrafter, seed=point.seed
+    )
+    node.load(trace)
+    return node.run()
+
+
+def _execute_point(point: ExperimentPoint) -> Tuple[RunResult, float]:
+    """Worker entry point: simulate one point, timing it (picklable)."""
+    start = time.perf_counter()
+    result = _simulate(point)
+    return result, time.perf_counter() - start
+
+
+def _record_executed(point: ExperimentPoint, result: RunResult, seconds: float) -> None:
+    run_stats.executed += 1
+    run_stats.exec_seconds += seconds
+    run_stats.timings.append((point.label(), seconds))
+
+
+def _lookup(point: ExperimentPoint, use_cache: bool) -> Optional[RunResult]:
+    """Memory then disk lookup; promotes disk hits into the memo."""
+    if not use_cache:
+        return None
+    key = point.key()
+    cached = _cache.get(key)
+    if cached is not None:
+        run_stats.memory_hits += 1
+        return cached
+    if _disk_cache is not None:
+        loaded = _disk_cache.get(point)
+        if loaded is not None:
+            run_stats.disk_hits += 1
+            _cache[key] = loaded
+            return loaded
+    return None
+
+
+def _store(point: ExperimentPoint, result: RunResult, use_cache: bool) -> None:
+    if not use_cache:
+        return
+    _cache[point.key()] = result
+    if _disk_cache is not None:
+        _disk_cache.put(point, result)
 
 
 def run_one(
@@ -78,19 +269,111 @@ def run_one(
     use_cache: bool = True,
 ) -> RunResult:
     """Simulate one (workload, configuration) point."""
-    system = system or SystemConfig.default()
-    netcrafter = netcrafter or NetCrafterConfig.baseline()
-    scale = scale or Scale.small()
-    key = (workload, system, netcrafter, scale, seed)
-    if use_cache and key in _cache:
-        return _cache[key]
-    trace = get_workload(workload).build(n_gpus=system.n_gpus, scale=scale, seed=seed)
-    node = MultiGpuSystem(config=system, netcrafter=netcrafter, seed=seed)
-    node.load(trace)
-    result = node.run()
-    if use_cache:
-        _cache[key] = result
+    point = ExperimentPoint(
+        workload=workload, system=system, netcrafter=netcrafter, scale=scale, seed=seed
+    ).normalized()
+    run_stats.points += 1
+    cached = _lookup(point, use_cache)
+    if cached is not None:
+        return cached
+    result, seconds = _execute_point(point)
+    _record_executed(point, result, seconds)
+    _store(point, result, use_cache)
     return result
+
+
+def run_many(
+    points: Sequence[ExperimentPoint],
+    jobs: Optional[int] = None,
+    use_cache: bool = True,
+) -> List[RunResult]:
+    """Run a batch of independent points, fanning misses out over workers.
+
+    Returns results in ``points`` order.  Duplicate points are simulated
+    once; cached points (in-process memo first, then the persistent disk
+    cache when enabled) are never re-simulated.  With ``jobs > 1`` the
+    remaining misses run on a ``ProcessPoolExecutor``; results are
+    bit-identical to a serial pass because each point's simulation is a
+    deterministic function of its configuration.
+    """
+    batch_start = time.perf_counter()
+    jobs = _default_jobs if jobs is None else max(1, int(jobs))
+    normalized = [p.normalized() for p in points]
+    run_stats.points += len(normalized)
+    run_stats.batches += 1
+    run_stats.max_jobs = max(run_stats.max_jobs, jobs)
+
+    results: Dict[tuple, RunResult] = {}
+    pending: List[ExperimentPoint] = []
+    for point in normalized:
+        key = point.key()
+        if key in results:
+            run_stats.memory_hits += 1  # duplicate within this batch
+            continue
+        cached = _lookup(point, use_cache)
+        if cached is not None:
+            results[key] = cached
+            continue
+        results[key] = None  # placeholder so duplicates don't re-queue
+        pending.append(point)
+
+    if pending:
+        if jobs > 1 and len(pending) > 1:
+            with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+                outcomes = list(pool.map(_execute_point, pending))
+        else:
+            outcomes = [_execute_point(point) for point in pending]
+        for point, (result, seconds) in zip(pending, outcomes):
+            _record_executed(point, result, seconds)
+            _store(point, result, use_cache)
+            results[point.key()] = result
+
+    run_stats.wall_seconds += time.perf_counter() - batch_start
+    return [results[point.key()] for point in normalized]
+
+
+def run_batch(
+    exp: ExperimentScale,
+    combos: Iterable[Tuple[str, Optional[SystemConfig], Optional[NetCrafterConfig]]],
+    jobs: Optional[int] = None,
+) -> List[RunResult]:
+    """Batch ``(workload, system, netcrafter)`` combos at ``exp``'s scale.
+
+    The declare-points-up-front entry used by every figure/ablation
+    driver: the full point set goes through :func:`run_many` (parallel
+    fan-out + caches), after which the driver's per-series ``run_one``
+    lookups are pure memo hits.
+    """
+    points = [
+        ExperimentPoint(
+            workload=workload,
+            system=system,
+            netcrafter=netcrafter,
+            scale=exp.scale,
+            seed=exp.seed,
+        )
+        for workload, system, netcrafter in combos
+    ]
+    return run_many(points, jobs=jobs)
+
+
+def prefetch_variants(
+    exp: ExperimentScale,
+    variants: Sequence[Tuple[Optional[SystemConfig], Optional[NetCrafterConfig]]],
+    workloads: Optional[Sequence[str]] = None,
+    jobs: Optional[int] = None,
+) -> List[RunResult]:
+    """Batch every ``(system, netcrafter)`` variant across the workload set.
+
+    Convenience over :func:`run_batch` for the common driver shape "the
+    same config variants for every workload".
+    """
+    names = workloads if workloads is not None else exp.workload_names()
+    return run_batch(
+        exp,
+        [(name, system, netcrafter) for name in names for system, netcrafter in variants],
+        jobs=jobs,
+    )
 
 
 def run_pair(

@@ -79,6 +79,15 @@ class Flit:
         return self.flit_size - used
 
     @property
+    def useful_payload_bytes(self) -> int:
+        """Payload bytes carried: this flit's plus every absorbed flit's.
+
+        Excludes the ID/Size metadata of PARTIAL_PAYLOAD segments — that
+        prefix is wire overhead spent to enable stitching, not payload.
+        """
+        return self.used_bytes + sum(seg.flit.used_bytes for seg in self.segments)
+
+    @property
     def is_tail(self) -> bool:
         return self.index == self.packet.flit_count(self.flit_size) - 1
 

@@ -96,7 +96,7 @@ class FlitLink(Component):
         self.stats.busy_cycles += tx_cycles
         self.stats.flits += 1
         self.stats.wire_bytes += flit.flit_size
-        self.stats.useful_bytes += flit.flit_size - flit.empty_bytes
+        self.stats.useful_bytes += flit.useful_payload_bytes
         arrival = math.ceil(self._next_free) + self.latency
         self.engine.schedule_at(arrival, self.sink, flit)
 

@@ -86,12 +86,20 @@ class Engine:
         try:
             while self._queue:
                 if until is not None and self._queue[0][0] > until:
-                    self._now = until
                     break
                 if max_events is not None and executed >= max_events:
                     break
                 self.step()
                 executed += 1
+            # Both time-bounded exits — next event beyond ``until`` and the
+            # queue draining early — leave the clock at ``until``, so
+            # elapsed-cycle denominators (e.g. link utilization) agree with
+            # the caller's notion of how long the run covered.  A
+            # ``max_events`` break with work still due before ``until``
+            # keeps the clock at the last executed event.
+            if until is not None and until > self._now:
+                if not self._queue or self._queue[0][0] > until:
+                    self._now = until
         finally:
             self._running = False
         return executed

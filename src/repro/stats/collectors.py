@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from collections import Counter
-from typing import Optional
+from typing import Dict, List, Optional
 
 
 class LatencyStat:
@@ -52,6 +52,25 @@ class LatencyStat:
         room = self.MAX_SAMPLES - len(self._samples)
         if room > 0:
             self._samples.extend(other._samples[:room])
+
+    # -- serialization (persistent result cache) ---------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "max": self.max,
+            "samples": list(self._samples),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "LatencyStat":
+        stat = cls()
+        stat.count = int(data["count"])
+        stat.total = int(data["total"])
+        stat.max = int(data["max"])
+        stat._samples = [int(v) for v in data["samples"]]
+        return stat
 
 
 class RunStats:
@@ -124,3 +143,35 @@ class RunStats:
             count for bucket, count in self.read_req_bytes_hist.items() if bucket <= nbytes
         )
         return small / total
+
+    # -- serialization (persistent result cache) ---------------------------
+    #
+    # Counters and latency stats are wrapped in tagged dicts so the format
+    # stays generic over attribute additions: any plain-scalar counter added
+    # to ``__init__`` round-trips with no serializer change.  Counter keys
+    # are kept as ``[key, count]`` pairs because JSON object keys must be
+    # strings.
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {}
+        for key, value in vars(self).items():
+            if isinstance(value, LatencyStat):
+                out[key] = {"__latency__": value.to_dict()}
+            elif isinstance(value, Counter):
+                out[key] = {"__counter__": sorted(value.items())}
+            else:
+                out[key] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunStats":
+        stats = cls()
+        for key, value in data.items():
+            if isinstance(value, dict) and "__latency__" in value:
+                setattr(stats, key, LatencyStat.from_dict(value["__latency__"]))
+            elif isinstance(value, dict) and "__counter__" in value:
+                pairs: List = value["__counter__"]
+                setattr(stats, key, Counter({int(k): int(v) for k, v in pairs}))
+            else:
+                setattr(stats, key, value)
+        return stats

@@ -52,6 +52,13 @@ class EnergyBreakdown:
             for key in ("inter_links", "intra_links", "switches", "cluster_queues")
         )
 
+    def to_dict(self) -> Dict[str, Dict[str, float]]:
+        return {"components": dict(self.components)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Dict[str, float]]) -> "EnergyBreakdown":
+        return cls(components={k: float(v) for k, v in data["components"].items()})
+
     def as_rows(self) -> str:
         lines = [
             f"{name:16s} {value / 1e6:10.3f} uJ"

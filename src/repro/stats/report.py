@@ -4,10 +4,11 @@ from __future__ import annotations
 
 import math
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, Iterable, Optional
 
 from repro.stats.collectors import RunStats
+from repro.stats.energy import EnergyBreakdown
 
 
 def geometric_mean(values: Iterable[float]) -> float:
@@ -51,6 +52,46 @@ class RunResult:
     #: per-contributor energy estimate (repro.stats.energy), attached by
     #: MultiGpuSystem at collection time
     energy: Optional[object] = None
+
+    # -- serialization (persistent result cache) ----------------------------
+
+    #: bump when the meaning of any serialized field changes
+    SCHEMA_VERSION = 1
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dict capturing every field, for the on-disk cache."""
+        out: Dict[str, object] = {"schema": self.SCHEMA_VERSION}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "stats":
+                out[f.name] = value.to_dict()
+            elif f.name == "occupancy":
+                # Counter keys are ints; JSON object keys must be strings,
+                # so store sorted [used_bytes, count] pairs instead
+                out[f.name] = sorted(value.items())
+            elif f.name == "energy":
+                out[f.name] = value.to_dict() if value is not None else None
+            else:
+                out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunResult":
+        """Rebuild a result serialized by :meth:`to_dict`."""
+        data = dict(data)
+        schema = data.pop("schema", None)
+        if schema != cls.SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported RunResult schema {schema!r} "
+                f"(expected {cls.SCHEMA_VERSION})"
+            )
+        data["stats"] = RunStats.from_dict(data["stats"])
+        data["occupancy"] = Counter(
+            {int(used): int(count) for used, count in data["occupancy"]}
+        )
+        if data.get("energy") is not None:
+            data["energy"] = EnergyBreakdown.from_dict(data["energy"])
+        return cls(**data)
 
     # -- derived ------------------------------------------------------------
 

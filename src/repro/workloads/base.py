@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import abc
 import random
+import zlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -135,7 +136,10 @@ class WorkloadGenerator(abc.ABC):
     ) -> WorkloadTrace:
         """Generate the deterministic trace for this workload."""
         scale = scale or Scale.default()
-        rng = random.Random((hash(self.name) ^ seed) & 0xFFFFFFFF)
+        # crc32, NOT hash(): str hashes are randomized per process
+        # (PYTHONHASHSEED), which would make traces differ between runs
+        # and between pool workers
+        rng = random.Random((zlib.crc32(self.name.encode()) ^ seed) & 0xFFFFFFFF)
         kernels = self._kernels(n_gpus, scale, rng)
         trace = WorkloadTrace(name=self.name, kernels=kernels)
         trace.validate()

@@ -172,6 +172,48 @@ def test_remove_flit():
     assert len(q) == 1
 
 
+def test_remove_pooled_head_clears_partition_timer():
+    q = _queue()
+    pooled, successor = _flit(), _flit()
+    pooled.pooled = True
+    q.push(pooled)
+    q.push(successor)
+    part = q.partitions()[0]
+    part.blocked_until, part.pooled_at = 100, 68
+    assert q.remove_flit(pooled)
+    # the timer belonged to the stitched-away head; the successor was
+    # never pooled and must not inherit the block
+    assert part.blocked_until == 0
+    assert part.pooled_at == 0
+    assert q.stale_timers_cleared == 1
+    chosen, _ = q.select_partition(now=70)
+    assert chosen is part
+
+
+def test_remove_non_head_flit_keeps_timer():
+    q = _queue()
+    pooled, other = _flit(), _flit()
+    pooled.pooled = True
+    q.push(pooled)
+    q.push(other)
+    part = q.partitions()[0]
+    part.blocked_until = 100
+    assert q.remove_flit(other)
+    assert part.blocked_until == 100
+    assert q.stale_timers_cleared == 0
+
+
+def test_remove_unpooled_head_keeps_timer():
+    q = _queue()
+    head = _flit()  # never pooled: the timer is not its to release
+    q.push(head)
+    part = q.partitions()[0]
+    part.blocked_until = 100
+    assert q.remove_flit(head)
+    assert part.blocked_until == 100
+    assert q.stale_timers_cleared == 0
+
+
 def test_push_front_restores_head():
     q = _queue()
     a, b = _flit(), _flit()

@@ -219,6 +219,38 @@ class TestPooling:
         # the READ_REQ was stitched into the waiting rsp tail
         assert ctrl.stats.flits_absorbed >= 1
 
+    def test_stitched_away_pooled_head_frees_its_partition(self):
+        """Regression: when a pooled partition head is absorbed into a
+        parent from another partition, its pooling timer must die with
+        it — the never-pooled successor behind it must not wait out the
+        stale window.  ``early_release=False`` and a grace as long as the
+        window isolate the timer-clearing path."""
+        cfg = NetCrafterConfig.stitching_with_selective_pooling(300).with_overrides(
+            early_release=False, pooling_grace=300
+        )
+        eng = Engine()
+        arrivals = []
+        link = FlitLink(
+            eng, "link", 16.0, 0, sink=lambda f: arrivals.append((eng.now, f))
+        )
+        ctrl = NetCrafterController(eng, "ctrl", link, 16, cfg)
+        rsp_a = _pkt(PacketType.READ_RSP)
+        ctrl.accept_packet(rsp_a)
+        eng.run(until=8)  # A's 4 full flits depart; its tail pools until ~305
+        assert ctrl.pooling.flits_pooled == 1
+        rsp_b = _pkt(PacketType.READ_RSP)
+        ctrl.accept_packet(rsp_b)  # queued behind the pooled tail
+        eng.run(until=10)
+        wr = _pkt(PacketType.WRITE_RSP)  # 4 used/12 empty: absorbs A's tail
+        ctrl.accept_packet(wr)
+        eng.run()
+        assert ctrl.stats.flits_absorbed >= 1
+        assert ctrl.queue.stale_timers_cleared == 1
+        # B's head flit departs as soon as the wire frees, not at timer
+        # expiry (~305, which is where it sat before the fix)
+        first_b = min(t for t, f in arrivals if f.packet is rsp_b)
+        assert first_b < 100
+
     def test_ptw_never_pooled_under_selective(self):
         cfg = NetCrafterConfig.stitching_with_selective_pooling(1000)
         eng, ctrl, link, flits = _setup(cfg)

@@ -1,0 +1,97 @@
+"""Tests for the persistent result cache's fingerprinting and storage."""
+
+import json
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.config import NetCrafterConfig
+from repro.experiments.cache import ResultCache, default_cache_dir, fingerprint
+from repro.experiments.runner import ExperimentPoint
+from repro.stats.collectors import RunStats
+from repro.stats.report import RunResult
+from repro.workloads.base import Scale
+
+
+def _point(**overrides):
+    return ExperimentPoint(workload="gups", scale=Scale.tiny(), **overrides).normalized()
+
+
+def _result(cycles=123):
+    return RunResult(workload="gups", config_label="c", cycles=cycles, stats=RunStats())
+
+
+class TestFingerprint:
+    def test_stable_across_equal_points(self):
+        assert fingerprint(_point()) == fingerprint(_point())
+
+    def test_content_not_identity(self):
+        a = _point(system=SystemConfig.default())
+        b = _point(system=SystemConfig.default().with_overrides())
+        assert a.system is not b.system
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_sensitive_to_every_config_layer(self):
+        base = fingerprint(_point())
+        assert fingerprint(_point(netcrafter=NetCrafterConfig.full())) != base
+        assert fingerprint(_point(seed=1)) != base
+        assert (
+            fingerprint(
+                _point(system=SystemConfig.default().with_overrides(flit_size=32))
+            )
+            != base
+        )
+        assert (
+            fingerprint(ExperimentPoint(workload="mt", scale=Scale.tiny()).normalized())
+            != base
+        )
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get(_point()) is None
+        cache.put(_point(), _result())
+        loaded = cache.get(_point())
+        assert loaded is not None
+        assert loaded.cycles == 123
+        assert cache.misses == 1 and cache.hits == 1 and cache.writes == 1
+        assert len(cache) == 1
+
+    def test_put_overwrites(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(_point(), _result(cycles=1))
+        cache.put(_point(), _result(cycles=2))
+        assert cache.get(_point()).cycles == 2
+        assert len(cache) == 1
+
+    def test_corrupt_entry_removed_and_missed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(_point(), _result())
+        path = cache.path_for(fingerprint(_point()))
+        path.write_text("not json at all")
+        assert cache.get(_point()) is None
+        assert not path.exists()
+
+    def test_stale_result_schema_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(_point(), _result())
+        path = cache.path_for(fingerprint(_point()))
+        payload = json.loads(path.read_text())
+        payload["result"]["schema"] = 999
+        path.write_text(json.dumps(payload))
+        assert cache.get(_point()) is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(_point(), _result())
+        cache.put(_point(seed=1), _result())
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+
+def test_default_cache_dir_honours_env(monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", "/tmp/somewhere")
+    assert default_cache_dir() == "/tmp/somewhere"
+    monkeypatch.delenv("REPRO_CACHE_DIR")
+    assert default_cache_dir() == ".repro_cache"

@@ -2,7 +2,34 @@
 
 import pytest
 
+from repro.experiments import runner
 from repro.experiments.__main__ import DRIVERS, main
+from repro.experiments.runner import ExperimentScale
+from repro.workloads.base import Scale
+
+
+@pytest.fixture(autouse=True)
+def _isolated_runner_state(tmp_path, monkeypatch):
+    # the CLI enables the disk cache by default; keep it out of the repo
+    # and undo the global runner knobs it sets
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    yield
+    runner.set_cache_dir(None)
+    runner.set_default_jobs(1)
+    runner.reset_run_stats()
+    runner.clear_cache()
+
+
+@pytest.fixture
+def tiny_quick(monkeypatch):
+    # shrink the quick scale further for test speed
+    from repro.experiments import __main__ as cli
+
+    monkeypatch.setitem(
+        cli.SCALES,
+        "quick",
+        lambda: ExperimentScale(scale=Scale.tiny(), workloads=("gups",)),
+    )
 
 
 def test_list(capsys):
@@ -29,16 +56,37 @@ def test_every_figure_registered():
 
 
 @pytest.mark.parametrize("target", ["fig6", "fig9"])
-def test_run_single_figure_quick(capsys, target, monkeypatch):
-    # shrink the quick scale further for test speed
-    from repro.experiments import __main__ as cli
-    from repro.experiments.runner import ExperimentScale
-    from repro.workloads.base import Scale
-
-    monkeypatch.setitem(
-        cli.SCALES,
-        "quick",
-        lambda: ExperimentScale(scale=Scale.tiny(), workloads=("gups",)),
-    )
+def test_run_single_figure_quick(capsys, target, tiny_quick):
     assert main([target, "--scale", "quick"]) == 0
     assert target in capsys.readouterr().out
+
+
+def test_jobs_flag_parallel_run_and_summary(capsys, tiny_quick, tmp_path):
+    assert main(
+        ["fig3", "--scale", "quick", "--jobs", "2", "--cache-dir", str(tmp_path)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "fig3" in out
+    assert "run summary" in out
+    assert "disk cache hits" in out
+    assert len(runner.disk_cache()) > 0
+
+
+def test_no_cache_flag_disables_disk_cache(capsys, tiny_quick, tmp_path):
+    assert main(["fig6", "--scale", "quick", "--no-cache"]) == 0
+    assert runner.disk_cache() is None
+    assert not (tmp_path / "cache").exists()
+
+
+def test_second_invocation_hits_disk_cache(capsys, tiny_quick, tmp_path):
+    args = ["fig3", "--scale", "quick", "--cache-dir", str(tmp_path)]
+    assert main(args) == 0
+    first = capsys.readouterr().out
+    assert "disk-cache hit rate: 0.0%" in first
+    # a fresh process would start with an empty memo; simulate that
+    runner.clear_cache()
+    runner.reset_run_stats()
+    assert main(args) == 0
+    second = capsys.readouterr().out
+    assert "disk-cache hit rate: 100.0%" in second
+    assert "simulated:          0" in second

@@ -5,10 +5,16 @@ import pytest
 from repro.config import SystemConfig
 from repro.core.config import NetCrafterConfig
 from repro.experiments.runner import (
+    ExperimentPoint,
     ExperimentScale,
     clear_cache,
+    disk_cache,
+    reset_run_stats,
+    run_many,
     run_one,
     run_pair,
+    run_stats,
+    set_cache_dir,
 )
 from repro.workloads.base import Scale
 
@@ -16,8 +22,12 @@ from repro.workloads.base import Scale
 @pytest.fixture(autouse=True)
 def _fresh_cache():
     clear_cache()
+    reset_run_stats()
+    set_cache_dir(None)
     yield
     clear_cache()
+    reset_run_stats()
+    set_cache_dir(None)
 
 
 def test_run_one_returns_result():
@@ -49,6 +59,105 @@ def test_run_pair():
     base, out = run_pair("gups", NetCrafterConfig.full(), scale=Scale.tiny())
     assert base.config_label == "baseline"
     assert out.config_label != "baseline"
+
+
+def _tiny_points():
+    return [
+        ExperimentPoint(workload="gups", scale=Scale.tiny()),
+        ExperimentPoint(
+            workload="gups", netcrafter=NetCrafterConfig.full(), scale=Scale.tiny()
+        ),
+        ExperimentPoint(workload="mt", scale=Scale.tiny()),
+        ExperimentPoint(
+            workload="mt", netcrafter=NetCrafterConfig.full(), scale=Scale.tiny()
+        ),
+    ]
+
+
+class TestExperimentPoint:
+    def test_normalized_fills_defaults(self):
+        point = ExperimentPoint(workload="gups").normalized()
+        assert point.system == SystemConfig.default()
+        assert point.netcrafter == NetCrafterConfig.baseline()
+        assert point.scale == Scale.small()
+
+    def test_key_matches_run_one_memoization(self):
+        result = run_one("gups", scale=Scale.tiny())
+        points = [
+            ExperimentPoint(workload="gups", scale=Scale.tiny()),
+            ExperimentPoint(workload="gups", scale=Scale.tiny()),
+        ]
+        many = run_many(points)
+        assert many[0] is result  # memo hit, same object
+        assert many[1] is result  # duplicate within the batch
+
+
+class TestRunMany:
+    def test_order_preserved_and_complete(self):
+        points = _tiny_points()
+        results = run_many(points)
+        assert len(results) == len(points)
+        for point, result in zip(points, results):
+            assert result.workload == point.workload
+
+    def test_parallel_matches_serial(self):
+        serial = [
+            run_one(
+                p.workload,
+                system=p.system,
+                netcrafter=p.netcrafter,
+                scale=p.scale,
+                seed=p.seed,
+                use_cache=False,
+            )
+            for p in _tiny_points()
+        ]
+        clear_cache()
+        parallel = run_many(_tiny_points(), jobs=2)
+        assert [r.to_dict() for r in parallel] == [r.to_dict() for r in serial]
+
+    def test_stats_track_hits_and_executions(self):
+        run_many(_tiny_points())
+        assert run_stats.executed == 4
+        run_many(_tiny_points())
+        assert run_stats.executed == 4
+        assert run_stats.memory_hits == 4
+        assert run_stats.batches == 2
+        assert len(run_stats.timings) == 4
+
+
+class TestDiskCache:
+    def test_results_persist_across_memo_clears(self, tmp_path):
+        set_cache_dir(str(tmp_path))
+        first = run_many(_tiny_points())
+        assert len(disk_cache()) == 4
+        clear_cache()  # drop the in-process memo, keep the disk
+        reset_run_stats()
+        second = run_many(_tiny_points())
+        assert run_stats.executed == 0
+        assert run_stats.disk_hits == 4
+        assert run_stats.disk_hit_rate() == 1.0
+        assert [r.to_dict() for r in second] == [r.to_dict() for r in first]
+
+    def test_run_one_uses_disk_cache(self, tmp_path):
+        set_cache_dir(str(tmp_path))
+        first = run_one("gups", scale=Scale.tiny())
+        clear_cache()
+        second = run_one("gups", scale=Scale.tiny())
+        assert second is not first  # deserialized copy, not the memo object
+        assert second.to_dict() == first.to_dict()
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        set_cache_dir(str(tmp_path))
+        run_one("gups", scale=Scale.tiny())
+        for path in tmp_path.rglob("*.json"):
+            path.write_text("{ not json")
+        clear_cache()
+        reset_run_stats()
+        result = run_one("gups", scale=Scale.tiny())
+        assert result.cycles > 0
+        assert run_stats.disk_hits == 0
+        assert run_stats.executed == 1
 
 
 class TestExperimentScale:

@@ -83,6 +83,30 @@ class TestFlitLink:
         assert link.stats.utilization(10) == pytest.approx(0.1)
         assert link.stats.utilization(0) == 0.0
 
+    def test_stitched_flit_useful_bytes_exclude_partial_metadata(self):
+        eng = Engine()
+        link = FlitLink(eng, "l", 16.0, latency=0, sink=lambda f: None)
+        parent = _rsp_flits()[-1]  # tail: 4 used, 12 empty
+        candidate = _rsp_flits()[-1]  # partial-payload: 4 used + 3 B metadata
+        parent.absorb(candidate)
+        link.send(parent)
+        eng.run()
+        assert link.stats.wire_bytes == 16
+        # only real payload counts: 4 (parent) + 4 (absorbed), not the
+        # 3-byte ID/Size prefix the partial segment spends on the wire
+        assert link.stats.useful_bytes == 8
+
+    def test_whole_packet_segment_counts_fully_useful(self):
+        eng = Engine()
+        link = FlitLink(eng, "l", 16.0, latency=0, sink=lambda f: None)
+        parent = _rsp_flits()[-1]  # 4 used, 12 empty
+        candidate = _flit(PacketType.READ_REQ)  # whole packet, 12 used
+        parent.absorb(candidate)
+        link.send(parent)
+        eng.run()
+        # a whole-packet segment has no metadata prefix: 4 + 12 all useful
+        assert link.stats.useful_bytes == 16
+
 
 class TestPacketLink:
     def test_whole_packet_delivered_once(self):

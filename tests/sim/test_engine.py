@@ -156,3 +156,43 @@ def test_callback_args_passed_through():
     eng.schedule(1, lambda a, b, c: got.append((a, b, c)), 1, "x", None)
     eng.run()
     assert got == [(1, "x", None)]
+
+
+def test_run_until_advances_clock_when_queue_drains_early():
+    eng = Engine()
+    eng.schedule(5, lambda: None)
+    eng.run(until=20)
+    assert eng.now == 20
+
+
+def test_run_until_advances_clock_on_empty_queue():
+    eng = Engine()
+    eng.run(until=15)
+    assert eng.now == 15
+
+
+def test_run_until_never_moves_clock_backwards():
+    eng = Engine()
+    eng.schedule(30, lambda: None)
+    eng.run()
+    assert eng.now == 30
+    eng.run(until=10)
+    assert eng.now == 30
+
+
+def test_max_events_break_does_not_jump_to_until():
+    eng = Engine()
+    for i in range(10):
+        eng.schedule(i, lambda: None)
+    eng.run(until=100, max_events=4)
+    # events at cycles 4..9 are still due before 100, so the clock must
+    # stay at the last executed event, not leap to the bound
+    assert eng.now == 3
+    assert eng.pending_events() == 6
+
+
+def test_max_events_break_after_queue_drained_still_advances():
+    eng = Engine()
+    eng.schedule(2, lambda: None)
+    eng.run(until=50, max_events=1)
+    assert eng.now == 50

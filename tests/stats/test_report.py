@@ -1,14 +1,58 @@
 """Tests for run results and report helpers."""
 
+import json
+from collections import Counter
+
 import pytest
 
 from repro.stats.collectors import RunStats
+from repro.stats.energy import EnergyBreakdown
 from repro.stats.report import RunResult, geometric_mean
 
 
 def _result(cycles=1000, **kwargs):
     return RunResult(
         workload="w", config_label="c", cycles=cycles, stats=RunStats(), **kwargs
+    )
+
+
+def _populated_result():
+    stats = RunStats()
+    stats.mem_ops = 4200
+    stats.l1_hits = 900
+    stats.l1_misses = 100
+    stats.remote_reads_inter = 77
+    stats.read_req_bytes_hist[16] = 5
+    stats.read_req_bytes_hist[64] = 2
+    stats.remote_read_latency_inter.record(120)
+    stats.remote_read_latency_inter.record(340)
+    stats.ptw_latency.record(55)
+    stats.finish_cycle = 987
+    return RunResult(
+        workload="gups",
+        config_label="full",
+        cycles=987,
+        stats=stats,
+        inter_flits_sent=500,
+        inter_wire_bytes=8000,
+        inter_useful_bytes=6100,
+        inter_busy_cycles=410.5,
+        flits_entered=520,
+        flits_absorbed=60,
+        parents_stitched=55,
+        packets_trimmed=12,
+        trim_bytes_saved=576,
+        ptw_flits=30,
+        data_flits=490,
+        ptw_bytes=360,
+        data_bytes=6800,
+        occupancy=Counter({16: 400, 12: 80, 4: 40}),
+        intra_busy_cycles=99.25,
+        intra_links=8,
+        inter_links=2,
+        energy=EnergyBreakdown(
+            components={"inter_links": 80000.0, "dram": 420000.0}
+        ),
     )
 
 
@@ -71,3 +115,47 @@ class TestRunResult:
 
     def test_padded_distribution_empty(self):
         assert _result().padded_fraction_distribution(16) == {}
+
+
+class TestSerialization:
+    def test_round_trip_through_json(self):
+        original = _populated_result()
+        wire = json.dumps(original.to_dict())
+        restored = RunResult.from_dict(json.loads(wire))
+        assert restored.to_dict() == original.to_dict()
+
+    def test_round_trip_preserves_derived_metrics(self):
+        original = _populated_result()
+        restored = RunResult.from_dict(json.loads(json.dumps(original.to_dict())))
+        assert restored.stitch_rate() == pytest.approx(original.stitch_rate())
+        assert restored.inter_utilization() == pytest.approx(
+            original.inter_utilization()
+        )
+        assert restored.mean_inter_read_latency() == pytest.approx(
+            original.mean_inter_read_latency()
+        )
+        assert restored.stats.remote_read_latency_inter.percentile(
+            99
+        ) == pytest.approx(original.stats.remote_read_latency_inter.percentile(99))
+        assert restored.stats.l1_mpki() == pytest.approx(original.stats.l1_mpki())
+        assert restored.occupancy == original.occupancy
+        assert isinstance(next(iter(restored.occupancy)), int)
+        assert restored.energy.total_pj == pytest.approx(original.energy.total_pj)
+
+    def test_round_trip_without_energy(self):
+        original = _result()
+        restored = RunResult.from_dict(json.loads(json.dumps(original.to_dict())))
+        assert restored.energy is None
+        assert restored.to_dict() == original.to_dict()
+
+    def test_unknown_schema_rejected(self):
+        data = _result().to_dict()
+        data["schema"] = 999
+        with pytest.raises(ValueError):
+            RunResult.from_dict(data)
+
+    def test_missing_schema_rejected(self):
+        data = _result().to_dict()
+        del data["schema"]
+        with pytest.raises(ValueError):
+            RunResult.from_dict(data)

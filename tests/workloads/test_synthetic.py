@@ -49,6 +49,40 @@ def test_deterministic_per_seed(name):
     assert snapshot(7) == snapshot(7)
 
 
+def test_deterministic_across_processes():
+    """Trace generation must not depend on per-process str-hash
+    randomization (PYTHONHASHSEED) — pool workers and repeat CLI
+    invocations must all see the same trace for the same seed."""
+    import os
+    import subprocess
+    import sys
+
+    script = (
+        "import hashlib\n"
+        "from repro.workloads.base import Scale\n"
+        "from repro.workloads.registry import get_workload\n"
+        "trace = get_workload('gups').build(n_gpus=4, scale=Scale.tiny(), seed=0)\n"
+        "digest = hashlib.sha256()\n"
+        "for kernel in trace.kernels:\n"
+        "    for cta in kernel.ctas:\n"
+        "        for wf in cta.wavefronts:\n"
+        "            for a in wf.accesses:\n"
+        "                digest.update(f'{cta.gpu},{a.vaddr},{a.nbytes},{a.is_write};'.encode())\n"
+        "print(digest.hexdigest())\n"
+    )
+
+    def digest_with_hashseed(value):
+        env = dict(os.environ, PYTHONHASHSEED=value)
+        env.setdefault("PYTHONPATH", "src")
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, check=True, env=env,
+        )
+        return out.stdout.strip()
+
+    assert digest_with_hashseed("1") == digest_with_hashseed("2")
+
+
 def test_gups_needs_at_most_8_bytes():
     trace = get_workload("gups").build(n_gpus=N_GPUS, scale=SCALE, seed=0)
     for _k, _c, acc in _flat_accesses(trace):
