@@ -49,6 +49,10 @@ class QueuePartition:
         return f"<QueuePartition {self.key} n={len(self.flits)} blk={self.blocked_until}>"
 
 
+class CapacityError(RuntimeError):
+    """An un-reserved ``push_front`` would drive ``_count`` past capacity."""
+
+
 class ClusterQueue:
     """Type-partitioned, capacity-bounded staging queue for one dst cluster."""
 
@@ -71,6 +75,9 @@ class ClusterQueue:
         self._order: List[str] = []
         self._rr_index = 0
         self._count = 0
+        #: SRAM entries held for popped-but-possibly-returning flits; see
+        #: :meth:`pop_reserved`
+        self._reserved = 0
         self._next_seq = 0
         self.total_accepted = 0
         self.rejected = 0
@@ -84,7 +91,12 @@ class ClusterQueue:
 
     @property
     def free_entries(self) -> int:
-        return self.capacity - self._count
+        """Entries available to :meth:`push`; reservations are not free."""
+        return self.capacity - self._count - self._reserved
+
+    @property
+    def reserved_entries(self) -> int:
+        return self._reserved
 
     def is_empty(self) -> bool:
         return self._count == 0
@@ -118,8 +130,13 @@ class ClusterQueue:
     # -- enqueue / dequeue --------------------------------------------------
 
     def push(self, flit: Flit, priority_data: bool = False) -> bool:
-        """Stage a flit; ``False`` when the SRAM budget is exhausted."""
-        if self._count >= self.capacity:
+        """Stage a flit; ``False`` when the SRAM budget is exhausted.
+
+        Reserved entries (a popped flit that may yet be returned by
+        ``push_front``) count against the budget: admitting into the
+        slot a pooled flit is about to reclaim would overflow the SRAM.
+        """
+        if self.free_entries <= 0:
             self.rejected += 1
             return False
         key = self.partition_key(flit, priority_data)
@@ -130,8 +147,26 @@ class ClusterQueue:
         self.total_accepted += 1
         return True
 
-    def push_front(self, flit: Flit, key: str) -> None:
-        """Return a pooled flit to the head of its partition."""
+    def push_front(self, flit: Flit, key: str, reserved: bool = False) -> None:
+        """Return a flit to the head of its partition.
+
+        With ``reserved=True`` the flit re-occupies an entry held by
+        :meth:`pop_reserved`.  Without a reservation the capacity check
+        applies just like :meth:`push` — silently exceeding it (the
+        pre-fix behaviour) drove ``_count`` above ``capacity`` and
+        ``free_entries`` negative whenever an intervening ``push``
+        filled the queue, so that case now raises :class:`CapacityError`.
+        """
+        if reserved:
+            if self._reserved <= 0:
+                raise RuntimeError("push_front(reserved=True) without a reservation")
+            self._reserved -= 1
+        elif self._count + self._reserved >= self.capacity:
+            raise CapacityError(
+                f"push_front would exceed capacity "
+                f"({self._count} staged + {self._reserved} reserved "
+                f"of {self.capacity})"
+            )
         self._partition(key).flits.appendleft(flit)
         self._count += 1
 
@@ -139,6 +174,25 @@ class ClusterQueue:
         flit = part.flits.popleft()
         self._count -= 1
         return flit
+
+    def pop_reserved(self, part: QueuePartition) -> Flit:
+        """Pop the partition head while keeping its SRAM entry reserved.
+
+        The controller's pump pops a parent flit *before* deciding its
+        fate; if pooling returns it via ``push_front`` it must get its
+        entry back even when admissions happened in between.  The caller
+        settles the reservation with exactly one of
+        ``push_front(..., reserved=True)`` or :meth:`release_reservation`.
+        """
+        flit = self.pop_from(part)
+        self._reserved += 1
+        return flit
+
+    def release_reservation(self) -> None:
+        """Give up one held entry (the popped flit was ejected, not returned)."""
+        if self._reserved <= 0:
+            raise RuntimeError("release_reservation without a reservation")
+        self._reserved -= 1
 
     def remove_flit(self, flit: Flit) -> bool:
         """Remove a specific staged flit (when it gets stitched away).

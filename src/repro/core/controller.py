@@ -27,6 +27,7 @@ from repro.core.trimming import TrimEngine
 from repro.network.flit import Flit, segment_packet
 from repro.network.link import FlitLink
 from repro.network.packet import Packet
+from repro.obs.tracer import NULL_TRACER
 from repro.sim.component import Component
 from repro.sim.engine import Engine
 
@@ -114,6 +115,8 @@ class NetCrafterController(Component):
             config.effective_priority, config.data_priority_fraction, seed=seed
         )
         self.stats = EgressStats()
+        #: lifecycle tracer (assigned by the observability wiring)
+        self.tracer = NULL_TRACER
         #: packets waiting for Cluster Queue space, admitted FIFO
         self._pending: Deque[Tuple[List[Flit], bool]] = deque()
         self._next_pump: Optional[int] = None
@@ -126,7 +129,15 @@ class NetCrafterController(Component):
         self.stats.packets_accepted += 1
         self.stats.packets_by_type[packet.ptype] += 1
         if self.trim_engine is not None:
-            self.trim_engine.maybe_trim(packet)
+            trimmed = self.trim_engine.maybe_trim(packet)
+            if trimmed and self.tracer.enabled:
+                self.tracer.packet_event(
+                    self.now,
+                    "trim",
+                    packet,
+                    lane=self.name,
+                    saved=packet.original_payload_bytes - packet.payload_bytes,
+                )
         flits = segment_packet(packet, self.flit_size)
         priority_data = self.sequencer.tag_priority_data(packet)
         self._pending.append((flits, priority_data))
@@ -144,6 +155,14 @@ class NetCrafterController(Component):
             for flit in flits:
                 self.stats.record_entry(flit)
                 self.queue.push(flit, priority_data)
+                if self.tracer.enabled:
+                    self.tracer.flit_event(
+                        self.now,
+                        "stage",
+                        flit,
+                        lane=self.name,
+                        part=self.queue.partition_key(flit, priority_data),
+                    )
 
     def _maybe_release_pooled(self) -> None:
         """Arrival-triggered re-evaluation of pooled flits.
@@ -212,11 +231,27 @@ class NetCrafterController(Component):
                     self._request_pump(override_at)
                     return
                 partition.blocked_until = self.now
-            parent = self.queue.pop_from(partition)
+            # pop while holding the SRAM entry: if pooling returns the
+            # parent via push_front, no intervening admission may have
+            # stolen its slot (the un-reserved round-trip used to drive
+            # _count above capacity)
+            parent = self.queue.pop_reserved(partition)
             absorbed = 0
             if self.stitch_engine is not None:
                 timers_before = self.queue.stale_timers_cleared
+                segments_before = len(parent.segments)
                 absorbed = self.stitch_engine.stitch_all(parent, self.queue)
+                if absorbed and self.tracer.enabled:
+                    for segment in parent.segments[segments_before:]:
+                        self.tracer.flit_event(
+                            self.now,
+                            "stitch",
+                            segment.flit,
+                            lane=self.name,
+                            parent=parent.fid,
+                            kind=segment.kind.value,
+                            cost=segment.wire_bytes,
+                        )
                 if self.queue.stale_timers_cleared != timers_before:
                     # a pooled partition head was stitched into this parent,
                     # releasing its partition's timer; pump again as soon as
@@ -232,19 +267,39 @@ class NetCrafterController(Component):
                 # no candidate: defer this partition and try another now
                 partition.blocked_until = self.pooling.pool(parent, self.now)
                 partition.pooled_at = self.now
-                self.queue.push_front(parent, partition.key)
+                self.queue.push_front(parent, partition.key, reserved=True)
+                if self.tracer.enabled:
+                    self.tracer.flit_event(
+                        self.now,
+                        "pool",
+                        parent,
+                        lane=self.name,
+                        part=partition.key,
+                        until=partition.blocked_until,
+                    )
                 self._request_pump(partition.blocked_until)
                 continue
             self._eject(parent, absorbed)
             return
 
     def _eject(self, parent: Flit, absorbed: int) -> None:
+        # the parent leaves for good: its reserved SRAM entry opens up
+        self.queue.release_reservation()
         if self.pooling is not None:
             self.pooling.record_outcome(parent, absorbed > 0)
         if absorbed:
             self.stats.parents_stitched += 1
             self.stats.flits_absorbed += absorbed
         self.stats.flits_sent += 1
+        if self.tracer.enabled:
+            self.tracer.flit_event(
+                self.now,
+                "eject",
+                parent,
+                lane=self.name,
+                absorbed=absorbed,
+                pooled=parent.pooled,
+            )
         self.link.send(parent)
         self._admit_pending()
         if not self.queue.is_empty() or self._pending:

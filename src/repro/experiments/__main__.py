@@ -6,6 +6,7 @@ Usage::
     python -m repro.experiments fig14 --scale quick
     python -m repro.experiments fig3 fig9 --scale standard
     python -m repro.experiments all --scale quick --jobs 4
+    python -m repro.experiments fig14 --trace --metrics-interval 1000 --profile
 
 Independent simulation points fan out over ``--jobs`` worker processes,
 and finished results persist in a content-addressed disk cache (default
@@ -115,7 +116,50 @@ def main(argv=None) -> int:
         action="store_true",
         help="disable the persistent result cache for this invocation",
     )
+    obs_group = parser.add_argument_group(
+        "observability",
+        "per-run artifacts (any of these forces fresh simulation: "
+        "cached results carry no trace)",
+    )
+    obs_group.add_argument(
+        "--trace",
+        action="store_true",
+        help="record flit/packet lifecycle events; writes <stem>.trace.jsonl "
+        "plus a Chrome trace_event export (<stem>.trace.json) per run",
+    )
+    obs_group.add_argument(
+        "--trace-sample",
+        type=int,
+        default=1,
+        metavar="N",
+        help="keep every Nth packet lifecycle in the trace (default: 1 = all)",
+    )
+    obs_group.add_argument(
+        "--metrics-interval",
+        type=int,
+        default=None,
+        metavar="CYCLES",
+        help="snapshot link/queue/MSHR/engine metrics every CYCLES cycles "
+        "into <stem>.metrics.jsonl",
+    )
+    obs_group.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile engine callbacks (events + wall time per handler) "
+        "into <stem>.profile.json",
+    )
+    obs_group.add_argument(
+        "--obs-dir",
+        default="results/obs",
+        metavar="DIR",
+        help="directory for observability artifacts (default: results/obs)",
+    )
     args = parser.parse_args(argv)
+
+    if args.trace_sample < 1:
+        parser.error("--trace-sample must be >= 1")
+    if args.metrics_interval is not None and args.metrics_interval < 1:
+        parser.error("--metrics-interval must be >= 1")
 
     if args.targets == ["list"]:
         print("available targets:")
@@ -127,6 +171,16 @@ def main(argv=None) -> int:
     runner.set_cache_dir(
         None if args.no_cache else (args.cache_dir or default_cache_dir())
     )
+    obs_options = runner.ObservabilityOptions(
+        trace=args.trace,
+        trace_sample=args.trace_sample,
+        metrics_interval=args.metrics_interval,
+        profile=args.profile,
+        out_dir=args.obs_dir,
+    )
+    if obs_options.active:
+        runner.set_observability(obs_options)
+        print(f"observability artifacts -> {args.obs_dir}/ (cache bypassed)")
     exp = SCALES[args.scale]()
     targets = list(DRIVERS) + ["tables"] if args.targets == ["all"] else args.targets
     for target in targets:

@@ -31,7 +31,8 @@ from typing import Dict, Optional
 from repro.stats.report import RunResult
 
 #: bump whenever simulator output changes for the same configuration
-CACHE_FORMAT_VERSION = 1
+#: (2: LatencyStat cache payloads switched to histogram serialization)
+CACHE_FORMAT_VERSION = 2
 
 
 def _json_default(obj: object) -> object:

@@ -25,12 +25,20 @@ import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.config import SystemConfig
 from repro.core.config import NetCrafterConfig
-from repro.experiments.cache import ResultCache, default_cache_dir
+from repro.experiments.cache import ResultCache, fingerprint
 from repro.gpu.system import MultiGpuSystem
+from repro.obs import (
+    NULL_TRACER,
+    EngineProfiler,
+    EventTracer,
+    MetricsRegistry,
+    Observability,
+)
 from repro.stats.report import RunResult
 from repro.workloads.base import Scale
 from repro.workloads.registry import all_workload_names, get_workload
@@ -182,9 +190,89 @@ def reset_run_stats() -> None:
     run_stats.reset()
 
 
+@dataclass(frozen=True)
+class ObservabilityOptions:
+    """What per-run observability artifacts the harness should produce.
+
+    Any enabled artifact forces the point to actually simulate (cache
+    lookups and stores are bypassed): a cached result has no trace to
+    give, and an instrumented run should not overwrite the pristine
+    cached timing entry either.
+    """
+
+    trace: bool = False
+    #: keep every Nth packet lifecycle (1 = all)
+    trace_sample: int = 1
+    #: metrics snapshot period in cycles; None disables the time-series
+    metrics_interval: Optional[int] = None
+    profile: bool = False
+    out_dir: str = "results/obs"
+
+    @property
+    def active(self) -> bool:
+        return self.trace or self.metrics_interval is not None or self.profile
+
+
 _cache: Dict[tuple, RunResult] = {}
 _default_jobs = 1
 _disk_cache: Optional[ResultCache] = None
+#: module-level so forked run_many workers inherit it
+_obs_options: Optional[ObservabilityOptions] = None
+
+
+def set_observability(options: Optional[ObservabilityOptions]) -> None:
+    """Produce trace/metrics/profile artifacts for every subsequent run.
+
+    Pass ``None`` (or options with nothing enabled) to turn it back off.
+    """
+    global _obs_options
+    _obs_options = options if options is not None and options.active else None
+
+
+def observability_options() -> Optional[ObservabilityOptions]:
+    """The active observability options, or ``None`` when disabled."""
+    return _obs_options
+
+
+def _build_observability(options: ObservabilityOptions) -> Observability:
+    return Observability(
+        tracer=(
+            EventTracer(sample=options.trace_sample) if options.trace else NULL_TRACER
+        ),
+        metrics=(
+            MetricsRegistry(options.metrics_interval)
+            if options.metrics_interval is not None
+            else None
+        ),
+        profiler=EngineProfiler() if options.profile else None,
+    )
+
+
+def _write_artifacts(
+    options: ObservabilityOptions,
+    obs: Observability,
+    point: "ExperimentPoint",
+    result: RunResult,
+) -> None:
+    """Dump the run's observability artifacts and note their paths."""
+    out = Path(options.out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    stem = f"{point.workload}-seed{point.seed}-{fingerprint(point)[:12]}"
+    if obs.tracer.enabled:
+        jsonl = out / f"{stem}.trace.jsonl"
+        chrome = out / f"{stem}.trace.json"
+        obs.tracer.to_jsonl(jsonl)
+        obs.tracer.to_chrome(chrome)
+        result.trace_path = str(jsonl)
+        result.trace_chrome_path = str(chrome)
+    if obs.metrics is not None:
+        metrics = out / f"{stem}.metrics.jsonl"
+        obs.metrics.to_jsonl(metrics)
+        result.metrics_path = str(metrics)
+    if obs.profiler is not None:
+        profile = out / f"{stem}.profile.json"
+        obs.profiler.to_json(profile)
+        result.profile_path = str(profile)
 
 
 def clear_cache() -> None:
@@ -214,11 +302,16 @@ def _simulate(point: ExperimentPoint) -> RunResult:
     trace = get_workload(point.workload).build(
         n_gpus=point.system.n_gpus, scale=point.scale, seed=point.seed
     )
+    options = _obs_options
+    obs = _build_observability(options) if options is not None else None
     node = MultiGpuSystem(
-        config=point.system, netcrafter=point.netcrafter, seed=point.seed
+        config=point.system, netcrafter=point.netcrafter, seed=point.seed, obs=obs
     )
     node.load(trace)
-    return node.run()
+    result = node.run()
+    if obs is not None:
+        _write_artifacts(options, obs, point, result)
+    return result
 
 
 def _execute_point(point: ExperimentPoint) -> Tuple[RunResult, float]:
@@ -272,6 +365,7 @@ def run_one(
     point = ExperimentPoint(
         workload=workload, system=system, netcrafter=netcrafter, scale=scale, seed=seed
     ).normalized()
+    use_cache = use_cache and _obs_options is None
     run_stats.points += 1
     cached = _lookup(point, use_cache)
     if cached is not None:
@@ -298,6 +392,7 @@ def run_many(
     """
     batch_start = time.perf_counter()
     jobs = _default_jobs if jobs is None else max(1, int(jobs))
+    use_cache = use_cache and _obs_options is None
     normalized = [p.normalized() for p in points]
     run_stats.points += len(normalized)
     run_stats.batches += 1

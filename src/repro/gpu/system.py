@@ -18,6 +18,7 @@ from repro.gpu.cta import KernelTrace, WorkloadTrace
 from repro.gpu.gpu import Gpu
 from repro.network.link import FlitLink
 from repro.network.topology import Topology, build_topology
+from repro.obs import Observability
 from repro.sim.engine import Engine
 from repro.stats.collectors import RunStats
 from repro.stats.energy import estimate_energy
@@ -34,9 +35,11 @@ class MultiGpuSystem:
         config: Optional[SystemConfig] = None,
         netcrafter: Optional[NetCrafterConfig] = None,
         seed: int = 0,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.config = config or SystemConfig.default()
         self.netcrafter = netcrafter or NetCrafterConfig.baseline()
+        self.obs = obs or Observability()
         if (
             self.netcrafter.enable_trimming
             and self.netcrafter.trim_sector_bytes != self.config.l1_sector_bytes
@@ -66,6 +69,7 @@ class MultiGpuSystem:
         self.topology: Topology = build_topology(
             self.engine, self.config, self.gpus, self._make_controller
         )
+        self._wire_observability()
         self._workload: Optional[WorkloadTrace] = None
         self._kernel_index = 0
         self._wavefronts_remaining = 0
@@ -87,6 +91,75 @@ class MultiGpuSystem:
             seed=self.seed + src_cluster * 97 + dst_cluster,
         )
 
+    def _wire_observability(self) -> None:
+        """Thread the tracer/profiler/metrics through the built system."""
+        self.engine.profiler = self.obs.profiler
+        tracer = self.obs.tracer
+        if tracer.enabled:
+            for link in self.topology.inter_links:
+                link.tracer = tracer
+            for switch in self.topology.switches.values():
+                switch.tracer = tracer
+            for controller in self.topology.controllers:
+                controller.tracer = tracer
+            for gpu in self.gpus.values():
+                gpu.rdma.tracer = tracer
+        if self.obs.metrics is not None:
+            self._register_metrics(self.obs.metrics)
+
+    def _register_metrics(self, metrics) -> None:
+        """Register the standard gauge/counter set on ``metrics``.
+
+        Cumulative wire counters are summed across inter-cluster links so
+        the *final* sample equals the end-of-run ``LinkStats`` aggregates
+        (an invariant the test suite checks); occupancy-style gauges are
+        instantaneous.
+        """
+        inter = self.topology.inter_links
+
+        def summed(attr):
+            return lambda: sum(getattr(link.stats, attr) for link in inter)
+
+        metrics.register("inter.wire_bytes", summed("wire_bytes"))
+        metrics.register("inter.useful_bytes", summed("useful_bytes"))
+        metrics.register("inter.flits", summed("flits"))
+        metrics.register("inter.busy_cycles", summed("busy_cycles"))
+        for controller in self.topology.controllers:
+            queue = controller.queue
+            metrics.register(f"cq.{controller.name}.occupancy", lambda q=queue: len(q))
+            metrics.register(
+                f"cq.{controller.name}.blocked",
+                lambda q=queue: len(q.blocked_partitions(self.engine.now)),
+            )
+            metrics.register(
+                f"cq.{controller.name}.rejected", lambda q=queue: q.rejected
+            )
+        metrics.register(
+            "mshr.l2.occupancy",
+            lambda: sum(len(gpu.l2.mshr) for gpu in self.gpus.values()),
+        )
+        metrics.register(
+            "mshr.l1.occupancy",
+            lambda: sum(
+                len(cu.mshr) for gpu in self.gpus.values() for cu in gpu.cus
+            ),
+        )
+        metrics.register("engine.pending_events", self.engine.pending_events)
+        metrics.register("engine.events_processed", lambda: self.engine.events_processed)
+
+    def _sample_metrics(self) -> None:
+        """Periodic snapshot; stops once the run finished.
+
+        Post-finish firings sample nothing so the series stays
+        monotonic: ``_collect`` appends the authoritative final snapshot
+        at the finish cycle itself.
+        """
+        if self.stats.finish_cycle is not None:
+            return
+        metrics = self.obs.metrics
+        metrics.sample(self.engine.now)
+        self.engine.schedule(metrics.interval, self._sample_metrics)
+
     # -- workload loading ----------------------------------------------------------
 
     def load(self, workload: WorkloadTrace) -> None:
@@ -105,6 +178,8 @@ class MultiGpuSystem:
             raise RuntimeError("no workload loaded")
         self._kernel_index = 0
         self._launch_kernel(self._workload.kernels[0])
+        if self.obs.metrics is not None:
+            self._sample_metrics()  # cycle-0 baseline, then every interval
         self.engine.run(max_events=max_events)
         if self.stats.finish_cycle is None:
             raise RuntimeError(
@@ -167,6 +242,10 @@ class MultiGpuSystem:
     # -- result assembly ---------------------------------------------------------------
 
     def _collect(self, workload_name: str) -> RunResult:
+        if self.obs.metrics is not None:
+            # final snapshot at the finish cycle, so cumulative series
+            # end exactly at the aggregate totals reported below
+            self.obs.metrics.sample(self.stats.finish_cycle)
         result = RunResult(
             workload=workload_name,
             config_label=self._config_label(),

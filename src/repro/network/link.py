@@ -20,6 +20,7 @@ from __future__ import annotations
 import math
 from typing import Callable
 
+from repro.obs.tracer import NULL_TRACER
 from repro.sim.component import Component
 from repro.sim.engine import Engine
 from repro.sim.queues import BoundedQueue
@@ -27,8 +28,19 @@ from repro.network.flit import Flit
 from repro.network.packet import Packet
 
 
+class UtilizationOvercountError(RuntimeError):
+    """Raised in strict mode when busy cycles exceed elapsed cycles."""
+
+
 class LinkStats:
     """Wire-level counters for one unidirectional link."""
+
+    #: float-accumulation headroom before busy > elapsed counts as a bug
+    OVERCOUNT_TOLERANCE = 1e-6
+    #: when True, :meth:`utilization` raises instead of clamping — turn
+    #: on in tests/debugging so accounting bugs fail loudly (the silent
+    #: clamp hid PR 1's stitched-byte double count)
+    strict = False
 
     def __init__(self) -> None:
         self.busy_cycles = 0.0
@@ -36,11 +48,34 @@ class LinkStats:
         self.packets = 0
         self.wire_bytes = 0
         self.useful_bytes = 0
+        #: worst busy-beyond-elapsed excess ever observed by
+        #: :meth:`utilization`; nonzero means some counter double-counted
+        self.overcount_cycles = 0.0
+
+    @property
+    def overcounted(self) -> bool:
+        return self.overcount_cycles > 0.0
 
     def utilization(self, elapsed_cycles: int) -> float:
-        """Fraction of cycles the wire was occupied."""
+        """Fraction of cycles the wire was occupied.
+
+        A physical wire cannot be busy for more cycles than elapsed, so
+        ``busy_cycles > elapsed_cycles`` is always an accounting bug
+        upstream.  The return value stays clamped to 1.0 (plots must not
+        explode), but the excess is recorded in ``overcount_cycles`` —
+        and raised as :class:`UtilizationOvercountError` when ``strict``.
+        """
         if elapsed_cycles <= 0:
             return 0.0
+        excess = self.busy_cycles - elapsed_cycles
+        if excess > self.OVERCOUNT_TOLERANCE * elapsed_cycles:
+            self.overcount_cycles = max(self.overcount_cycles, excess)
+            if self.strict:
+                raise UtilizationOvercountError(
+                    f"busy {self.busy_cycles:.2f} cycles > elapsed "
+                    f"{elapsed_cycles} cycles (excess {excess:.2f})"
+                )
+            return 1.0
         return min(1.0, self.busy_cycles / elapsed_cycles)
 
 
@@ -67,6 +102,8 @@ class FlitLink(Component):
         self.latency = int(latency)
         self.sink = sink
         self.stats = LinkStats()
+        #: lifecycle tracer (assigned by the observability wiring)
+        self.tracer = NULL_TRACER
         self._next_free = 0.0
 
     def ready_at(self) -> int:
@@ -98,6 +135,16 @@ class FlitLink(Component):
         self.stats.wire_bytes += flit.flit_size
         self.stats.useful_bytes += flit.useful_payload_bytes
         arrival = math.ceil(self._next_free) + self.latency
+        if self.tracer.enabled:
+            self.tracer.flit_event(
+                self.now,
+                "wire_start",
+                flit,
+                link=self.name,
+                dur=tx_cycles,
+                bytes=flit.flit_size,
+                stitched=len(flit.segments),
+            )
         self.engine.schedule_at(arrival, self.sink, flit)
 
 

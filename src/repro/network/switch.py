@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict
 
+from repro.obs.tracer import NULL_TRACER
 from repro.sim.component import Component
 from repro.sim.engine import Engine
 from repro.network.flit import Flit
@@ -91,6 +92,8 @@ class ClusterSwitch(Component):
         self._next_hop: Dict[int, int] = {}
         self.reassembly = ReassemblyBuffer(flit_size, self._on_packet_reassembled)
         self.packets_routed = 0
+        #: lifecycle tracer (assigned by the observability wiring)
+        self.tracer = NULL_TRACER
 
     # -- wiring -----------------------------------------------------------
 
@@ -116,6 +119,17 @@ class ClusterSwitch(Component):
 
     def receive_flit_from_network(self, flit: Flit) -> None:
         """A flit arrived from a remote cluster; un-stitch and reassemble."""
+        if self.tracer.enabled:
+            # one deliver per carried flit: the wire flit itself plus any
+            # stitched children recovered by un-stitching here
+            for carried in flit.all_carried_flits():
+                self.tracer.flit_event(
+                    self.now,
+                    "deliver",
+                    carried,
+                    lane=self.name,
+                    via=flit.fid,
+                )
         self.reassembly.receive(flit)
 
     def _on_packet_reassembled(self, packet: Packet) -> None:

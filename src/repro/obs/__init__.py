@@ -1,0 +1,87 @@
+"""Structured observability: tracing, metrics time series, profiling.
+
+The three legs, bundled by :class:`Observability` and threaded through
+:class:`~repro.gpu.system.MultiGpuSystem`:
+
+* :class:`~repro.obs.tracer.EventTracer` — per-flit/per-packet lifecycle
+  events (inject, stage, pool, stitch, trim, eject, wire_start,
+  deliver), ring-buffered with packet-granular sampling, exported as
+  JSONL or Chrome ``trace_event`` JSON;
+* :class:`~repro.obs.metrics.MetricsRegistry` — named counters/gauges
+  snapshotted every N cycles into a time series;
+* :class:`~repro.obs.profiler.EngineProfiler` — events dispatched and
+  wall time per callback class inside the event engine.
+
+Everything defaults off: components carry :data:`NULL_TRACER` and the
+engine's ``profiler`` is ``None``, so the disabled path costs a branch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.obs.metrics import METRICS_SCHEMA_VERSION, MetricsRegistry
+from repro.obs.profiler import EngineProfiler, callback_key
+from repro.obs.schema import (
+    EVENTS,
+    FLIT_EVENTS,
+    PACKET_EVENTS,
+    validate_jsonl,
+    validate_record,
+    validate_records,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    TRACE_SCHEMA_VERSION,
+    EventTracer,
+    NullTracer,
+    iter_jsonl,
+)
+
+__all__ = [
+    "EVENTS",
+    "FLIT_EVENTS",
+    "PACKET_EVENTS",
+    "METRICS_SCHEMA_VERSION",
+    "TRACE_SCHEMA_VERSION",
+    "NULL_TRACER",
+    "EventTracer",
+    "NullTracer",
+    "MetricsRegistry",
+    "EngineProfiler",
+    "Observability",
+    "callback_key",
+    "iter_jsonl",
+    "validate_jsonl",
+    "validate_record",
+    "validate_records",
+]
+
+
+@dataclass
+class Observability:
+    """The observability bundle one simulation run is wired with.
+
+    The default-constructed bundle is fully disabled and adds near-zero
+    overhead; enable legs individually::
+
+        obs = Observability(
+            tracer=EventTracer(sample=4),
+            metrics=MetricsRegistry(interval=1000),
+            profiler=EngineProfiler(),
+        )
+        system = MultiGpuSystem(config, netcrafter, obs=obs)
+    """
+
+    tracer: Union[NullTracer, EventTracer] = field(default=NULL_TRACER)
+    metrics: Optional[MetricsRegistry] = None
+    profiler: Optional[EngineProfiler] = None
+
+    @property
+    def enabled(self) -> bool:
+        return (
+            self.tracer.enabled
+            or self.metrics is not None
+            or self.profiler is not None
+        )

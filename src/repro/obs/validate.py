@@ -1,0 +1,55 @@
+"""CLI trace validator: ``python -m repro.obs.validate run.trace.jsonl``.
+
+Exit status 0 when every file passes shape and sequence validation,
+1 when any record fails, 2 on usage errors.  Used by CI's smoke job to
+guard the trace schema.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from repro.obs.schema import validate_jsonl
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.validate",
+        description="Validate trace JSONL files against the flit-lifecycle schema.",
+    )
+    parser.add_argument("paths", nargs="+", help="trace .jsonl files to validate")
+    parser.add_argument(
+        "--allow-partial",
+        action="store_true",
+        help="skip sequence checks (for traces whose ring buffer overflowed)",
+    )
+    parser.add_argument(
+        "--max-errors",
+        type=int,
+        default=20,
+        help="errors to print per file (default: 20)",
+    )
+    args = parser.parse_args(argv)
+
+    failed = False
+    for path in args.paths:
+        try:
+            errors = validate_jsonl(path, allow_partial=args.allow_partial)
+        except (OSError, ValueError) as exc:
+            print(f"{path}: unreadable ({exc})", file=sys.stderr)
+            failed = True
+            continue
+        if errors:
+            failed = True
+            print(f"{path}: {len(errors)} schema violation(s)", file=sys.stderr)
+            for error in errors[: args.max_errors]:
+                print(f"  {error}", file=sys.stderr)
+        else:
+            print(f"{path}: ok")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,9 @@ class Engine:
         self._seq = 0
         self._events_processed = 0
         self._running = False
+        #: optional :class:`repro.obs.profiler.EngineProfiler`; when set,
+        #: every dispatched callback is timed and attributed per class
+        self.profiler = None
 
     @property
     def now(self) -> int:
@@ -70,7 +73,10 @@ class Engine:
         time, _seq, callback, args = heapq.heappop(self._queue)
         self._now = time
         self._events_processed += 1
-        callback(*args)
+        if self.profiler is None:
+            callback(*args)
+        else:
+            self.profiler.dispatch(callback, args)
         return True
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:

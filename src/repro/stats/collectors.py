@@ -5,22 +5,59 @@ from __future__ import annotations
 from collections import Counter
 from typing import Dict, List, Optional
 
+_MASK64 = (1 << 64) - 1
+
+
+def _mix64(value: int, occurrence: int) -> int:
+    """Deterministic 64-bit hash of a (value, duplicate-index) pair.
+
+    splitmix64-style finalizer: stable across processes and Python
+    versions (unlike ``hash``), cheap, and well-scrambled so bottom-k
+    selection behaves like uniform sampling.
+    """
+    x = (value * 0x9E3779B97F4A7C15 + occurrence * 0xBF58476D1CE4E5B9 + 1) & _MASK64
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & _MASK64
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
 
 class LatencyStat:
     """Mean/max/percentiles over recorded latencies.
 
-    Keeps every sample up to a bound (simulation runs are small), then
-    degrades gracefully to streaming mean/max only.
+    Keeps every sample up to a bound (simulation runs are small) plus a
+    fixed-bucket histogram that never drops anything; percentiles come
+    from the raw samples while they are complete and degrade to
+    histogram resolution (~12.5% relative error) beyond the bound or
+    after a serialization round-trip.
     """
 
-    #: above this many samples, stop retaining them (percentiles freeze)
+    #: above this many samples, stop retaining them raw
     MAX_SAMPLES = 200_000
+    #: log2 sub-bucket resolution of the fixed histogram: each power-of-
+    #: two range splits into 2**HIST_SUB_BITS linear buckets, bounding
+    #: relative quantization error at 2**-HIST_SUB_BITS
+    HIST_SUB_BITS = 3
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0
         self.max = 0
         self._samples = []
+        #: bucket floor -> sample count; see :meth:`bucket_floor`
+        self._hist: Counter = Counter()
+
+    @classmethod
+    def bucket_floor(cls, value: int) -> int:
+        """Lower edge of the fixed histogram bucket containing ``value``."""
+        if value <= 0:
+            return 0
+        msb = value.bit_length() - 1
+        if msb <= cls.HIST_SUB_BITS:
+            return value  # exact below 2**(HIST_SUB_BITS+1)
+        width = 1 << (msb - cls.HIST_SUB_BITS)
+        return value - (value % width)
 
     def record(self, latency: int) -> None:
         self.count += 1
@@ -29,6 +66,7 @@ class LatencyStat:
             self.max = latency
         if len(self._samples) < self.MAX_SAMPLES:
             self._samples.append(latency)
+        self._hist[self.bucket_floor(latency)] += 1
 
     def mean(self) -> float:
         if self.count == 0:
@@ -36,40 +74,94 @@ class LatencyStat:
         return self.total / self.count
 
     def percentile(self, p: float) -> float:
-        """The ``p``-th percentile (0-100) by nearest-rank."""
+        """The ``p``-th percentile (0-100) by nearest-rank.
+
+        Computed over the raw samples when any are retained; otherwise
+        (after deserialization) over the histogram, answering with the
+        bucket's lower edge.
+        """
         if not 0 <= p <= 100:
             raise ValueError("percentile must be within 0..100")
-        if not self._samples:
+        if self._samples:
+            ordered = sorted(self._samples)
+            rank = max(0, min(len(ordered) - 1, round(p / 100 * (len(ordered) - 1))))
+            return float(ordered[rank])
+        n = sum(self._hist.values())
+        if n == 0:
             return 0.0
-        ordered = sorted(self._samples)
-        rank = max(0, min(len(ordered) - 1, round(p / 100 * (len(ordered) - 1))))
-        return float(ordered[rank])
+        rank = max(0, min(n - 1, round(p / 100 * (n - 1))))
+        cumulative = 0
+        for floor in sorted(self._hist):
+            cumulative += self._hist[floor]
+            if cumulative > rank:
+                return float(floor)
+        return float(max(self._hist))  # pragma: no cover - defensive
 
     def merge(self, other: "LatencyStat") -> None:
+        """Fold ``other`` in; merged percentiles are order-independent.
+
+        The retained-sample union is capped by a deterministic bottom-k
+        selection over the combined *multiset* (each sample keyed by a
+        stable hash of its value and duplicate index), so
+        ``a.merge(b)`` and ``b.merge(a)`` keep exactly the same samples
+        — unlike the former "first ``room`` of ``other``" rule, which
+        systematically over-weighted the self/earlier stat's
+        distribution in merged percentiles.
+        """
         self.count += other.count
         self.total += other.total
         self.max = max(self.max, other.max)
-        room = self.MAX_SAMPLES - len(self._samples)
-        if room > 0:
-            self._samples.extend(other._samples[:room])
+        self._hist.update(other._hist)
+        combined = self._samples + other._samples
+        if len(combined) > self.MAX_SAMPLES:
+            combined = self._bottom_k(combined, self.MAX_SAMPLES)
+        self._samples = combined
+
+    @staticmethod
+    def _bottom_k(samples: List[int], k: int) -> List[int]:
+        """The ``k`` samples with the smallest stable hash keys.
+
+        Enumerating duplicate indices over the *sorted* samples makes
+        the key assignment a pure function of the multiset, so any merge
+        order selects the same survivors (a mergeable bottom-k sketch).
+        """
+        occurrences: Counter = Counter()
+        keyed = []
+        for value in sorted(samples):
+            keyed.append((_mix64(value, occurrences[value]), value))
+            occurrences[value] += 1
+        keyed.sort()
+        return sorted(value for _, value in keyed[:k])
 
     # -- serialization (persistent result cache) ---------------------------
+    #
+    # Raw samples are NOT serialized: a single run records hundreds of
+    # thousands of latencies per stat, which used to balloon every cache
+    # entry by megabytes of JSON.  The fixed-bucket histogram preserves
+    # percentile queries to bounded relative error at a few hundred
+    # buckets.  Legacy "samples" payloads predate the histogram and are
+    # rejected so cache reads treat them as misses, never as results
+    # with silently empty percentiles.
 
     def to_dict(self) -> Dict[str, object]:
         return {
             "count": self.count,
             "total": self.total,
             "max": self.max,
-            "samples": list(self._samples),
+            "hist": sorted(self._hist.items()),
         }
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "LatencyStat":
+        if "hist" not in data:
+            raise ValueError(
+                "legacy LatencyStat payload (raw samples, no histogram)"
+            )
         stat = cls()
         stat.count = int(data["count"])
         stat.total = int(data["total"])
         stat.max = int(data["max"])
-        stat._samples = [int(v) for v in data["samples"]]
+        stat._hist = Counter({int(floor): int(n) for floor, n in data["hist"]})
         return stat
 
 

@@ -52,11 +52,19 @@ class RunResult:
     #: per-contributor energy estimate (repro.stats.energy), attached by
     #: MultiGpuSystem at collection time
     energy: Optional[object] = None
+    #: observability artifacts written for this run (None when tracing /
+    #: metrics / profiling were off); set by the experiment runner
+    trace_path: Optional[str] = None
+    trace_chrome_path: Optional[str] = None
+    metrics_path: Optional[str] = None
+    profile_path: Optional[str] = None
 
     # -- serialization (persistent result cache) ----------------------------
 
     #: bump when the meaning of any serialized field changes
-    SCHEMA_VERSION = 1
+    #: (2: LatencyStat payloads switched from raw samples to histograms,
+    #: observability artifact paths added)
+    SCHEMA_VERSION = 2
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-safe dict capturing every field, for the on-disk cache."""

@@ -4,6 +4,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.core.cluster_queue import (
+    CapacityError,
     ClusterQueue,
     FIFO_PARTITION,
     PRIORITY_DATA_PARTITION,
@@ -224,6 +225,92 @@ def test_push_front_restores_head():
     q.push_front(head, part.key)
     assert part.flits[0] is a
     assert len(q) == 2
+
+
+def test_push_front_cannot_exceed_capacity():
+    """Regression: the pop -> push_front round-trip used to bypass the
+    capacity check, driving ``_count`` above ``capacity`` (and
+    ``free_entries`` negative) whenever admissions landed in between."""
+    q = _queue(capacity=2, by_type=False)
+    a, b = _flit(), _flit()
+    q.push(a)
+    q.push(b)
+    part = q.partitions()[0]
+    popped = q.pop_from(part)
+    assert q.push(_flit())  # an admission steals the freed slot
+    with pytest.raises(CapacityError):
+        q.push_front(popped, part.key)
+    assert len(q) == 2
+    assert q.free_entries == 0
+
+
+def test_pop_reserved_holds_the_entry():
+    q = _queue(capacity=2, by_type=False)
+    a, b = _flit(), _flit()
+    q.push(a)
+    q.push(b)
+    part = q.partitions()[0]
+    popped = q.pop_reserved(part)
+    # the freed slot is reserved for the popped flit's possible return
+    assert q.free_entries == 0
+    assert q.reserved_entries == 1
+    assert not q.push(_flit())
+    q.push_front(popped, part.key, reserved=True)
+    assert q.reserved_entries == 0
+    assert part.flits[0] is popped
+    assert len(q) == 2
+
+
+def test_release_reservation_frees_the_entry():
+    q = _queue(capacity=2, by_type=False)
+    q.push(_flit())
+    q.push(_flit())
+    part = q.partitions()[0]
+    q.pop_reserved(part)
+    q.release_reservation()
+    assert q.reserved_entries == 0
+    assert q.free_entries == 1
+    assert q.push(_flit())
+
+
+def test_reservation_misuse_raises():
+    q = _queue(capacity=4, by_type=False)
+    q.push(_flit())
+    with pytest.raises(RuntimeError):
+        q.release_reservation()
+    with pytest.raises(RuntimeError):
+        q.push_front(_flit(), FIFO_PARTITION, reserved=True)
+
+
+def test_push_front_allowed_when_space_exists():
+    q = _queue(capacity=4, by_type=False)
+    a = _flit()
+    q.push(a)
+    part = q.partitions()[0]
+    popped = q.pop_from(part)
+    q.push_front(popped, part.key)  # plenty of room: no error
+    assert len(q) == 1
+
+
+def test_earliest_blocked_picks_soonest_expiry():
+    q = _queue()
+    q.push(_flit(PacketType.READ_REQ))
+    q.push(_flit(PacketType.WRITE_RSP))
+    a, b = q.partitions()
+    a.blocked_until, b.blocked_until = 80, 40
+    assert q.earliest_blocked(now=0) is b
+    # expired timers no longer count as blocked
+    assert q.earliest_blocked(now=40) is a
+    assert q.earliest_blocked(now=100) is None
+
+
+def test_earliest_blocked_ignores_empty_partitions():
+    q = _queue()
+    q.push(_flit(PacketType.READ_REQ))
+    part = q.partitions()[0]
+    part.blocked_until = 50
+    q.pop_from(part)  # now empty: nothing to serve even if "blocked"
+    assert q.earliest_blocked(now=0) is None
 
 
 def test_stitch_candidates_cross_partitions_bounded_depth():

@@ -188,6 +188,40 @@ class TestPooling:
         assert ctrl.pooling.pooled_then_ejected == 1
         assert arrivals[-1] < 32  # not delayed by the 200-cycle window
 
+    def test_override_serves_at_pooled_at_plus_grace(self):
+        """The override fires at ``pooled_at + pooling_grace`` exactly:
+        the grace lets in-flight candidates arrive, after which idling
+        the link any longer has no upside."""
+        cfg = NetCrafterConfig.stitching_with_selective_pooling(200).with_overrides(
+            pooling_grace=8
+        )
+        eng = Engine()
+        arrivals = []
+        link = FlitLink(eng, "link", 16.0, 0, sink=lambda f: arrivals.append(eng.now))
+        ctrl = NetCrafterController(eng, "ctrl", link, 16, cfg)
+        ctrl.accept_packet(_pkt(PacketType.READ_RSP))
+        eng.run()
+        # 4 full flits depart cycles 0-3 (arrive 1-4); the tail pools at
+        # cycle 4 and the override serves it at 4 + 8 (arrival 13), far
+        # before the 200-cycle window expires
+        assert arrivals == [1, 2, 3, 4, 13]
+        assert ctrl.pooling.pooled_then_ejected == 1
+
+    def test_override_defers_to_a_window_shorter_than_grace(self):
+        """min(blocked_until, pooled_at + grace): a window that expires
+        before the grace would is what unblocks the partition."""
+        cfg = NetCrafterConfig.stitching_with_selective_pooling(16).with_overrides(
+            pooling_grace=300
+        )
+        eng = Engine()
+        arrivals = []
+        link = FlitLink(eng, "link", 16.0, 0, sink=lambda f: arrivals.append(eng.now))
+        ctrl = NetCrafterController(eng, "ctrl", link, 16, cfg)
+        ctrl.accept_packet(_pkt(PacketType.READ_RSP))
+        eng.run()
+        # tail pools at cycle 4 until 4 + 16 = 20; served there, arrives 21
+        assert arrivals[-1] == 21
+
     def test_pooled_flit_waits_while_link_has_other_work(self):
         """With competing traffic the pooled partition genuinely defers:
         its tail is served later than strict FIFO order would have."""

@@ -2,8 +2,6 @@
 
 import json
 
-import pytest
-
 from repro.config import SystemConfig
 from repro.core.config import NetCrafterConfig
 from repro.experiments.cache import ResultCache, default_cache_dir, fingerprint
@@ -81,6 +79,23 @@ class TestResultCache:
         payload["result"]["schema"] = 999
         path.write_text(json.dumps(payload))
         assert cache.get(_point()) is None
+
+    def test_legacy_latency_samples_payload_is_a_miss(self, tmp_path):
+        """Regression: pre-histogram entries (raw ``samples`` lists in
+        every LatencyStat) must read as misses and be removed — never as
+        errors, and never as results with silently empty percentiles."""
+        cache = ResultCache(tmp_path)
+        cache.put(_point(), _result())
+        path = cache.path_for(fingerprint(_point()))
+        payload = json.loads(path.read_text())
+        for value in payload["result"]["stats"].values():
+            if isinstance(value, dict) and "__latency__" in value:
+                stat = value["__latency__"]
+                del stat["hist"]
+                stat["samples"] = [10, 20, 30]
+        path.write_text(json.dumps(payload))
+        assert cache.get(_point()) is None
+        assert not path.exists()
 
     def test_clear(self, tmp_path):
         cache = ResultCache(tmp_path)

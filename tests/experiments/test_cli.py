@@ -18,6 +18,7 @@ def _isolated_runner_state(tmp_path, monkeypatch):
     runner.set_default_jobs(1)
     runner.reset_run_stats()
     runner.clear_cache()
+    runner.set_observability(None)
 
 
 @pytest.fixture
@@ -90,3 +91,49 @@ def test_second_invocation_hits_disk_cache(capsys, tiny_quick, tmp_path):
     second = capsys.readouterr().out
     assert "disk-cache hit rate: 100.0%" in second
     assert "simulated:          0" in second
+
+
+def test_observability_flags_write_artifacts(capsys, tiny_quick, tmp_path):
+    obs_dir = tmp_path / "obs"
+    assert main(
+        [
+            "fig6",
+            "--scale",
+            "quick",
+            "--no-cache",
+            "--trace",
+            "--trace-sample",
+            "2",
+            "--metrics-interval",
+            "500",
+            "--profile",
+            "--obs-dir",
+            str(obs_dir),
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "observability artifacts" in out
+    assert list(obs_dir.glob("*.trace.jsonl"))
+    assert list(obs_dir.glob("*.trace.json"))
+    assert list(obs_dir.glob("*.metrics.jsonl"))
+    assert list(obs_dir.glob("*.profile.json"))
+
+
+def test_emitted_trace_passes_validator(capsys, tiny_quick, tmp_path):
+    from repro.obs.validate import main as validate_main
+
+    obs_dir = tmp_path / "obs"
+    assert main(
+        ["fig6", "--scale", "quick", "--no-cache", "--trace",
+         "--obs-dir", str(obs_dir)]
+    ) == 0
+    traces = [str(p) for p in obs_dir.glob("*.trace.jsonl")]
+    assert traces
+    assert validate_main(traces) == 0
+
+
+def test_invalid_observability_values_rejected(tiny_quick):
+    with pytest.raises(SystemExit):
+        main(["fig6", "--trace-sample", "0"])
+    with pytest.raises(SystemExit):
+        main(["fig6", "--metrics-interval", "0"])

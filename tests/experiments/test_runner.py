@@ -7,6 +7,7 @@ from repro.core.config import NetCrafterConfig
 from repro.experiments.runner import (
     ExperimentPoint,
     ExperimentScale,
+    ObservabilityOptions,
     clear_cache,
     disk_cache,
     reset_run_stats,
@@ -15,6 +16,7 @@ from repro.experiments.runner import (
     run_pair,
     run_stats,
     set_cache_dir,
+    set_observability,
 )
 from repro.workloads.base import Scale
 
@@ -24,10 +26,12 @@ def _fresh_cache():
     clear_cache()
     reset_run_stats()
     set_cache_dir(None)
+    set_observability(None)
     yield
     clear_cache()
     reset_run_stats()
     set_cache_dir(None)
+    set_observability(None)
 
 
 def test_run_one_returns_result():
@@ -158,6 +162,77 @@ class TestDiskCache:
         assert result.cycles > 0
         assert run_stats.disk_hits == 0
         assert run_stats.executed == 1
+
+
+class TestObservability:
+    def _options(self, tmp_path, **overrides):
+        defaults = dict(
+            trace=True,
+            metrics_interval=500,
+            profile=True,
+            out_dir=str(tmp_path / "obs"),
+        )
+        defaults.update(overrides)
+        return ObservabilityOptions(**defaults)
+
+    def test_inactive_options_are_a_no_op(self):
+        assert not ObservabilityOptions().active
+        set_observability(ObservabilityOptions())
+        a = run_one("gups", scale=Scale.tiny())
+        b = run_one("gups", scale=Scale.tiny())
+        assert a is b  # caching still on
+        assert a.trace_path is None
+
+    def test_artifacts_written_and_paths_on_result(self, tmp_path):
+        set_observability(self._options(tmp_path))
+        result = run_one("gups", scale=Scale.tiny())
+        import json
+
+        from repro.obs import validate_jsonl
+
+        for attr in ("trace_path", "trace_chrome_path", "metrics_path", "profile_path"):
+            path = getattr(result, attr)
+            assert path is not None and (tmp_path / "obs").exists()
+        assert validate_jsonl(result.trace_path) == []
+        assert json.loads(
+            open(result.trace_chrome_path).read()
+        )["traceEvents"]
+        assert json.loads(open(result.profile_path).read())["events"] > 0
+        metrics_lines = open(result.metrics_path).read().splitlines()
+        assert len(metrics_lines) >= 2  # meta header + samples
+
+    def test_observed_runs_bypass_caches(self, tmp_path):
+        set_cache_dir(str(tmp_path / "cache"))
+        set_observability(self._options(tmp_path, profile=False))
+        a = run_one("gups", scale=Scale.tiny())
+        b = run_one("gups", scale=Scale.tiny())
+        assert a is not b  # memo bypassed: each run has its own trace
+        assert run_stats.executed == 2
+        assert len(disk_cache()) == 0  # instrumented results not persisted
+
+    def test_disabling_restores_caching(self, tmp_path):
+        set_observability(self._options(tmp_path, profile=False))
+        run_one("gups", scale=Scale.tiny())
+        set_observability(None)
+        a = run_one("gups", scale=Scale.tiny())
+        b = run_one("gups", scale=Scale.tiny())
+        assert a is b
+        assert a.trace_path is None
+
+    def test_run_many_observed(self, tmp_path):
+        set_observability(
+            self._options(tmp_path, trace=False, metrics_interval=500, profile=False)
+        )
+        results = run_many(
+            [
+                ExperimentPoint(workload="gups", scale=Scale.tiny()),
+                ExperimentPoint(workload="mt", scale=Scale.tiny()),
+            ]
+        )
+        assert all(r.metrics_path is not None for r in results)
+        assert all(r.trace_path is None for r in results)
+        stems = {r.metrics_path for r in results}
+        assert len(stems) == 2  # per-point artifact files
 
 
 class TestExperimentScale:

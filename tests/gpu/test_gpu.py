@@ -9,7 +9,7 @@ from repro.network.packet import Packet, PacketType
 from repro.sim.engine import Engine
 from repro.stats.collectors import RunStats
 from repro.vm.page_table import PageTable
-from repro.vm.placement import AddressSpace, LaspPlacement
+from repro.vm.placement import AddressSpace
 
 
 def _gpu(engine, gpu_id=0, config=None):

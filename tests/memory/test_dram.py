@@ -1,7 +1,5 @@
 """Tests for the DRAM latency/bandwidth model."""
 
-import pytest
-
 from repro.memory.dram import Dram
 from repro.sim.engine import Engine
 

@@ -3,7 +3,12 @@
 import pytest
 
 from repro.network.flit import segment_packet
-from repro.network.link import FlitLink, PacketLink
+from repro.network.link import (
+    FlitLink,
+    LinkStats,
+    PacketLink,
+    UtilizationOvercountError,
+)
 from repro.network.packet import Packet, PacketType
 from repro.sim.engine import Engine
 
@@ -106,6 +111,46 @@ class TestFlitLink:
         eng.run()
         # a whole-packet segment has no metadata prefix: 4 + 12 all useful
         assert link.stats.useful_bytes == 16
+
+
+class TestUtilizationOvercount:
+    def test_overcount_recorded_not_hidden(self):
+        """Regression: busy > elapsed used to clamp to 1.0 silently,
+        hiding upstream double-count bugs behind a plausible plot."""
+        stats = LinkStats()
+        stats.busy_cycles = 150.0
+        assert stats.utilization(100) == 1.0
+        assert stats.overcounted
+        assert stats.overcount_cycles == pytest.approx(50.0)
+
+    def test_strict_mode_raises(self):
+        stats = LinkStats()
+        stats.strict = True
+        stats.busy_cycles = 150.0
+        with pytest.raises(UtilizationOvercountError):
+            stats.utilization(100)
+
+    def test_float_headroom_tolerated(self):
+        stats = LinkStats()
+        stats.strict = True
+        # sub-tolerance float accumulation drift is not an overcount
+        stats.busy_cycles = 100.0 + 100 * LinkStats.OVERCOUNT_TOLERANCE / 2
+        assert stats.utilization(100) == 1.0
+        assert not stats.overcounted
+
+    def test_worst_excess_retained(self):
+        stats = LinkStats()
+        stats.busy_cycles = 150.0
+        stats.utilization(100)
+        stats.utilization(120)  # smaller excess must not shrink the record
+        assert stats.overcount_cycles == pytest.approx(50.0)
+
+    def test_healthy_utilization_unchanged(self):
+        stats = LinkStats()
+        stats.strict = True
+        stats.busy_cycles = 73.0
+        assert stats.utilization(100) == pytest.approx(0.73)
+        assert not stats.overcounted
 
 
 class TestPacketLink:

@@ -1,7 +1,5 @@
 """Tests for the topology builder."""
 
-import pytest
-
 from repro.config import SystemConfig
 from repro.network.topology import build_topology
 from repro.sim.engine import Engine

@@ -1,0 +1,149 @@
+"""Tests for trace-record validation (shape + lifecycle sequencing)."""
+
+import json
+
+from repro.obs.schema import (
+    EVENTS,
+    FLIT_EVENTS,
+    PACKET_EVENTS,
+    validate_jsonl,
+    validate_record,
+    validate_records,
+)
+from repro.obs.validate import main as validate_main
+
+
+def _rec(event, cycle=0, flit=1, packet=1, **extra):
+    record = {"cycle": cycle, "event": event, "packet": packet}
+    if event in FLIT_EVENTS:
+        record["flit"] = flit
+    record.update(extra)
+    return record
+
+
+class TestValidateRecord:
+    def test_vocabulary_is_closed(self):
+        assert set(PACKET_EVENTS) | set(FLIT_EVENTS) == set(EVENTS)
+        assert validate_record(_rec("warp_jump")) != []
+
+    def test_minimal_valid_records(self):
+        assert validate_record(_rec("inject")) == []
+        assert validate_record(_rec("stage")) == []
+        assert validate_record(_rec("eject")) == []
+
+    def test_cycle_must_be_nonnegative_int(self):
+        assert validate_record(_rec("stage", cycle=-1))
+        assert validate_record(_rec("stage", cycle=1.5))
+
+    def test_flit_events_need_flit_id(self):
+        bad = _rec("stage")
+        del bad["flit"]
+        assert validate_record(bad)
+
+    def test_stitch_needs_distinct_parent(self):
+        assert validate_record(_rec("stitch", flit=1, parent=2)) == []
+        assert validate_record(_rec("stitch", flit=1))
+        assert validate_record(_rec("stitch", flit=1, parent=1))
+
+    def test_pool_needs_future_until(self):
+        assert validate_record(_rec("pool", cycle=5, until=9)) == []
+        assert validate_record(_rec("pool", cycle=5))
+        assert validate_record(_rec("pool", cycle=5, until=4))
+
+    def test_wire_start_needs_link_and_dur(self):
+        assert validate_record(_rec("wire_start", link="l0", dur=1.0)) == []
+        assert validate_record(_rec("wire_start", dur=1.0))
+        assert validate_record(_rec("wire_start", link="l0"))
+
+    def test_trace_meta_header(self):
+        assert validate_record({"event": "trace_meta", "schema": 1}) == []
+        assert validate_record({"event": "trace_meta"})
+
+
+class TestValidateRecords:
+    def test_legal_lifecycle(self):
+        records = [
+            _rec("stage", cycle=0),
+            _rec("pool", cycle=1, until=5),
+            _rec("eject", cycle=5),
+            _rec("wire_start", cycle=5, link="l0", dur=1.0),
+            _rec("deliver", cycle=10),
+        ]
+        assert validate_records(records) == []
+
+    def test_stitched_child_lifecycle(self):
+        records = [
+            _rec("stage", cycle=0, flit=2),
+            _rec("stitch", cycle=3, flit=2, parent=9),
+        ]
+        assert validate_records(records) == []
+
+    def test_cycle_regression_flagged(self):
+        records = [_rec("stage", cycle=5), _rec("eject", cycle=3)]
+        assert validate_records(records)
+
+    def test_rank_regression_flagged(self):
+        records = [
+            _rec("stage", cycle=0),
+            _rec("deliver", cycle=5),
+            _rec("eject", cycle=6),  # eject after deliver is illegal
+        ]
+        assert validate_records(records)
+
+    def test_wire_without_stage_flagged(self):
+        assert validate_records([_rec("deliver", cycle=5)])
+        assert validate_records([_rec("wire_start", cycle=5, link="l", dur=1)])
+
+    def test_independent_flits_do_not_interfere(self):
+        records = [
+            _rec("stage", cycle=0, flit=1),
+            _rec("stage", cycle=4, flit=2),
+            _rec("eject", cycle=5, flit=1),
+            _rec("eject", cycle=6, flit=2),
+        ]
+        assert validate_records(records) == []
+
+
+def _write_jsonl(path, records, meta=None):
+    meta = meta if meta is not None else {"event": "trace_meta", "cycle": 0, "schema": 1, "dropped": 0}
+    lines = [json.dumps(meta)] + [json.dumps(r) for r in records]
+    path.write_text("\n".join(lines) + "\n")
+
+
+class TestValidateJsonl:
+    def test_valid_file(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        _write_jsonl(path, [_rec("stage", cycle=0), _rec("eject", cycle=2)])
+        assert validate_jsonl(path) == []
+
+    def test_missing_meta(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(json.dumps(_rec("stage")) + "\n")
+        assert validate_jsonl(path) == ["missing trace_meta header line"]
+
+    def test_dropped_trace_skips_sequence_checks(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        meta = {"event": "trace_meta", "cycle": 0, "schema": 1, "dropped": 3}
+        # bare deliver: a sequence violation, but the stage was dropped
+        _write_jsonl(path, [_rec("deliver", cycle=5)], meta=meta)
+        assert validate_jsonl(path) == []
+
+    def test_allow_partial_flag(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        _write_jsonl(path, [_rec("deliver", cycle=5)])
+        assert validate_jsonl(path)
+        assert validate_jsonl(path, allow_partial=True) == []
+
+
+class TestValidateCli:
+    def test_ok_exit(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        _write_jsonl(path, [_rec("stage", cycle=0)])
+        assert validate_main([str(path)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_violation_exit(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        _write_jsonl(path, [_rec("deliver", cycle=5)])
+        assert validate_main([str(path)]) == 1
+        assert validate_main([str(path), "--allow-partial"]) == 0

@@ -52,6 +52,82 @@ class TestLatencyStat:
         assert stat.count == 100
         assert len(stat._samples) == 10
 
+    def test_merge_is_order_independent(self):
+        """Regression: merge used to keep the first ``room`` samples of
+        ``other``, so a.merge(b) and b.merge(a) disagreed on percentiles
+        whenever the cap truncated — merged stats were biased toward
+        whichever shard merged first."""
+
+        def shard(values):
+            stat = LatencyStat()
+            stat.MAX_SAMPLES = 50
+            for v in values:
+                stat.record(v)
+            return stat
+
+        low = list(range(100))          # 0..99
+        high = list(range(1000, 1100))  # 1000..1099
+        ab = shard(low)
+        ab.merge(shard(high))
+        ba = shard(high)
+        ba.merge(shard(low))
+        assert ab._samples == ba._samples
+        for p in (0, 25, 50, 75, 90, 99, 100):
+            assert ab.percentile(p) == ba.percentile(p)
+        # both shards survive in the retained set (no one-sided bias)
+        assert any(v < 100 for v in ab._samples)
+        assert any(v >= 1000 for v in ab._samples)
+
+    def test_merge_within_cap_keeps_everything(self):
+        a, b = LatencyStat(), LatencyStat()
+        for v in (1, 2, 3):
+            a.record(v)
+        for v in (4, 5):
+            b.record(v)
+        a.merge(b)
+        assert sorted(a._samples) == [1, 2, 3, 4, 5]
+        assert a.count == 5
+
+    def test_bucket_floor(self):
+        # exact below 2**(HIST_SUB_BITS + 1)
+        for v in range(0, 17):
+            assert LatencyStat.bucket_floor(v) == v
+        assert LatencyStat.bucket_floor(340) == 320  # width 32 at msb 8
+        assert LatencyStat.bucket_floor(1023) == 960  # width 64 at msb 9
+        assert LatencyStat.bucket_floor(1024) == 1024
+        assert LatencyStat.bucket_floor(-5) == 0
+
+    def test_histogram_percentile_error_bounded(self):
+        stat = LatencyStat()
+        for v in range(1, 2001):
+            stat.record(v)
+        restored = LatencyStat.from_dict(stat.to_dict())
+        for p in (10, 50, 90, 99):
+            exact = stat.percentile(p)
+            approx = restored.percentile(p)
+            assert exact * (1 - 2**-LatencyStat.HIST_SUB_BITS) <= approx <= exact
+
+    def test_serialized_payload_has_no_raw_samples(self):
+        """Regression: to_dict used to embed up to 200k raw samples,
+        bloating every disk-cache entry by megabytes."""
+        stat = LatencyStat()
+        for v in range(10_000):
+            stat.record(v)
+        payload = stat.to_dict()
+        assert "samples" not in payload
+        # log-bucketed: far fewer buckets than samples
+        assert len(payload["hist"]) < 200
+        restored = LatencyStat.from_dict(payload)
+        assert restored.count == stat.count
+        assert restored.mean() == pytest.approx(stat.mean())
+        assert restored.max == stat.max
+
+    def test_legacy_samples_payload_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyStat.from_dict(
+                {"count": 2, "total": 30, "max": 20, "samples": [10, 20]}
+            )
+
 
 class TestRunStats:
     def test_l1_mpki(self):

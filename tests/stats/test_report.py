@@ -5,7 +5,7 @@ from collections import Counter
 
 import pytest
 
-from repro.stats.collectors import RunStats
+from repro.stats.collectors import LatencyStat, RunStats
 from repro.stats.energy import EnergyBreakdown
 from repro.stats.report import RunResult, geometric_mean
 
@@ -134,9 +134,11 @@ class TestSerialization:
         assert restored.mean_inter_read_latency() == pytest.approx(
             original.mean_inter_read_latency()
         )
-        assert restored.stats.remote_read_latency_inter.percentile(
-            99
-        ) == pytest.approx(original.stats.remote_read_latency_inter.percentile(99))
+        # raw samples are not serialized; percentiles come back at
+        # histogram resolution (bucket lower edge, <=12.5% below)
+        p99 = original.stats.remote_read_latency_inter.percentile(99)
+        restored_p99 = restored.stats.remote_read_latency_inter.percentile(99)
+        assert p99 * (1 - 2**-LatencyStat.HIST_SUB_BITS) <= restored_p99 <= p99
         assert restored.stats.l1_mpki() == pytest.approx(original.stats.l1_mpki())
         assert restored.occupancy == original.occupancy
         assert isinstance(next(iter(restored.occupancy)), int)

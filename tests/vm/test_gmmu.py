@@ -1,7 +1,5 @@
 """Tests for the GMMU: L2 TLB, PWC and parallel walkers."""
 
-import pytest
-
 from repro.sim.engine import Engine
 from repro.stats.collectors import RunStats
 from repro.vm.gmmu import Gmmu
