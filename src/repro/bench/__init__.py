@@ -1,0 +1,38 @@
+"""Benchmark subsystem: the repo's performance baseline and trajectory.
+
+The ROADMAP's north star is a simulator that runs "as fast as the
+hardware allows"; this package is how that claim is measured rather than
+asserted.  It provides:
+
+* **microbenchmarks** (:mod:`repro.bench.micro`) isolating the three
+  inner loops every experiment pays for — engine event dispatch, link
+  serialization, and the Cluster Queue stitch scan;
+* an **end-to-end smoke sweep** (:mod:`repro.bench.smoke`) over a
+  representative workload x configuration grid, which doubles as the
+  bit-identity gate: its result digest must not move unless simulator
+  semantics intentionally changed;
+* a **report format** (``BENCH_core.json``, validated by
+  :mod:`repro.bench.schema`) and a ``--compare`` mode
+  (:mod:`repro.bench.harness`) that diffs a fresh run against the
+  committed baseline (``BENCH_baseline.json``) so perf regressions and
+  semantic drift both fail loudly, in CI and locally.
+
+Run ``python -m repro.bench --help`` for the CLI.
+"""
+
+from repro.bench.harness import (
+    BenchRecord,
+    BenchReport,
+    compare_reports,
+    run_benchmarks,
+)
+from repro.bench.schema import BENCH_SCHEMA_VERSION, validate_report
+
+__all__ = [
+    "BenchRecord",
+    "BenchReport",
+    "BENCH_SCHEMA_VERSION",
+    "compare_reports",
+    "run_benchmarks",
+    "validate_report",
+]

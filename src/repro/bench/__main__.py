@@ -1,0 +1,132 @@
+"""CLI: run the benchmark suite, emit/validate ``BENCH_core.json``,
+and optionally diff against the committed baseline.
+
+Examples::
+
+    python -m repro.bench                       # full suite -> BENCH_core.json
+    python -m repro.bench --quick               # CI-sized suite
+    python -m repro.bench --compare             # diff vs BENCH_baseline.json
+    python -m repro.bench --update-baseline     # promote this run to baseline
+
+``--compare`` exits non-zero when any benchmark regressed past
+``--fail-threshold`` (default 2x, generous for noisy runners) or when the
+smoke sweep's result digest moved (simulator semantics changed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.bench.harness import (
+    compare_reports,
+    comparison_lines,
+    run_benchmarks,
+)
+from repro.bench.schema import BenchSchemaError, validate_report
+
+DEFAULT_OUT = "BENCH_core.json"
+DEFAULT_BASELINE = "BENCH_baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run the simulator benchmark suite.",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="CI-sized suite (smaller inputs)"
+    )
+    parser.add_argument(
+        "--out", default=DEFAULT_OUT, help=f"output path (default {DEFAULT_OUT})"
+    )
+    parser.add_argument(
+        "--only",
+        nargs="+",
+        metavar="NAME",
+        help="run only the named benchmarks",
+    )
+    parser.add_argument(
+        "--compare",
+        nargs="?",
+        const=DEFAULT_BASELINE,
+        metavar="BASELINE",
+        help=f"diff against a baseline report (default {DEFAULT_BASELINE}, "
+        "committed at the repo root)",
+    )
+    parser.add_argument(
+        "--fail-threshold",
+        type=float,
+        default=2.0,
+        help="with --compare, fail when a benchmark is this many times "
+        "slower than the baseline (default 2.0)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="run each benchmark this many times and report the minimum "
+        "wall time (default 3; the suite is deterministic, so spread "
+        "between repeats is machine noise)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="also write this run's report over the baseline path",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    report = run_benchmarks(quick=args.quick, only=args.only, repeats=args.repeats)
+
+    doc = report.to_dict()
+    exit_code = 0
+    if args.compare is not None:
+        baseline_path = Path(args.compare)
+        try:
+            baseline = json.loads(baseline_path.read_text())
+            validate_report(baseline)
+        except FileNotFoundError:
+            print(f"baseline not found: {baseline_path}", file=sys.stderr)
+            return 2
+        except (ValueError, BenchSchemaError) as exc:
+            print(f"invalid baseline {baseline_path}: {exc}", file=sys.stderr)
+            return 2
+        comparison = compare_reports(
+            doc, baseline, fail_threshold=args.fail_threshold
+        )
+        doc["comparison"] = comparison
+        if comparison["regressions"] or comparison.get("digest_match") is False:
+            exit_code = 1
+
+    try:
+        validate_report(doc)
+    except BenchSchemaError as exc:  # pragma: no cover - self-check
+        print(f"generated report failed schema validation: {exc}", file=sys.stderr)
+        return 2
+
+    blob = json.dumps(doc, indent=2, sort_keys=True) + "\n"
+    Path(args.out).write_text(blob)
+    if args.update_baseline:
+        Path(args.compare or DEFAULT_BASELINE).write_text(blob)
+
+    for rec in report.records:
+        print(
+            f"{rec.name:<30} {rec.work_units:>10d} units  "
+            f"{rec.wall_seconds:7.3f}s  {rec.rate:>12.0f}/s  "
+            f"rss {rec.peak_rss_kb} KiB"
+        )
+    if "comparison" in doc:
+        print()
+        for line in comparison_lines(doc["comparison"]):
+            print(line)
+    print(f"\nwrote {args.out}")
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

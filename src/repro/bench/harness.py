@@ -1,0 +1,241 @@
+"""Benchmark harness: timing, RSS tracking, report assembly, comparison.
+
+Every benchmark is a no-argument callable returning ``(work_units,
+extra)`` where ``work_units`` is the benchmark's throughput numerator
+(engine events, flits, scans, ...) and ``extra`` is a dict of
+benchmark-specific fields merged into the record.  The harness wraps the
+call with wall-clock timing and peak-RSS sampling and normalizes
+everything into :class:`BenchRecord` rows.
+
+``ru_maxrss`` is a process-lifetime high-water mark, so per-benchmark
+peak RSS is monotonically non-decreasing across the run; it answers
+"how much memory did the suite need by this point", not "how much did
+this benchmark allocate".
+"""
+
+from __future__ import annotations
+
+import platform
+import resource
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.schema import BENCH_SCHEMA_VERSION
+
+
+def peak_rss_kb() -> int:
+    """Process peak resident set size in KiB (Linux ``ru_maxrss`` unit)."""
+    usage = resource.getrusage(resource.RUSAGE_SELF)
+    rss = usage.ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - darwin reports bytes
+        rss //= 1024
+    return int(rss)
+
+
+@dataclass
+class BenchRecord:
+    """One benchmark's measured row in ``BENCH_core.json``."""
+
+    name: str
+    kind: str  # "micro" | "e2e"
+    work_units: int
+    wall_seconds: float
+    peak_rss_kb: int
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def rate(self) -> float:
+        """Work units per second (the regression-tracked figure)."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.work_units / self.wall_seconds
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "name": self.name,
+            "kind": self.kind,
+            "work_units": self.work_units,
+            "wall_seconds": self.wall_seconds,
+            "units_per_second": self.rate,
+            "peak_rss_kb": self.peak_rss_kb,
+        }
+        out.update(self.extra)
+        return out
+
+
+@dataclass
+class BenchReport:
+    """The full ``BENCH_core.json`` document."""
+
+    records: List[BenchRecord]
+    quick: bool
+    comparison: Optional[Dict[str, object]] = None
+
+    def record(self, name: str) -> Optional[BenchRecord]:
+        for rec in self.records:
+            if rec.name == name:
+                return rec
+        return None
+
+    def to_dict(self) -> Dict[str, object]:
+        doc: Dict[str, object] = {
+            "schema": BENCH_SCHEMA_VERSION,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "quick": self.quick,
+            "benchmarks": [rec.to_dict() for rec in self.records],
+        }
+        if self.comparison is not None:
+            doc["comparison"] = self.comparison
+        return doc
+
+
+Benchmark = Tuple[str, str, Callable[[], Tuple[int, Dict[str, object]]]]
+
+
+def measure(
+    name: str,
+    kind: str,
+    fn: Callable[[], Tuple[int, Dict[str, object]]],
+    repeats: int = 1,
+) -> BenchRecord:
+    """Run one benchmark callable under timing + RSS instrumentation.
+
+    With ``repeats > 1`` the callable runs that many times and the
+    *minimum* wall time is reported: every benchmark in the suite is
+    deterministic, so the spread between repeats is scheduler/frequency
+    noise and the minimum is the least-contaminated estimate of the
+    code's cost.
+    """
+    if repeats <= 0:
+        raise ValueError("repeats must be positive")
+    wall = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        work_units, extra = fn()
+        wall = min(wall, time.perf_counter() - start)
+    record = BenchRecord(
+        name=name,
+        kind=kind,
+        work_units=int(work_units),
+        wall_seconds=wall,
+        peak_rss_kb=peak_rss_kb(),
+        extra=dict(extra),
+    )
+    record.extra.setdefault("repeats", repeats)
+    return record
+
+
+def default_suite(quick: bool) -> List[Benchmark]:
+    """The standard benchmark suite, sized for full or quick (CI) runs."""
+    from repro.bench import micro, smoke
+
+    return [
+        ("engine_dispatch", "micro", lambda: micro.bench_engine_dispatch(quick)),
+        ("flit_link_throughput", "micro", lambda: micro.bench_flit_link(quick)),
+        ("packet_link_throughput", "micro", lambda: micro.bench_packet_link(quick)),
+        ("cluster_queue_stitch_scan", "micro", lambda: micro.bench_stitch_scan(quick)),
+        ("smoke_sweep", "e2e", lambda: smoke.bench_smoke_sweep(quick)),
+    ]
+
+
+def run_benchmarks(
+    quick: bool = False,
+    only: Optional[Sequence[str]] = None,
+    repeats: int = 3,
+) -> BenchReport:
+    """Run the suite (optionally a named subset) and assemble the report."""
+    suite = default_suite(quick)
+    if only:
+        wanted = set(only)
+        known = {name for name, _, _ in suite}
+        unknown = wanted - known
+        if unknown:
+            raise ValueError(
+                f"unknown benchmark(s): {sorted(unknown)}; known: {sorted(known)}"
+            )
+        suite = [bench for bench in suite if bench[0] in wanted]
+    records = [measure(name, kind, fn, repeats=repeats) for name, kind, fn in suite]
+    return BenchReport(records=records, quick=quick)
+
+
+def compare_reports(
+    current: Dict[str, object],
+    baseline: Dict[str, object],
+    fail_threshold: float = 2.0,
+) -> Dict[str, object]:
+    """Diff ``current`` against ``baseline`` (both ``to_dict`` documents).
+
+    Returns a comparison block with, per benchmark present in both:
+    ``speedup`` (current rate / baseline rate, >1 means faster now) and
+    the two rates.  ``regressions`` lists benchmarks slower than
+    ``fail_threshold`` (a generous 2x by default, so noisy CI runners do
+    not flap); ``digest_match`` is ``False`` when the end-to-end smoke
+    sweep's result digest moved, i.e. simulator semantics changed.
+    """
+    cur_by_name = {b["name"]: b for b in current.get("benchmarks", [])}
+    base_by_name = {b["name"]: b for b in baseline.get("benchmarks", [])}
+    rows: List[Dict[str, object]] = []
+    regressions: List[str] = []
+    for name, cur in cur_by_name.items():
+        base = base_by_name.get(name)
+        if base is None:
+            continue
+        cur_rate = float(cur["units_per_second"])
+        base_rate = float(base["units_per_second"])
+        speedup = cur_rate / base_rate if base_rate > 0 else 0.0
+        rows.append(
+            {
+                "name": name,
+                "baseline_units_per_second": base_rate,
+                "current_units_per_second": cur_rate,
+                "speedup": speedup,
+            }
+        )
+        if speedup > 0 and speedup < 1.0 / fail_threshold:
+            regressions.append(name)
+
+    digest_match: Optional[bool] = None
+    cur_smoke = cur_by_name.get("smoke_sweep")
+    base_smoke = base_by_name.get("smoke_sweep")
+    if cur_smoke is not None and base_smoke is not None:
+        cur_digest = cur_smoke.get("results_digest")
+        base_digest = base_smoke.get("results_digest")
+        if cur_digest is not None and base_digest is not None:
+            # digests only compare like with like (same point grid)
+            if cur_smoke.get("points") == base_smoke.get("points") and bool(
+                current.get("quick")
+            ) == bool(baseline.get("quick")):
+                digest_match = cur_digest == base_digest
+
+    return {
+        "baseline_python": baseline.get("python"),
+        "fail_threshold": fail_threshold,
+        "benchmarks": rows,
+        "regressions": regressions,
+        "digest_match": digest_match,
+    }
+
+
+def comparison_lines(comparison: Dict[str, object]) -> List[str]:
+    """Human-readable rendering of a :func:`compare_reports` block."""
+    lines = ["benchmark                        baseline/s      current/s   speedup"]
+    for row in comparison["benchmarks"]:
+        lines.append(
+            f"{row['name']:<30} {row['baseline_units_per_second']:>13.0f} "
+            f"{row['current_units_per_second']:>14.0f} "
+            f"{row['speedup']:>8.2f}x"
+        )
+    if comparison["regressions"]:
+        lines.append(
+            f"REGRESSIONS (> {comparison['fail_threshold']:.1f}x slower): "
+            + ", ".join(comparison["regressions"])
+        )
+    if comparison.get("digest_match") is False:
+        lines.append(
+            "RESULT DIGEST MISMATCH: the smoke sweep no longer produces "
+            "bit-identical stats (simulator semantics changed)"
+        )
+    return lines

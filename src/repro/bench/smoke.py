@@ -1,0 +1,107 @@
+"""End-to-end smoke sweep: the benchmark that doubles as a semantic gate.
+
+Runs a representative workload x configuration grid through
+:class:`~repro.gpu.system.MultiGpuSystem` directly (no result cache, no
+parallel fan-out) and reports aggregate engine throughput plus a sha256
+digest over every run's :meth:`RunResult.to_dict` payload.
+
+The digest is the bit-identity gate for hot-path work: an optimization
+that changes it changed simulated behaviour, not just speed.  Engine
+event *counts* are excluded from the digest — batching same-cycle work
+into fewer events is exactly the kind of optimization the digest must
+not veto — but cycles, traffic counters, and latency statistics are all
+covered.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, List, Tuple
+
+from repro.config import SystemConfig
+from repro.core.config import NetCrafterConfig
+from repro.gpu.system import MultiGpuSystem
+from repro.workloads.base import Scale
+from repro.workloads.registry import get_workload
+
+#: fields of ``RunResult.to_dict`` that describe the simulator's effort
+#: or serialization format, not its observable behaviour; excluded from
+#: the result digest
+_DIGEST_EXCLUDED_FIELDS = (
+    "schema",
+    "events_processed",
+    "trace_path",
+    "trace_chrome_path",
+    "metrics_path",
+    "profile_path",
+)
+
+#: (workload, netcrafter-variant) grid; quick drops to the first entries
+_WORKLOADS_FULL = ("gups", "mt", "mis", "spmv")
+_WORKLOADS_QUICK = ("gups", "mt")
+
+
+def smoke_points(quick: bool = False) -> List[Tuple[str, str]]:
+    """The (workload, variant) grid, as stable labels for the report."""
+    workloads = _WORKLOADS_QUICK if quick else _WORKLOADS_FULL
+    return [(w, variant) for w in workloads for variant in ("baseline", "full")]
+
+
+def _variant_config(variant: str) -> NetCrafterConfig:
+    if variant == "baseline":
+        return NetCrafterConfig.baseline()
+    return NetCrafterConfig.full()
+
+
+def digestable_payload(result_dict: Dict[str, object]) -> Dict[str, object]:
+    """A result dict with effort/artifact fields stripped for digesting."""
+    return {
+        key: value
+        for key, value in result_dict.items()
+        if key not in _DIGEST_EXCLUDED_FIELDS
+    }
+
+
+def results_digest(result_dicts: List[Dict[str, object]]) -> str:
+    """Order-sensitive sha256 over the digestable payload of each run."""
+    blob = json.dumps(
+        [digestable_payload(d) for d in result_dicts], sort_keys=True
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def run_smoke_grid(quick: bool = False, seed: int = 0):
+    """Simulate the grid; returns (results, total_events, total_cycles)."""
+    system_config = SystemConfig.default()
+    scale = Scale.small()
+    results = []
+    total_events = 0
+    total_cycles = 0
+    for workload, variant in smoke_points(quick):
+        trace = get_workload(workload).build(
+            n_gpus=system_config.n_gpus, scale=scale, seed=seed
+        )
+        node = MultiGpuSystem(
+            config=system_config, netcrafter=_variant_config(variant), seed=seed
+        )
+        node.load(trace)
+        result = node.run()
+        results.append(result)
+        total_events += node.engine.events_processed
+        total_cycles += result.cycles
+    return results, total_events, total_cycles
+
+
+def bench_smoke_sweep(quick: bool = False) -> Tuple[int, Dict[str, object]]:
+    """Harness entry: simulated cycles as work units (invariant under the
+    bit-identity gate, so cycles/second compares as wall-time speedup even
+    when optimizations change the engine's *event* count), digest + grid
+    shape as extra."""
+    results, total_events, total_cycles = run_smoke_grid(quick)
+    digest = results_digest([r.to_dict() for r in results])
+    return total_cycles, {
+        "points": len(results),
+        "events": total_events,
+        "results_digest": digest,
+    }

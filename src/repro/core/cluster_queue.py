@@ -71,6 +71,7 @@ class ClusterQueue:
         self.partition_by_type = partition_by_type
         self.separate_ptw = separate_ptw
         self.scheduler = scheduler
+        self._age_scheduler = scheduler == "age"
         self._partitions: Dict[str, QueuePartition] = {}
         self._order: List[str] = []
         self._rr_index = 0
@@ -136,13 +137,16 @@ class ClusterQueue:
         ``push_front``) count against the budget: admitting into the
         slot a pooled flit is about to reclaim would overflow the SRAM.
         """
-        if self.free_entries <= 0:
+        if self.capacity - self._count - self._reserved <= 0:
             self.rejected += 1
             return False
         key = self.partition_key(flit, priority_data)
         flit.cq_seq = self._next_seq
         self._next_seq += 1
-        self._partition(key).flits.append(flit)
+        part = self._partitions.get(key)
+        if part is None:
+            part = self._partition(key)
+        part.flits.append(flit)
         self._count += 1
         self.total_accepted += 1
         return True
@@ -243,10 +247,9 @@ class ClusterQueue:
             preferred = self._partitions.get(prefer)
             if preferred is not None and preferred.flits:
                 return preferred, None
-        n = len(self._order)
-        if n == 0 or self._count == 0:
+        if self._count == 0 or not self._order:
             return None, None
-        if self.scheduler == "age":
+        if self._age_scheduler:
             return self._select_oldest(now)
         return self._select_round_robin(now)
 

@@ -27,7 +27,7 @@ from repro.core.trimming import TrimEngine
 from repro.network.flit import Flit, segment_packet
 from repro.network.link import FlitLink
 from repro.network.packet import Packet
-from repro.obs.tracer import NULL_TRACER
+from repro.obs.tracer import Traced
 from repro.sim.component import Component
 from repro.sim.engine import Engine
 
@@ -70,7 +70,7 @@ class EgressStats:
         return dist
 
 
-class NetCrafterController(Component):
+class NetCrafterController(Traced, Component):
     """Egress controller for a single destination cluster."""
 
     def __init__(
@@ -115,8 +115,6 @@ class NetCrafterController(Component):
             config.effective_priority, config.data_priority_fraction, seed=seed
         )
         self.stats = EgressStats()
-        #: lifecycle tracer (assigned by the observability wiring)
-        self.tracer = NULL_TRACER
         #: packets waiting for Cluster Queue space, admitted FIFO
         self._pending: Deque[Tuple[List[Flit], bool]] = deque()
         self._next_pump: Optional[int] = None
@@ -130,8 +128,8 @@ class NetCrafterController(Component):
         self.stats.packets_by_type[packet.ptype] += 1
         if self.trim_engine is not None:
             trimmed = self.trim_engine.maybe_trim(packet)
-            if trimmed and self.tracer.enabled:
-                self.tracer.packet_event(
+            if trimmed and self._trace_on:
+                self._tracer.packet_event(
                     self.now,
                     "trim",
                     packet,
@@ -143,7 +141,7 @@ class NetCrafterController(Component):
         self._pending.append((flits, priority_data))
         self._admit_pending()
         self._maybe_release_pooled()
-        self._request_pump(self.now)
+        self._request_pump(self.engine._now)
 
     def _admit_pending(self) -> None:
         """Move whole packets from the overflow list into the CQ."""
@@ -155,8 +153,8 @@ class NetCrafterController(Component):
             for flit in flits:
                 self.stats.record_entry(flit)
                 self.queue.push(flit, priority_data)
-                if self.tracer.enabled:
-                    self.tracer.flit_event(
+                if self._trace_on:
+                    self._tracer.flit_event(
                         self.now,
                         "stage",
                         flit,
@@ -176,19 +174,23 @@ class NetCrafterController(Component):
             return
         if not self.config.early_release:
             return
-        for partition in self.queue.blocked_partitions(self.now):
+        now = self.engine._now
+        for partition in self.queue.blocked_partitions(now):
             head = partition.flits[0]
             if not head.pooled:
                 continue
             if self.stitch_engine.find_candidate(head, self.queue) is not None:
-                partition.blocked_until = self.now
+                partition.blocked_until = now
 
     # -- pump scheduling ------------------------------------------------------
 
     def _request_pump(self, at: int) -> None:
         """Ensure a pump event is in flight no later than ``at``."""
-        at = max(at, self.now)
-        if self._next_pump is not None and self._next_pump <= at:
+        now = self.engine._now
+        if at < now:
+            at = now
+        next_pump = self._next_pump
+        if next_pump is not None and next_pump <= at:
             return
         self._next_pump = at
         self._pump_generation += 1
@@ -203,13 +205,16 @@ class NetCrafterController(Component):
     # -- egress pipeline ------------------------------------------------------
 
     def _pump(self) -> None:
-        if not self.link.is_ready():
-            self._request_pump(self.link.ready_at())
+        link = self.link
+        if not link.is_ready():
+            self._request_pump(link.ready_at())
             return
+        now = self.engine._now
+        queue = self.queue
         preferred = self.sequencer.preferred_partition
         while True:
-            partition, earliest_unblock = self.queue.select_partition(
-                self.now, prefer=preferred
+            partition, earliest_unblock = queue.select_partition(
+                now, prefer=preferred
             )
             if partition is None:
                 if earliest_unblock is None:
@@ -223,28 +228,28 @@ class NetCrafterController(Component):
                 # DESIGN.md §7 for the deviation note.
                 grace = self.config.pooling_grace
                 override_at, partition = None, None
-                for part in self.queue.blocked_partitions(self.now):
+                for part in queue.blocked_partitions(now):
                     at = min(part.blocked_until, part.pooled_at + grace)
                     if override_at is None or at < override_at:
                         override_at, partition = at, part
-                if self.now < override_at:
+                if now < override_at:
                     self._request_pump(override_at)
                     return
-                partition.blocked_until = self.now
+                partition.blocked_until = now
             # pop while holding the SRAM entry: if pooling returns the
             # parent via push_front, no intervening admission may have
             # stolen its slot (the un-reserved round-trip used to drive
             # _count above capacity)
-            parent = self.queue.pop_reserved(partition)
+            parent = queue.pop_reserved(partition)
             absorbed = 0
             if self.stitch_engine is not None:
-                timers_before = self.queue.stale_timers_cleared
+                timers_before = queue.stale_timers_cleared
                 segments_before = len(parent.segments)
-                absorbed = self.stitch_engine.stitch_all(parent, self.queue)
-                if absorbed and self.tracer.enabled:
+                absorbed = self.stitch_engine.stitch_all(parent, queue)
+                if absorbed and self._trace_on:
                     for segment in parent.segments[segments_before:]:
-                        self.tracer.flit_event(
-                            self.now,
+                        self._tracer.flit_event(
+                            now,
                             "stitch",
                             segment.flit,
                             lane=self.name,
@@ -252,12 +257,12 @@ class NetCrafterController(Component):
                             kind=segment.kind.value,
                             cost=segment.wire_bytes,
                         )
-                if self.queue.stale_timers_cleared != timers_before:
+                if queue.stale_timers_cleared != timers_before:
                     # a pooled partition head was stitched into this parent,
                     # releasing its partition's timer; pump again as soon as
                     # the wire frees up so the (never-pooled) successor flit
                     # is not held hostage by the dead timer
-                    self._request_pump(self.link.ready_at())
+                    self._request_pump(link.ready_at())
             if (
                 absorbed == 0
                 and self.pooling is not None
@@ -265,12 +270,12 @@ class NetCrafterController(Component):
                 and self.pooling.should_pool(parent)
             ):
                 # no candidate: defer this partition and try another now
-                partition.blocked_until = self.pooling.pool(parent, self.now)
-                partition.pooled_at = self.now
-                self.queue.push_front(parent, partition.key, reserved=True)
-                if self.tracer.enabled:
-                    self.tracer.flit_event(
-                        self.now,
+                partition.blocked_until = self.pooling.pool(parent, now)
+                partition.pooled_at = now
+                queue.push_front(parent, partition.key, reserved=True)
+                if self._trace_on:
+                    self._tracer.flit_event(
+                        now,
                         "pool",
                         parent,
                         lane=self.name,
@@ -291,8 +296,8 @@ class NetCrafterController(Component):
             self.stats.parents_stitched += 1
             self.stats.flits_absorbed += absorbed
         self.stats.flits_sent += 1
-        if self.tracer.enabled:
-            self.tracer.flit_event(
+        if self._trace_on:
+            self._tracer.flit_event(
                 self.now,
                 "eject",
                 parent,

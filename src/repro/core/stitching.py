@@ -34,18 +34,35 @@ class StitchEngine:
 
         Best-fit = the candidate with the largest stitch cost that still
         fits, which maximizes padding reclaimed per search.
+
+        This is the hottest scan in the simulator (every ejected flit
+        probes up to ``search_depth`` entries of every partition), so the
+        window iteration is inlined rather than going through
+        :meth:`ClusterQueue.stitch_candidates`, and the ``can_absorb``
+        conditions are folded into the cost comparison — a candidate is
+        admissible iff it has no segments of its own and its cached
+        stitch cost fits the parent's padding.
         """
         empty = parent.empty_bytes
+        if empty <= 0:
+            return None
+        depth = self.search_depth
         best: Optional[Flit] = None
         best_cost = 0
-        for flit in queue.stitch_candidates(parent, self.search_depth):
-            cost = flit.stitch_cost()
-            if cost > empty or not parent.can_absorb(flit):
-                continue
-            if cost > best_cost:
+        for part in queue._partitions.values():
+            remaining = depth
+            for flit in part.flits:
+                if remaining <= 0:
+                    break
+                remaining -= 1
+                if flit is parent:
+                    continue
+                cost = flit.stitch_cost()
+                if cost > empty or cost <= best_cost or flit.segments:
+                    continue
                 best, best_cost = flit, cost
                 if cost == empty:  # perfect fit, stop early
-                    break
+                    return best
         return best
 
     def stitch_all(self, parent: Flit, queue: ClusterQueue) -> int:

@@ -49,7 +49,7 @@ class TrimEngine:
         if not self.should_trim(packet):
             return False
         packet.original_payload_bytes = packet.payload_bytes
-        packet.payload_bytes = self.sector_bytes
+        packet.resize_payload(self.sector_bytes)
         self.packets_trimmed += 1
         self.bytes_saved += packet.original_payload_bytes - packet.payload_bytes
         return True

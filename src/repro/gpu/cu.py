@@ -99,12 +99,17 @@ class ComputeUnit(Component):
     def _advance(self, wf: _Wavefront) -> None:
         """Issue accesses up to the wavefront's MLP window; retire when
         everything issued has also completed."""
-        while wf.outstanding < self.config.wavefront_mlp and not wf.finished_issuing:
-            access = wf.trace.accesses[wf.index]
-            wf.index += 1
-            wf.outstanding += 1
-            self.schedule(self.config.compute_delay, self._issue, wf, access)
-        if wf.finished_issuing and wf.outstanding == 0:
+        accesses = wf.trace.accesses
+        n_accesses = len(accesses)
+        if wf.index < n_accesses:
+            mlp = self.config.wavefront_mlp
+            delay = self.config.compute_delay
+            while wf.outstanding < mlp and wf.index < n_accesses:
+                access = accesses[wf.index]
+                wf.index += 1
+                wf.outstanding += 1
+                self.schedule(delay, self._issue, wf, access)
+        if wf.index >= n_accesses and wf.outstanding == 0:
             self._active -= 1
             self.wavefronts_completed += 1
             self._launch_waiting()

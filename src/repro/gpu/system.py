@@ -16,6 +16,7 @@ from repro.core.config import NetCrafterConfig
 from repro.core.controller import NetCrafterController
 from repro.gpu.cta import KernelTrace, WorkloadTrace
 from repro.gpu.gpu import Gpu
+from repro.network.ids import reset_run_ids
 from repro.network.link import FlitLink
 from repro.network.topology import Topology, build_topology
 from repro.obs import Observability
@@ -49,6 +50,10 @@ class MultiGpuSystem:
                 f"({self.netcrafter.trim_sector_bytes} != {self.config.l1_sector_bytes})"
             )
         self.seed = seed
+        # fresh pid/fid streams: repeat runs in one process must be
+        # indistinguishable from runs in fresh workers (trace sampling
+        # and artifacts key on raw IDs)
+        reset_run_ids()
         self.engine = Engine()
         self.stats = RunStats()
         self.address_space = AddressSpace(self.config.n_gpus)
@@ -251,6 +256,7 @@ class MultiGpuSystem:
             config_label=self._config_label(),
             cycles=self.stats.finish_cycle,
             stats=self.stats,
+            events_processed=self.engine.events_processed,
         )
         for link in self.topology.inter_links:
             result.inter_flits_sent += link.stats.flits

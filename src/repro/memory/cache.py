@@ -15,7 +15,6 @@ state + statistics, which keeps it easy to property-test.
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -72,10 +71,15 @@ class SectorCache:
         self.sector_bytes = sector_bytes
         self.n_sets = size_bytes // (ways * line_bytes)
         self.name = name
-        self._sets: List["OrderedDict[int, CacheLine]"] = [
-            OrderedDict() for _ in range(self.n_sets)
-        ]
+        # plain dicts preserve insertion order, which is all LRU needs:
+        # a touch re-inserts the tag at the back, the victim is the front.
+        # Sets materialize lazily: a 4 MB L2 has 4096 of them, and paying
+        # for untouched ones up front dominated cache construction time.
+        self._sets: Dict[int, Dict[int, CacheLine]] = {}
         self.full_mask = full_sector_mask(line_bytes, sector_bytes)
+        #: (offset_in_line, nbytes) -> sector mask; the access stream
+        #: revisits a handful of shapes, so the mask loop runs once each
+        self._mask_cache: Dict[Tuple[int, int], int] = {}
         # statistics
         self.hits = 0
         self.misses = 0
@@ -89,17 +93,24 @@ class SectorCache:
     def line_addr(self, addr: int) -> int:
         return addr - (addr % self.line_bytes)
 
-    def _locate(self, addr: int) -> Tuple["OrderedDict[int, CacheLine]", int]:
-        line = self.line_addr(addr)
-        set_index = (line // self.line_bytes) % self.n_sets
-        tag = line // (self.line_bytes * self.n_sets)
-        return self._sets[set_index], tag
+    def _locate(self, addr: int) -> Tuple[Dict[int, CacheLine], int]:
+        line_index = addr // self.line_bytes  # line_addr, pre-divided
+        set_index = line_index % self.n_sets
+        cache_set = self._sets.get(set_index)
+        if cache_set is None:
+            cache_set = self._sets[set_index] = {}
+        return cache_set, line_index // self.n_sets
 
     def sector_mask(self, addr: int, nbytes: int) -> int:
         """Sectors of the line at ``addr`` covered by an ``nbytes`` access."""
-        return sector_mask_for(
-            addr % self.line_bytes, nbytes, self.line_bytes, self.sector_bytes
-        )
+        key = (addr % self.line_bytes, nbytes)
+        mask = self._mask_cache.get(key)
+        if mask is None:
+            mask = sector_mask_for(
+                key[0], nbytes, self.line_bytes, self.sector_bytes
+            )
+            self._mask_cache[key] = mask
+        return mask
 
     # -- operations ----------------------------------------------------------
 
@@ -117,7 +128,7 @@ class SectorCache:
         if line is None:
             self.misses += 1
             return "miss"
-        cache_set.move_to_end(tag)
+        cache_set[tag] = cache_set.pop(tag)  # refresh LRU position
         if (line.valid_sectors & needed_mask) == needed_mask:
             self.hits += 1
             return "hit"
@@ -137,11 +148,11 @@ class SectorCache:
         line = cache_set.get(tag)
         if line is not None:
             line.valid_sectors |= sector_mask
-            cache_set.move_to_end(tag)
+            cache_set[tag] = cache_set.pop(tag)  # refresh LRU position
             return None
         evicted = None
         if len(cache_set) >= self.ways:
-            _, evicted = cache_set.popitem(last=False)
+            evicted = cache_set.pop(next(iter(cache_set)))  # LRU victim
             self.evictions += 1
             if evicted.dirty:
                 self.dirty_evictions += 1
@@ -158,7 +169,7 @@ class SectorCache:
         line = cache_set.get(tag)
         if line is None:
             return False
-        cache_set.move_to_end(tag)
+        cache_set[tag] = cache_set.pop(tag)  # refresh LRU position
         return True
 
     def mark_dirty(self, addr: int) -> bool:
@@ -176,7 +187,7 @@ class SectorCache:
 
     def clear(self) -> None:
         """Invalidate every line, keeping accumulated statistics."""
-        for cache_set in self._sets:
+        for cache_set in self._sets.values():
             cache_set.clear()
 
     # -- statistics ------------------------------------------------------------
@@ -192,4 +203,4 @@ class SectorCache:
 
     def occupancy(self) -> int:
         """Number of resident lines (tests/debug)."""
-        return sum(len(s) for s in self._sets)
+        return sum(len(s) for s in self._sets.values())

@@ -33,6 +33,9 @@ class Dram(Component):
         self.max_outstanding = max_outstanding
         self._in_flight = 0
         self._waiting: Deque[Tuple[int, Callable[[], None]]] = deque()
+        #: nbytes -> serialization cycles (accesses are overwhelmingly
+        #: one line size, so the float ceil-division is paid once)
+        self._transfer_cycles: dict = {}
         self.reads = 0
         self.writes = 0
         self.bytes_transferred = 0
@@ -51,7 +54,10 @@ class Dram(Component):
 
     def _start(self, nbytes: int, callback: Callable[[], None]) -> None:
         self._in_flight += 1
-        transfer = math.ceil(nbytes / self.bytes_per_cycle)
+        transfer = self._transfer_cycles.get(nbytes)
+        if transfer is None:
+            transfer = math.ceil(nbytes / self.bytes_per_cycle)
+            self._transfer_cycles[nbytes] = transfer
         self.schedule(self.latency + transfer, self._complete, callback)
 
     def _complete(self, callback: Callable[[], None]) -> None:

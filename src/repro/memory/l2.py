@@ -67,11 +67,21 @@ class L2Cache(Component):
             self.write_requests += 1
         else:
             self.read_requests += 1
-        bank = self._bank_of(addr)
-        start = max(self.now, self._bank_next_free[bank])
-        self._bank_next_free[bank] = start + 1
-        delay = (start - self.now) + self.lookup_latency
-        self.schedule(delay, self._lookup, addr, nbytes, is_write, callback)
+        bank = (addr // self.line_bytes) % self.banks
+        now = self.engine._now
+        bank_next_free = self._bank_next_free
+        start = bank_next_free[bank]
+        if start < now:
+            start = now
+        bank_next_free[bank] = start + 1
+        self.schedule(
+            (start - now) + self.lookup_latency,
+            self._lookup,
+            addr,
+            nbytes,
+            is_write,
+            callback,
+        )
 
     # -- internals ---------------------------------------------------------------
 

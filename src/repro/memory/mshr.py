@@ -45,15 +45,16 @@ class Mshr:
         return self._entries.get(key)
 
     def allocate(self, key: Any, waiter: Any) -> str:
-        entry = self._entries.get(key)
+        entries = self._entries
+        entry = entries.get(key)
         if entry is not None:
             entry.waiters.append(waiter)
             self.merges += 1
             return "merged"
-        if self.is_full:
+        if len(entries) >= self.capacity:
             self.full_stalls += 1
             return "full"
-        self._entries[key] = MshrEntry(key=key, waiters=[waiter])
+        entries[key] = MshrEntry(key=key, waiters=[waiter])
         self.allocations += 1
         return "allocated"
 

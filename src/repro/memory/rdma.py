@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.network.packet import CACHE_LINE_BYTES, Packet, PacketType
-from repro.obs.tracer import NULL_TRACER
+from repro.obs.tracer import Traced
 from repro.sim.component import Component
 from repro.sim.engine import Engine
 from repro.stats.collectors import RunStats
@@ -35,7 +35,7 @@ class _RequestContext:
     on_complete: Optional[Callable[[Packet], None]]
 
 
-class RdmaEngine(Component):
+class RdmaEngine(Traced, Component):
     """Requester and responder logic for one GPU."""
 
     def __init__(
@@ -56,8 +56,6 @@ class RdmaEngine(Component):
         self._inject: Optional[Callable[[Packet], None]] = None
         #: set by the GPU assembly: local L2 access for servicing requests
         self._l2_request: Optional[Callable[[int, int, bool, Callable[[], None]], None]] = None
-        #: lifecycle tracer (assigned by the observability wiring)
-        self.tracer = NULL_TRACER
         self.requests_sent = 0
         self.requests_served = 0
         self.responses_received = 0
@@ -184,8 +182,8 @@ class RdmaEngine(Component):
             raise RuntimeError(f"{self.name} is not attached to a network")
         packet.inject_cycle = self.now
         self.requests_sent += 1
-        if self.tracer.enabled:
-            self.tracer.packet_event(self.now, "inject", packet, lane=self.name)
+        if self._trace_on:
+            self._tracer.packet_event(self.now, "inject", packet, lane=self.name)
         self._inject(packet)
 
     # -- responder / completion side --------------------------------------------
@@ -285,8 +283,8 @@ class RdmaEngine(Component):
 
     def _send_response(self, response: Packet) -> None:
         response.inject_cycle = self.now
-        if self.tracer.enabled:
-            self.tracer.packet_event(self.now, "inject", response, lane=self.name)
+        if self._trace_on:
+            self._tracer.packet_event(self.now, "inject", response, lane=self.name)
         self._inject(response)
 
     def _complete_response(self, packet: Packet) -> None:

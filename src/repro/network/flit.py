@@ -14,22 +14,28 @@ Stitching cost model (Figure 10):
 * a **partial-payload** candidate (the header-less tail flit of a larger
   packet) additionally needs ``STITCH_METADATA_BYTES`` of ID + Size so
   the receiver can reunite it with the rest of its packet.
+
+Flits are hot-path objects (the stitch scan touches every staged flit's
+cost and padding once per ejection), so the dataclasses are slotted and
+the per-flit quantities that a scan recomputed on every visit —
+packet flit count, stitch cost, absorbed-byte totals — are cached at
+segmentation time or maintained incrementally by :meth:`Flit.absorb`.
+All of them are immutable after the flit exists: segmentation happens
+*after* trimming, so the owning packet's layout can no longer change.
 """
 
 from __future__ import annotations
 
 import enum
-import itertools
 from dataclasses import dataclass, field
 from typing import List
 
+from repro.network.ids import FLIT_IDS
 from repro.network.packet import Packet
 
 #: ID + Size prefix added when stitching a header-less payload fragment
 #: (a 2-byte packet ID tag and a 1-byte size field, Section 4.2).
 STITCH_METADATA_BYTES = 3
-
-_flit_ids = itertools.count()
 
 
 class StitchKind(enum.Enum):
@@ -39,7 +45,7 @@ class StitchKind(enum.Enum):
     PARTIAL_PAYLOAD = "partial"
 
 
-@dataclass
+@dataclass(slots=True)
 class StitchSegment:
     """One absorbed candidate flit riding inside a parent flit."""
 
@@ -53,7 +59,7 @@ class StitchSegment:
         return self.flit.used_bytes + extra
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class Flit:
     """A fixed-size flow-control unit belonging to one packet.
 
@@ -64,19 +70,35 @@ class Flit:
     index: int
     used_bytes: int
     flit_size: int
-    fid: int = field(default_factory=lambda: next(_flit_ids))
+    fid: int = field(default_factory=FLIT_IDS)
     segments: List[StitchSegment] = field(default_factory=list)
     #: set once the flit has been through one pooling delay, so it is not
     #: pooled a second time
     pooled: bool = False
     #: arrival order in the Cluster Queue (age-based egress scheduling)
     cq_seq: int = 0
+    #: owning packet's flit count, cached at segmentation (0 = not yet)
+    pkt_flits: int = field(default=0, repr=False)
+    #: cached :meth:`stitch_cost` (-1 = not yet computed)
+    _cost: int = field(default=-1, repr=False)
+    #: wire bytes consumed by absorbed segments (kept by :meth:`absorb`)
+    _seg_wire_bytes: int = field(default=0, repr=False)
+    #: payload bytes carried by absorbed segments
+    _seg_payload_bytes: int = field(default=0, repr=False)
+
+    @property
+    def packet_flit_count(self) -> int:
+        """Flit count of the owning packet, computed once."""
+        count = self.pkt_flits
+        if count == 0:
+            count = self.packet.flit_count(self.flit_size)
+            self.pkt_flits = count
+        return count
 
     @property
     def empty_bytes(self) -> int:
         """Padding bytes still available for stitching."""
-        used = self.used_bytes + sum(seg.wire_bytes for seg in self.segments)
-        return self.flit_size - used
+        return self.flit_size - self.used_bytes - self._seg_wire_bytes
 
     @property
     def useful_payload_bytes(self) -> int:
@@ -85,11 +107,11 @@ class Flit:
         Excludes the ID/Size metadata of PARTIAL_PAYLOAD segments — that
         prefix is wire overhead spent to enable stitching, not payload.
         """
-        return self.used_bytes + sum(seg.flit.used_bytes for seg in self.segments)
+        return self.used_bytes + self._seg_payload_bytes
 
     @property
     def is_tail(self) -> bool:
-        return self.index == self.packet.flit_count(self.flit_size) - 1
+        return self.index == self.packet_flit_count - 1
 
     @property
     def is_head(self) -> bool:
@@ -101,21 +123,25 @@ class Flit:
 
     @property
     def is_ptw(self) -> bool:
-        return self.packet.is_ptw
+        return self.packet._ptw
 
     @property
     def is_single_flit_packet(self) -> bool:
         """True when this flit carries an entire packet (header included)."""
-        return self.packet.flit_count(self.flit_size) == 1
+        return self.packet_flit_count == 1
 
     def stitch_cost(self) -> int:
         """Bytes of parent-flit space this flit needs when stitched."""
-        if self.is_single_flit_packet:
-            return self.used_bytes
-        return self.used_bytes + STITCH_METADATA_BYTES
+        cost = self._cost
+        if cost < 0:
+            cost = self.used_bytes
+            if self.packet_flit_count > 1:
+                cost += STITCH_METADATA_BYTES
+            self._cost = cost
+        return cost
 
     def stitch_kind(self) -> StitchKind:
-        if self.is_single_flit_packet:
+        if self.packet_flit_count == 1:
             return StitchKind.WHOLE_PACKET
         return StitchKind.PARTIAL_PAYLOAD
 
@@ -143,6 +169,8 @@ class Flit:
             )
         segment = StitchSegment(kind=candidate.stitch_kind(), flit=candidate)
         self.segments.append(segment)
+        self._seg_wire_bytes += segment.wire_bytes
+        self._seg_payload_bytes += candidate.used_bytes
         return segment
 
     def all_carried_flits(self) -> List["Flit"]:
@@ -160,10 +188,27 @@ def segment_packet(packet: Packet, flit_size: int) -> List[Flit]:
     if flit_size <= 0:
         raise ValueError("flit size must be positive")
     total = packet.bytes_required
+    count = packet.flit_count(flit_size)
+    if count == 1:  # the common case: requests and acks fit in one flit
+        return [
+            Flit(
+                packet=packet,
+                index=0,
+                used_bytes=total,
+                flit_size=flit_size,
+                pkt_flits=1,
+            )
+        ]
     flits: List[Flit] = []
-    for index in range(packet.flit_count(flit_size)):
+    for index in range(count):
         used = min(flit_size, total - index * flit_size)
         flits.append(
-            Flit(packet=packet, index=index, used_bytes=used, flit_size=flit_size)
+            Flit(
+                packet=packet,
+                index=index,
+                used_bytes=used,
+                flit_size=flit_size,
+                pkt_flits=count,
+            )
         )
     return flits

@@ -1,0 +1,52 @@
+"""Run-scoped packet/flit ID allocation.
+
+``fid``/``pid`` used to be drawn from module-global ``itertools.count()``
+streams, so the *second* simulation in a process saw IDs continuing where
+the first left off.  Nothing in the simulator branches on absolute ID
+values, but anything keyed on them — trace sampling keeps every Nth
+packet by ``pid % sample``, and trace/validation artifacts embed raw IDs
+— silently differed between an in-process repeat run and the same
+configuration simulated in a fresh worker process.
+
+IDs therefore come from explicit allocators that
+:class:`~repro.gpu.system.MultiGpuSystem` resets at construction time,
+making every run's ID stream start at zero regardless of what ran before
+it in the process.  Allocation stays module-global (not per-engine)
+because packets are routinely built without a system in unit tests;
+uniqueness is only ever required *within* one run.
+"""
+
+from __future__ import annotations
+
+
+class IdAllocator:
+    """A resettable monotonic counter, callable like ``itertools.count``."""
+
+    __slots__ = ("_next",)
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def __call__(self) -> int:
+        value = self._next
+        self._next = value + 1
+        return value
+
+    def peek(self) -> int:
+        """The next ID that will be handed out (for tests)."""
+        return self._next
+
+    def reset(self) -> None:
+        self._next = 0
+
+
+#: allocator for :class:`repro.network.packet.Packet` ``pid`` values
+PACKET_IDS = IdAllocator()
+#: allocator for :class:`repro.network.flit.Flit` ``fid`` values
+FLIT_IDS = IdAllocator()
+
+
+def reset_run_ids() -> None:
+    """Start both ID streams over; called at the top of every run."""
+    PACKET_IDS.reset()
+    FLIT_IDS.reset()

@@ -13,19 +13,37 @@ Two granularities are modeled:
 With the 1 GHz clock of Table 2, bandwidth in GB/s equals bytes per
 cycle; e.g. the 16 GB/s inter-cluster fabric moves one 16-byte flit per
 cycle, and the 128 GB/s intra-cluster fabric moves eight.
+
+Timekeeping is exact.  Both link classes used to accumulate a float
+``_next_free`` by repeated ``size / bytes_per_cycle`` additions, which
+drifts on non-power-of-two bandwidths — after enough flits the wire's
+busy time could exceed the elapsed time and spuriously trip
+:class:`LinkStats` strict overcount detection.  Serialization is now
+tracked as an integer byte count within the current busy burst, with the
+bandwidth held as an exact integer ratio (``float.as_integer_ratio``),
+so every readiness comparison and arrival ceiling is integer arithmetic:
+``next_free = anchor + sent_bytes / bpc`` is never materialized as an
+accumulated float.  Busy time likewise accumulates *bytes* and divides
+once at query time.
 """
 
 from __future__ import annotations
 
-import math
-from typing import Callable
+from typing import Callable, Optional
 
-from repro.obs.tracer import NULL_TRACER
+from repro.obs.tracer import Traced
 from repro.sim.component import Component
 from repro.sim.engine import Engine
 from repro.sim.queues import BoundedQueue
 from repro.network.flit import Flit
 from repro.network.packet import Packet
+
+__all__ = [
+    "FlitLink",
+    "LinkStats",
+    "PacketLink",
+    "UtilizationOvercountError",
+]
 
 
 class UtilizationOvercountError(RuntimeError):
@@ -33,17 +51,31 @@ class UtilizationOvercountError(RuntimeError):
 
 
 class LinkStats:
-    """Wire-level counters for one unidirectional link."""
+    """Wire-level counters for one unidirectional link.
 
-    #: float-accumulation headroom before busy > elapsed counts as a bug
-    OVERCOUNT_TOLERANCE = 1e-6
+    ``busy_cycles`` is derived from the exact byte count at query time
+    (one division), so it carries at most one ulp of rounding error no
+    matter how many transmissions were accumulated — which is why
+    ``OVERCOUNT_TOLERANCE`` can be this tight.  Tests may still *assign*
+    ``busy_cycles`` directly to fabricate a stat; the assigned value then
+    overrides the byte-derived one.
+    """
+
+    #: rounding headroom before busy > elapsed counts as a bug; a single
+    #: division's worth of float error, not an accumulation allowance
+    OVERCOUNT_TOLERANCE = 1e-9
     #: when True, :meth:`utilization` raises instead of clamping — turn
     #: on in tests/debugging so accounting bugs fail loudly (the silent
     #: clamp hid PR 1's stitched-byte double count)
     strict = False
 
-    def __init__(self) -> None:
-        self.busy_cycles = 0.0
+    def __init__(self, bytes_per_cycle: float = 1.0) -> None:
+        num, den = float(bytes_per_cycle).as_integer_ratio()
+        self._bpc_num = num
+        self._bpc_den = den
+        #: exact bytes serialized onto the wire (busy time numerator)
+        self.busy_bytes = 0
+        self._busy_override: Optional[float] = None
         self.flits = 0
         self.packets = 0
         self.wire_bytes = 0
@@ -51,6 +83,17 @@ class LinkStats:
         #: worst busy-beyond-elapsed excess ever observed by
         #: :meth:`utilization`; nonzero means some counter double-counted
         self.overcount_cycles = 0.0
+
+    @property
+    def busy_cycles(self) -> float:
+        """Cycles the wire spent serializing (bytes / bandwidth, once)."""
+        if self._busy_override is not None:
+            return self._busy_override
+        return self.busy_bytes * self._bpc_den / self._bpc_num
+
+    @busy_cycles.setter
+    def busy_cycles(self, value: float) -> None:
+        self._busy_override = float(value)
 
     @property
     def overcounted(self) -> bool:
@@ -67,19 +110,20 @@ class LinkStats:
         """
         if elapsed_cycles <= 0:
             return 0.0
-        excess = self.busy_cycles - elapsed_cycles
+        busy = self.busy_cycles
+        excess = busy - elapsed_cycles
         if excess > self.OVERCOUNT_TOLERANCE * elapsed_cycles:
             self.overcount_cycles = max(self.overcount_cycles, excess)
             if self.strict:
                 raise UtilizationOvercountError(
-                    f"busy {self.busy_cycles:.2f} cycles > elapsed "
+                    f"busy {busy:.2f} cycles > elapsed "
                     f"{elapsed_cycles} cycles (excess {excess:.2f})"
                 )
             return 1.0
-        return min(1.0, self.busy_cycles / elapsed_cycles)
+        return min(1.0, busy / elapsed_cycles)
 
 
-class FlitLink(Component):
+class FlitLink(Traced, Component):
     """A unidirectional link transmitting one flit at a time.
 
     The owner (an egress controller) is responsible for pacing: it must
@@ -99,16 +143,24 @@ class FlitLink(Component):
         if bytes_per_cycle <= 0:
             raise ValueError("link bandwidth must be positive")
         self.bytes_per_cycle = float(bytes_per_cycle)
+        self._bpc_num, self._bpc_den = self.bytes_per_cycle.as_integer_ratio()
         self.latency = int(latency)
         self.sink = sink
-        self.stats = LinkStats()
-        #: lifecycle tracer (assigned by the observability wiring)
-        self.tracer = NULL_TRACER
-        self._next_free = 0.0
+        self.stats = LinkStats(self.bytes_per_cycle)
+        #: cycle the current busy burst started serializing
+        self._anchor = 0
+        #: bytes serialized since the anchor; the wire frees up at
+        #: ``anchor + sent_bytes / bytes_per_cycle`` exactly
+        self._sent_bytes = 0
+
+    def _next_free_cycle_floor(self) -> int:
+        return self._anchor + (self._sent_bytes * self._bpc_den) // self._bpc_num
 
     def ready_at(self) -> int:
         """First integer cycle during which a new flit may start."""
-        return max(self.now, int(math.floor(self._next_free)))
+        now = self.engine._now
+        free = self._anchor + (self._sent_bytes * self._bpc_den) // self._bpc_num
+        return free if free > now else now
 
     def is_ready(self) -> bool:
         """A flit may start serializing within the current cycle.
@@ -118,31 +170,43 @@ class FlitLink(Component):
         link accepts several flits within one cycle; it is "ready" while
         the next transmission can still *start* before the cycle ends.
         """
-        return self._next_free < self.now + 1
+        # next_free < now + 1, cross-multiplied to stay in integers
+        return self._sent_bytes * self._bpc_den < (
+            self.engine._now + 1 - self._anchor
+        ) * self._bpc_num
 
     def send(self, flit: Flit) -> None:
         """Serialize ``flit`` onto the wire and schedule its delivery."""
-        if not self.is_ready():
+        now = self.engine._now
+        num, den = self._bpc_num, self._bpc_den
+        sent = self._sent_bytes
+        if sent * den <= (now - self._anchor) * num:
+            # the wire caught up (or idled): a new busy burst starts now
+            self._anchor = now
+            sent = 0
+        elif sent * den >= (now + 1 - self._anchor) * num:
             raise RuntimeError(
-                f"{self.name}: send at cycle {self.now} before ready "
-                f"(next free {self._next_free:.2f})"
+                f"{self.name}: send at cycle {now} before ready "
+                f"(next free {self._anchor + sent * den / num:.2f})"
             )
-        tx_cycles = flit.flit_size / self.bytes_per_cycle
-        start = max(float(self.now), self._next_free)
-        self._next_free = start + tx_cycles
-        self.stats.busy_cycles += tx_cycles
-        self.stats.flits += 1
-        self.stats.wire_bytes += flit.flit_size
-        self.stats.useful_bytes += flit.useful_payload_bytes
-        arrival = math.ceil(self._next_free) + self.latency
-        if self.tracer.enabled:
-            self.tracer.flit_event(
-                self.now,
+        size = flit.flit_size
+        sent += size
+        self._sent_bytes = sent
+        stats = self.stats
+        stats.busy_bytes += size
+        stats.flits += 1
+        stats.wire_bytes += size
+        stats.useful_bytes += flit.useful_payload_bytes
+        # ceil(anchor + sent/bpc) + latency, in exact integer arithmetic
+        arrival = self._anchor - ((-sent * den) // num) + self.latency
+        if self._trace_on:
+            self._tracer.flit_event(
+                now,
                 "wire_start",
                 flit,
                 link=self.name,
-                dur=tx_cycles,
-                bytes=flit.flit_size,
+                dur=size * den / num,
+                bytes=size,
                 stitched=len(flit.segments),
             )
         self.engine.schedule_at(arrival, self.sink, flit)
@@ -154,6 +218,19 @@ class PacketLink(Component):
     Packets enter a bounded queue and drain in FIFO order at the link's
     bandwidth; :meth:`send` returns ``False`` under backpressure, in which
     case the producer should retry via :meth:`notify_on_space`.
+
+    Draining is batched: one wakeup serializes every packet whose
+    transmission can start within the current cycle, instead of paying a
+    zero-delay engine event per packet.  Batching is *order-preserving*:
+    the next queued packet is drained inline only when the engine has no
+    other event pending at the current cycle — exactly the situation in
+    which the old per-packet zero-delay chain would have executed the
+    follow-up drain as the very next event with nothing in between, so
+    eliding that bookkeeping event shifts every later event's sequence
+    number uniformly without reordering any pair of events.  When another
+    same-cycle event *is* pending, the zero-delay chain is kept so the
+    interleaving (and therefore same-cycle FIFO tie-breaking downstream)
+    stays bit-identical to the unbatched implementation.
     """
 
     def __init__(
@@ -170,13 +247,15 @@ class PacketLink(Component):
         if bytes_per_cycle <= 0:
             raise ValueError("link bandwidth must be positive")
         self.bytes_per_cycle = float(bytes_per_cycle)
+        self._bpc_num, self._bpc_den = self.bytes_per_cycle.as_integer_ratio()
         self.latency = int(latency)
         self.flit_size = int(flit_size)
         self.sink = sink
         self.queue = BoundedQueue(buffer_entries, name=f"{name}.buf")
-        self.stats = LinkStats()
+        self.stats = LinkStats(self.bytes_per_cycle)
         self._draining = False
-        self._next_free = 0.0
+        self._anchor = 0
+        self._sent_bytes = 0
 
     def send(self, packet: Packet) -> bool:
         """Enqueue ``packet`` for transmission; ``False`` when full."""
@@ -191,23 +270,51 @@ class PacketLink(Component):
         self.queue.notify_on_space(callback)
 
     def _drain(self) -> None:
-        if self.queue.is_empty():
+        queue = self.queue
+        if queue.is_empty():
             self._draining = False
             return
-        if self._next_free >= self.now + 1:
+        engine = self.engine
+        now = engine._now
+        num, den = self._bpc_num, self._bpc_den
+        anchor, sent = self._anchor, self._sent_bytes
+        if sent * den >= (now + 1 - anchor) * num:
             # wire busy past this cycle: resume when it frees up
-            self.schedule(int(math.floor(self._next_free)) - self.now, self._drain)
+            self.schedule(anchor + (sent * den) // num - now, self._drain)
             return
-        packet = self.queue.pop()
-        wire_bytes = packet.bytes_occupied(self.flit_size)
-        tx_cycles = wire_bytes / self.bytes_per_cycle
-        start = max(float(self.now), self._next_free)
-        self._next_free = start + tx_cycles
-        self.stats.busy_cycles += tx_cycles
-        self.stats.packets += 1
-        self.stats.flits += packet.flit_count(self.flit_size)
-        self.stats.wire_bytes += wire_bytes
-        self.stats.useful_bytes += packet.bytes_required
-        arrival = math.ceil(self._next_free) + self.latency
-        self.engine.schedule_at(arrival, self.sink, packet)
-        self.schedule(0, self._drain)
+        if sent * den <= (now - anchor) * num:
+            # the wire caught up (or idled): a new busy burst starts now
+            anchor, sent = now, 0
+        budget = (now + 1 - anchor) * num
+        stats = self.stats
+        flit_size = self.flit_size
+        latency = self.latency
+        sink = self.sink
+        peek_time = engine.peek_time
+        schedule_at = engine.schedule_at
+        while True:
+            packet = queue.pop()
+            wire_bytes = packet.bytes_occupied(flit_size)
+            sent += wire_bytes
+            stats.busy_bytes += wire_bytes
+            stats.packets += 1
+            stats.flits += packet.flit_count(flit_size)
+            stats.wire_bytes += wire_bytes
+            stats.useful_bytes += packet.bytes_required
+            # delivery once serialization completes: ceil(next_free) + latency
+            schedule_at(anchor - ((-sent * den) // num) + latency, sink, packet)
+            if peek_time() == now:
+                # another event is pending this cycle; chain through a
+                # zero-delay event so it interleaves exactly as before
+                self._anchor, self._sent_bytes = anchor, sent
+                self.schedule(0, self._drain)
+                return
+            # nothing else can run before the chained drain would: inline it
+            if queue.is_empty():
+                self._anchor, self._sent_bytes = anchor, sent
+                self._draining = False
+                return
+            if sent * den >= budget:
+                self._anchor, self._sent_bytes = anchor, sent
+                self.schedule(anchor + (sent * den) // num - now, self._drain)
+                return

@@ -25,9 +25,10 @@ Three otherwise-unused address bits are repurposed as *trim* bits: one
 from __future__ import annotations
 
 import enum
-import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.network.ids import PACKET_IDS
 
 CACHE_LINE_BYTES = 64
 
@@ -98,6 +99,12 @@ PAYLOAD_BYTES: Dict[PacketType, int] = {
     PacketType.INV_RSP: 0,
 }
 
+#: per-type ``(header_bytes, payload_bytes, is_ptw)``, folded into one
+#: dict so packet construction pays a single Enum-keyed lookup
+_TYPE_META: Dict[PacketType, Tuple[int, int, bool]] = {
+    t: (HEADER_BYTES[t], PAYLOAD_BYTES[t], t.is_ptw) for t in PacketType
+}
+
 #: the Table 1 census covers only the paper's six base categories
 TABLE1_TYPES = (
     PacketType.READ_REQ,
@@ -108,10 +115,7 @@ TABLE1_TYPES = (
     PacketType.PT_RSP,
 )
 
-_packet_ids = itertools.count()
-
-
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class Packet:
     """One network transaction between two GPUs.
 
@@ -120,9 +124,10 @@ class Packet:
     reassembly and stats code keeps them in sets/dicts.
 
     ``payload_bytes`` may shrink below the type default when the Trim
-    Engine removes unneeded sectors from a READ_RSP.  ``on_delivery`` is
-    invoked by the destination GPU's RDMA engine once the reassembled
-    packet arrives.
+    Engine removes unneeded sectors from a READ_RSP; any mutation of the
+    payload size must go through :meth:`resize_payload` so the cached
+    flit-count layout stays coherent.  ``on_delivery`` is invoked by the
+    destination GPU's RDMA engine once the reassembled packet arrives.
     """
 
     ptype: PacketType
@@ -146,28 +151,50 @@ class Packet:
     context: Any = None
     on_delivery: Optional[Callable[["Packet"], None]] = None
     #: identifier used for flit reassembly and stitching metadata
-    pid: int = field(default_factory=lambda: next(_packet_ids))
+    pid: int = field(default_factory=PACKET_IDS)
     #: filled by the Trim Engine: original payload size before trimming
     original_payload_bytes: Optional[int] = None
     #: cycle the packet was injected into the network (stats)
     inject_cycle: Optional[int] = None
+    #: cached ``(flit_size, flit_count, bytes_occupied)`` — packets cross
+    #: several links and the stitch scan asks for the layout of every
+    #: staged flit's packet, so the ceil-division is paid once per
+    #: (packet, flit size)
+    _layout: Optional[Tuple[int, int, int]] = field(default=None, repr=False)
+    #: header size, resolved once from ``ptype`` (Enum-keyed dict lookups
+    #: hash the member name on every probe, which showed up in profiles)
+    _hdr: int = field(default=0, repr=False)
+    #: cached ``ptype.is_ptw`` (queried per flit on every CQ push)
+    _ptw: bool = field(default=False, repr=False)
 
     def __post_init__(self) -> None:
+        hdr, payload, ptw = _TYPE_META[self.ptype]
         if self.payload_bytes < 0:
-            self.payload_bytes = PAYLOAD_BYTES[self.ptype]
+            self.payload_bytes = payload
+        self._hdr = hdr
+        self._ptw = ptw
 
     @property
     def header_bytes(self) -> int:
-        return HEADER_BYTES[self.ptype]
+        return self._hdr
 
     @property
     def bytes_required(self) -> int:
         """Useful (non-padding) bytes: header plus payload."""
-        return self.header_bytes + self.payload_bytes
+        return self._hdr + self.payload_bytes
+
+    def resize_payload(self, payload_bytes: int) -> None:
+        """Change the payload size, invalidating the cached flit layout.
+
+        The Trim Engine is the only legitimate caller: packets shrink
+        before segmentation, never after.
+        """
+        self.payload_bytes = payload_bytes
+        self._layout = None
 
     @property
     def is_ptw(self) -> bool:
-        return self.ptype.is_ptw
+        return self._ptw
 
     @property
     def trimmed(self) -> bool:
@@ -175,10 +202,20 @@ class Packet:
 
     def flit_count(self, flit_size: int) -> int:
         """Number of fixed-size flits this packet occupies."""
-        return max(1, -(-self.bytes_required // flit_size))
+        layout = self._layout
+        if layout is not None and layout[0] == flit_size:
+            return layout[1]
+        # bytes_required >= 4 (every type has a header), so the ceil
+        # division is always at least 1
+        count = -(-(self._hdr + self.payload_bytes) // flit_size)
+        self._layout = (flit_size, count, count * flit_size)
+        return count
 
     def bytes_occupied(self, flit_size: int) -> int:
         """Total bytes on the wire including padding."""
+        layout = self._layout
+        if layout is not None and layout[0] == flit_size:
+            return layout[2]
         return self.flit_count(flit_size) * flit_size
 
     def bytes_padded(self, flit_size: int) -> int:

@@ -12,12 +12,23 @@ from __future__ import annotations
 
 from typing import Callable, Dict
 
-from repro.obs.tracer import NULL_TRACER
+from repro.obs.tracer import Traced
 from repro.sim.component import Component
 from repro.sim.engine import Engine
 from repro.network.flit import Flit
 from repro.network.link import PacketLink
 from repro.network.packet import Packet
+
+
+class DuplicateFlitError(RuntimeError):
+    """A flit index arrived twice (or out of range) for the same packet.
+
+    The old reassembly bookkeeping only *counted* flits per packet id, so
+    a duplicated delivery (a routing or stitching bug upstream) silently
+    completed the packet early — with one real flit still in flight that
+    would then corrupt the next packet reusing the id slot.  Reassembly
+    now tracks exactly which indices arrived and refuses impossible ones.
+    """
 
 
 class ReassemblyBuffer:
@@ -26,28 +37,48 @@ class ReassemblyBuffer:
     Stitched flits are un-stitched first: every absorbed flit counts
     toward its own packet, matched by packet ID exactly as the paper's
     receiving Stitch Engine does with the ID/Size metadata.
+
+    Per packet, a bitmask records which flit indices have arrived; the
+    packet completes when every index is present, and a repeated or
+    out-of-range index raises :class:`DuplicateFlitError` immediately.
     """
 
     def __init__(self, flit_size: int, on_packet: Callable[[Packet], None]) -> None:
         self.flit_size = flit_size
         self.on_packet = on_packet
+        #: pid -> bitmask of flit indices received so far
         self._received: Dict[int, int] = {}
         self.flits_unstitched = 0
         self.packets_reassembled = 0
 
     def receive(self, flit: Flit) -> None:
         """Account one arriving wire flit (plus anything stitched in it)."""
-        for carried in flit.all_carried_flits():
-            if carried is not flit:
-                self.flits_unstitched += 1
-            self._account(carried)
+        self._account(flit)
+        segments = flit.segments
+        if segments:
+            self.flits_unstitched += len(segments)
+            for segment in segments:
+                self._account(segment.flit)
 
     def _account(self, flit: Flit) -> None:
         packet = flit.packet
         expected = packet.flit_count(self.flit_size)
-        count = self._received.get(packet.pid, 0) + 1
-        if count < expected:
-            self._received[packet.pid] = count
+        index = flit.index
+        if index >= expected:
+            raise DuplicateFlitError(
+                f"flit {flit.fid} has index {index} but packet "
+                f"{packet.pid} only occupies {expected} flit(s)"
+            )
+        bit = 1 << index
+        mask = self._received.get(packet.pid, 0)
+        if mask & bit:
+            raise DuplicateFlitError(
+                f"flit index {index} of packet {packet.pid} delivered "
+                f"twice (flit {flit.fid})"
+            )
+        mask |= bit
+        if mask != (1 << expected) - 1:
+            self._received[packet.pid] = mask
             return
         self._received.pop(packet.pid, None)
         self.packets_reassembled += 1
@@ -58,7 +89,7 @@ class ReassemblyBuffer:
         return len(self._received)
 
 
-class ClusterSwitch(Component):
+class ClusterSwitch(Traced, Component):
     """One cluster's crossbar switch.
 
     Wiring (done by the topology builder):
@@ -92,8 +123,6 @@ class ClusterSwitch(Component):
         self._next_hop: Dict[int, int] = {}
         self.reassembly = ReassemblyBuffer(flit_size, self._on_packet_reassembled)
         self.packets_routed = 0
-        #: lifecycle tracer (assigned by the observability wiring)
-        self.tracer = NULL_TRACER
 
     # -- wiring -----------------------------------------------------------
 
@@ -119,11 +148,11 @@ class ClusterSwitch(Component):
 
     def receive_flit_from_network(self, flit: Flit) -> None:
         """A flit arrived from a remote cluster; un-stitch and reassemble."""
-        if self.tracer.enabled:
+        if self._trace_on:
             # one deliver per carried flit: the wire flit itself plus any
             # stitched children recovered by un-stitching here
             for carried in flit.all_carried_flits():
-                self.tracer.flit_event(
+                self._tracer.flit_event(
                     self.now,
                     "deliver",
                     carried,

@@ -25,9 +25,10 @@ as JSONL — one self-describing object per line, see
 directly in ``chrome://tracing`` / Perfetto.
 
 The disabled path is :data:`NULL_TRACER`: a singleton whose ``enabled``
-flag is ``False``.  Hot paths guard every emission with
-``if self.tracer.enabled:`` so tracing costs one attribute load and a
-branch per event when off.
+flag is ``False``.  Hot-path components mix in :class:`Traced`, which
+caches the enabled flag as ``self._trace_on`` when the tracer is
+assigned — emission guards are then a single attribute load and branch,
+with no repeated ``tracer.enabled`` chasing per event.
 """
 
 from __future__ import annotations
@@ -55,6 +56,30 @@ class NullTracer:
 
 #: shared disabled tracer; components default their ``tracer`` attr to this
 NULL_TRACER = NullTracer()
+
+
+class Traced:
+    """Mixin giving a component a tracer with a pre-hoisted enable flag.
+
+    Assigning ``component.tracer = tracer`` (done once by the
+    observability wiring) captures ``tracer.enabled`` into
+    ``self._trace_on``, so per-event emission sites check one cached
+    boolean instead of dereferencing ``self.tracer.enabled`` millions of
+    times in the disabled case.  Tracers never flip ``enabled`` mid-run,
+    so caching at assignment is safe.
+    """
+
+    _tracer = NULL_TRACER
+    _trace_on = False
+
+    @property
+    def tracer(self):
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, tracer) -> None:
+        self._tracer = tracer
+        self._trace_on = bool(tracer.enabled)
 
 
 class EventTracer:

@@ -49,7 +49,14 @@ class Engine:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        self.schedule_at(self._now + int(delay), callback, *args)
+        # inlined schedule_at: relative scheduling needs no past-check and
+        # this is the hottest call in the simulator.  Timestamps must stay
+        # integers (cycle arithmetic all over the model is exact integer
+        # math), so non-int delays are coerced on the slow branch only.
+        if type(delay) is not int:
+            delay = int(delay)
+        heapq.heappush(self._queue, (self._now + delay, self._seq, callback, args))
+        self._seq += 1
 
     def schedule_at(self, time: int, callback: Callable[..., None], *args: Any) -> None:
         """Schedule ``callback(*args)`` at absolute cycle ``time``."""
@@ -57,7 +64,9 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule at cycle {time}, current cycle is {self._now}"
             )
-        heapq.heappush(self._queue, (int(time), self._seq, callback, args))
+        if type(time) is not int:
+            time = int(time)
+        heapq.heappush(self._queue, (time, self._seq, callback, args))
         self._seq += 1
 
     def peek_time(self) -> Optional[int]:
@@ -90,13 +99,36 @@ class Engine:
         self._running = True
         executed = 0
         try:
-            while self._queue:
-                if until is not None and self._queue[0][0] > until:
-                    break
-                if max_events is not None and executed >= max_events:
-                    break
-                self.step()
-                executed += 1
+            queue = self._queue
+            if max_events is None and self.profiler is None:
+                # hot path: dispatch inline with the heap, pop, and bound
+                # bound to locals; the per-event bookkeeping matches
+                # :meth:`step` exactly (``events_processed`` must advance
+                # per event — metrics gauges read it mid-run).  A profiler
+                # assigned *during* a run takes effect at the next run().
+                pop = heapq.heappop
+                start_count = self._events_processed
+                if until is None:
+                    while queue:
+                        time, _seq, callback, args = pop(queue)
+                        self._now = time
+                        self._events_processed += 1
+                        callback(*args)
+                else:
+                    while queue and queue[0][0] <= until:
+                        time, _seq, callback, args = pop(queue)
+                        self._now = time
+                        self._events_processed += 1
+                        callback(*args)
+                executed = self._events_processed - start_count
+            else:
+                while queue:
+                    if until is not None and queue[0][0] > until:
+                        break
+                    if max_events is not None and executed >= max_events:
+                        break
+                    self.step()
+                    executed += 1
             # Both time-bounded exits — next event beyond ``until`` and the
             # queue draining early — leave the clock at ``until``, so
             # elapsed-cycle denominators (e.g. link utilization) agree with

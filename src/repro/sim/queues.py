@@ -48,10 +48,11 @@ class BoundedQueue:
 
     def push(self, item: Any) -> bool:
         """Append ``item``; returns ``False`` (and counts a failure) if full."""
-        if self.is_full():
+        items = self._items
+        if len(items) >= self.capacity:
             self.push_failures += 1
             return False
-        self._items.append(item)
+        items.append(item)
         self.total_pushed += 1
         return True
 
@@ -75,7 +76,8 @@ class BoundedQueue:
             raise IndexError(f"pop on empty queue {self.name!r}")
         item = self._items.popleft()
         self.total_popped += 1
-        self._wake_one()
+        if self._waiters:
+            self._waiters.popleft()()
         return item
 
     def remove(self, item: Any) -> bool:

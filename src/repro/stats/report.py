@@ -58,13 +58,18 @@ class RunResult:
     trace_chrome_path: Optional[str] = None
     metrics_path: Optional[str] = None
     profile_path: Optional[str] = None
+    #: engine events the run dispatched — simulator *effort*, not simulated
+    #: behaviour (hot-path optimizations legitimately change it), so
+    #: semantic comparisons must exclude it
+    events_processed: int = 0
 
     # -- serialization (persistent result cache) ----------------------------
 
     #: bump when the meaning of any serialized field changes
     #: (2: LatencyStat payloads switched from raw samples to histograms,
-    #: observability artifact paths added)
-    SCHEMA_VERSION = 2
+    #: observability artifact paths added; 3: events_processed added —
+    #: the bump also invalidates cache entries from the slower engine)
+    SCHEMA_VERSION = 3
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-safe dict capturing every field, for the on-disk cache."""

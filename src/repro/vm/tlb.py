@@ -33,34 +33,33 @@ class Tlb:
         self.n_sets = entries // self.assoc
         self.lookup_latency = lookup_latency
         self.name = name
-        self._sets: List["OrderedDict[int, int]"] = [
-            OrderedDict() for _ in range(self.n_sets)
-        ]
+        # plain dicts preserve insertion order, which is all LRU needs: a
+        # touch re-inserts the VPN at the back, the victim is the front
+        self._sets: List[dict] = [{} for _ in range(self.n_sets)]
         self.hits = 0
         self.misses = 0
 
-    def _set_for(self, vpn: int) -> "OrderedDict[int, int]":
+    def _set_for(self, vpn: int) -> dict:
         return self._sets[vpn % self.n_sets]
 
     def lookup(self, vpn: int) -> Optional[int]:
         """Return the cached physical page address, updating LRU."""
-        tlb_set = self._set_for(vpn)
+        tlb_set = self._sets[vpn % self.n_sets]
         paddr = tlb_set.get(vpn)
         if paddr is None:
             self.misses += 1
             return None
-        tlb_set.move_to_end(vpn)
+        del tlb_set[vpn]  # refresh LRU position
+        tlb_set[vpn] = paddr
         self.hits += 1
         return paddr
 
     def insert(self, vpn: int, page_paddr: int) -> None:
-        tlb_set = self._set_for(vpn)
+        tlb_set = self._sets[vpn % self.n_sets]
         if vpn in tlb_set:
-            tlb_set.move_to_end(vpn)
-            tlb_set[vpn] = page_paddr
-            return
-        if len(tlb_set) >= self.assoc:
-            tlb_set.popitem(last=False)
+            del tlb_set[vpn]  # refresh LRU position
+        elif len(tlb_set) >= self.assoc:
+            del tlb_set[next(iter(tlb_set))]  # LRU victim
         tlb_set[vpn] = page_paddr
 
     def invalidate(self, vpn: int) -> bool:

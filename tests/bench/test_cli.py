@@ -1,0 +1,97 @@
+"""Tests for ``python -m repro.bench`` (report emission and --compare).
+
+These drive :func:`repro.bench.__main__.main` directly, running only the
+cheapest benchmark at quick size so the suite stays fast.
+"""
+
+import json
+
+from repro.bench.__main__ import main
+from repro.bench.schema import validate_report
+
+FAST = ["--only", "engine_dispatch", "--quick", "--repeats", "1"]
+
+
+def _run(tmp_path, extra=(), name="out.json"):
+    out = tmp_path / name
+    code = main([*FAST, "--out", str(out), *extra])
+    doc = json.loads(out.read_text()) if out.exists() else None
+    return code, doc
+
+
+class TestEmission:
+    def test_writes_schema_valid_report(self, tmp_path):
+        code, doc = _run(tmp_path)
+        assert code == 0
+        validate_report(doc)
+        (row,) = doc["benchmarks"]
+        assert row["name"] == "engine_dispatch"
+        assert row["work_units"] > 0
+        assert row["units_per_second"] > 0
+
+    def test_update_baseline_promotes_the_run(self, tmp_path):
+        code, first = _run(tmp_path)
+        assert code == 0
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(first))
+        code, second = _run(
+            tmp_path,
+            extra=["--compare", str(baseline), "--update-baseline"],
+            name="second.json",
+        )
+        assert code == 0
+        promoted = json.loads(baseline.read_text())
+        assert promoted == second  # the baseline now holds this run
+
+
+class TestCompare:
+    def _baseline(self, tmp_path, rate):
+        doc = {
+            "schema": 1,
+            "python": "3.11.0",
+            "platform": "test",
+            "quick": True,
+            "benchmarks": [
+                {
+                    "name": "engine_dispatch",
+                    "kind": "micro",
+                    "work_units": 1000,
+                    "wall_seconds": 1000 / rate,
+                    "units_per_second": rate,
+                    "peak_rss_kb": 1,
+                }
+            ],
+        }
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(doc))
+        return path
+
+    def test_comparable_baseline_passes(self, tmp_path):
+        baseline = self._baseline(tmp_path, rate=1.0)  # anything beats 1/s
+        code, doc = _run(tmp_path, extra=["--compare", str(baseline)])
+        assert code == 0
+        assert doc["comparison"]["regressions"] == []
+        (row,) = doc["comparison"]["benchmarks"]
+        assert row["speedup"] > 1.0
+
+    def test_regression_past_threshold_fails(self, tmp_path):
+        baseline = self._baseline(tmp_path, rate=1e12)  # unbeatable
+        code, doc = _run(tmp_path, extra=["--compare", str(baseline)])
+        assert code == 1
+        assert doc["comparison"]["regressions"] == ["engine_dispatch"]
+
+    def test_missing_baseline_is_an_error(self, tmp_path):
+        code, _ = _run(tmp_path, extra=["--compare", str(tmp_path / "nope.json")])
+        assert code == 2
+
+    def test_invalid_baseline_is_an_error(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{ not json")
+        code, _ = _run(tmp_path, extra=["--compare", str(bad)])
+        assert code == 2
+
+    def test_schema_violating_baseline_is_an_error(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": 1, "benchmarks": []}))
+        code, _ = _run(tmp_path, extra=["--compare", str(bad)])
+        assert code == 2

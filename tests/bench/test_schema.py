@@ -1,0 +1,99 @@
+"""Tests for the ``BENCH_core.json`` schema validator."""
+
+import pytest
+
+from repro.bench.schema import (
+    BENCH_SCHEMA_VERSION,
+    BenchSchemaError,
+    validate_report,
+)
+
+
+def _row(**overrides):
+    row = {
+        "name": "engine_dispatch",
+        "kind": "micro",
+        "work_units": 1000,
+        "wall_seconds": 0.5,
+        "units_per_second": 2000.0,
+        "peak_rss_kb": 1024,
+    }
+    row.update(overrides)
+    return row
+
+
+def _doc(**overrides):
+    doc = {
+        "schema": BENCH_SCHEMA_VERSION,
+        "python": "3.11.0",
+        "platform": "test",
+        "quick": False,
+        "benchmarks": [_row()],
+    }
+    doc.update(overrides)
+    return doc
+
+
+class TestValidateReport:
+    def test_valid_document_passes(self):
+        validate_report(_doc())
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(BenchSchemaError, match="must be an object"):
+            validate_report(["not", "a", "report"])
+
+    @pytest.mark.parametrize(
+        "missing", ["schema", "python", "platform", "quick", "benchmarks"]
+    )
+    def test_missing_top_level_field_rejected(self, missing):
+        doc = _doc()
+        del doc[missing]
+        with pytest.raises(BenchSchemaError, match=missing):
+            validate_report(doc)
+
+    def test_unknown_schema_version_rejected(self):
+        with pytest.raises(BenchSchemaError, match="unsupported schema"):
+            validate_report(_doc(schema=BENCH_SCHEMA_VERSION + 1))
+
+    def test_empty_benchmark_list_rejected(self):
+        with pytest.raises(BenchSchemaError, match="empty"):
+            validate_report(_doc(benchmarks=[]))
+
+    @pytest.mark.parametrize(
+        "missing",
+        ["name", "kind", "work_units", "wall_seconds", "units_per_second"],
+    )
+    def test_missing_row_field_rejected(self, missing):
+        row = _row()
+        del row[missing]
+        with pytest.raises(BenchSchemaError, match=missing):
+            validate_report(_doc(benchmarks=[row]))
+
+    def test_bool_not_accepted_where_int_required(self):
+        with pytest.raises(BenchSchemaError, match="got bool"):
+            validate_report(_doc(benchmarks=[_row(work_units=True)]))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(BenchSchemaError, match="kind"):
+            validate_report(_doc(benchmarks=[_row(kind="macro")]))
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(BenchSchemaError, match="duplicate"):
+            validate_report(_doc(benchmarks=[_row(), _row()]))
+
+    def test_negative_wall_seconds_rejected(self):
+        with pytest.raises(BenchSchemaError, match="wall_seconds"):
+            validate_report(_doc(benchmarks=[_row(wall_seconds=-1.0)]))
+
+    def test_negative_work_units_rejected(self):
+        with pytest.raises(BenchSchemaError, match="work_units"):
+            validate_report(_doc(benchmarks=[_row(work_units=-1)]))
+
+    def test_malformed_e2e_digest_rejected(self):
+        row = _row(name="smoke_sweep", kind="e2e", results_digest="short")
+        with pytest.raises(BenchSchemaError, match="results_digest"):
+            validate_report(_doc(benchmarks=[row]))
+
+    def test_wellformed_e2e_digest_passes(self):
+        row = _row(name="smoke_sweep", kind="e2e", results_digest="f" * 64)
+        validate_report(_doc(benchmarks=[row]))

@@ -1,0 +1,49 @@
+"""Tests for the smoke sweep's grid shape and result-digest helpers."""
+
+from repro.bench.smoke import (
+    _DIGEST_EXCLUDED_FIELDS,
+    digestable_payload,
+    results_digest,
+    smoke_points,
+)
+
+
+class TestGrid:
+    def test_full_grid_covers_workloads_and_variants(self):
+        points = smoke_points(quick=False)
+        assert len(points) == 8
+        assert all(variant in ("baseline", "full") for _, variant in points)
+
+    def test_quick_grid_is_a_prefix_of_the_full_grid(self):
+        quick = smoke_points(quick=True)
+        assert len(quick) == 4
+        assert quick == smoke_points(quick=False)[: len(quick)]
+
+
+class TestDigest:
+    def test_effort_fields_are_stripped(self):
+        payload = {field: 1 for field in _DIGEST_EXCLUDED_FIELDS}
+        payload["cycles"] = 123
+        assert digestable_payload(payload) == {"cycles": 123}
+
+    def test_digest_stable_for_equal_payloads(self):
+        a = [{"cycles": 1, "stats": {"x": 2}}]
+        b = [{"stats": {"x": 2}, "cycles": 1}]  # key order is irrelevant
+        assert results_digest(a) == results_digest(b)
+
+    def test_digest_ignores_excluded_fields(self):
+        base = [{"cycles": 1}]
+        noisy = [{"cycles": 1, "events_processed": 999, "schema": 3}]
+        assert results_digest(base) == results_digest(noisy)
+
+    def test_digest_sensitive_to_behaviour(self):
+        assert results_digest([{"cycles": 1}]) != results_digest([{"cycles": 2}])
+
+    def test_digest_sensitive_to_run_order(self):
+        a = [{"cycles": 1}, {"cycles": 2}]
+        assert results_digest(a) != results_digest(list(reversed(a)))
+
+    def test_digest_is_sha256_hex(self):
+        digest = results_digest([{"cycles": 1}])
+        assert len(digest) == 64
+        int(digest, 16)  # raises if not hex

@@ -1,0 +1,51 @@
+"""Tests for run-scoped packet/flit ID allocation."""
+
+from repro.network.flit import segment_packet
+from repro.network.ids import FLIT_IDS, PACKET_IDS, IdAllocator, reset_run_ids
+from repro.network.packet import Packet, PacketType
+
+
+class TestIdAllocator:
+    def test_monotonic_from_zero(self):
+        alloc = IdAllocator()
+        assert [alloc() for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_peek_does_not_consume(self):
+        alloc = IdAllocator()
+        alloc()
+        assert alloc.peek() == 1
+        assert alloc.peek() == 1
+        assert alloc() == 1
+
+    def test_reset_restarts_the_stream(self):
+        alloc = IdAllocator()
+        for _ in range(7):
+            alloc()
+        alloc.reset()
+        assert alloc() == 0
+
+
+class TestRunScopedStreams:
+    def test_packets_draw_from_the_module_allocator(self):
+        reset_run_ids()
+        first = Packet(ptype=PacketType.READ_REQ, src_gpu=0, dst_gpu=1)
+        second = Packet(ptype=PacketType.READ_REQ, src_gpu=0, dst_gpu=1)
+        assert (first.pid, second.pid) == (0, 1)
+
+    def test_flits_draw_from_the_module_allocator(self):
+        reset_run_ids()
+        packet = Packet(ptype=PacketType.READ_RSP, src_gpu=0, dst_gpu=2)
+        flits = segment_packet(packet, 16)
+        assert [f.fid for f in flits] == list(range(len(flits)))
+
+    def test_reset_run_ids_rewinds_both_streams(self):
+        Packet(ptype=PacketType.READ_REQ, src_gpu=0, dst_gpu=1)
+        segment_packet(
+            Packet(ptype=PacketType.READ_RSP, src_gpu=0, dst_gpu=2), 16
+        )
+        assert PACKET_IDS.peek() > 0
+        assert FLIT_IDS.peek() > 0
+        reset_run_ids()
+        assert PACKET_IDS.peek() == 0
+        assert FLIT_IDS.peek() == 0
+        assert Packet(ptype=PacketType.READ_REQ, src_gpu=0, dst_gpu=1).pid == 0

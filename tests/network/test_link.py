@@ -1,5 +1,8 @@
 """Tests for flit- and packet-granularity links."""
 
+import math
+from fractions import Fraction
+
 import pytest
 
 from repro.network.flit import segment_packet
@@ -151,6 +154,88 @@ class TestUtilizationOvercount:
         stats.busy_cycles = 73.0
         assert stats.utilization(100) == pytest.approx(0.73)
         assert not stats.overcounted
+
+
+class TestIntegerAccounting:
+    """Regression tests for float-drift in link timekeeping.
+
+    Both link classes used to advance a float ``_next_free`` by repeated
+    ``size / bytes_per_cycle`` additions and to accumulate ``busy_cycles``
+    the same way, which drifts on non-power-of-two bandwidths.  Busy time
+    is now an exact byte count divided once at query time, and readiness
+    arithmetic is integer throughout.
+    """
+
+    def _saturate(self, eng, link, n_flits):
+        def pump(remaining):
+            if remaining == 0:
+                return
+            if link.is_ready():
+                link.send(_flit())
+                remaining -= 1
+            eng.schedule_at(link.ready_at(), pump, remaining)
+
+        eng.schedule(0, pump, n_flits)
+        eng.run()
+
+    def test_busy_time_is_one_division_over_exact_bytes(self):
+        eng = Engine()
+        link = FlitLink(eng, "l", 1.1, latency=0, sink=lambda f: None)
+        link.stats.strict = True
+        self._saturate(eng, link, 1000)
+        assert link.stats.busy_bytes == 1000 * 16
+        num, den = (1.1).as_integer_ratio()
+        # exactly the single division the stats perform — no accumulation
+        assert link.stats.busy_cycles == (1000 * 16 * den) / num
+
+    @pytest.mark.parametrize("bpc", [0.3, 1.1, 12.8, 100 / 3])
+    def test_no_overcount_at_fractional_bandwidth(self, bpc):
+        eng = Engine()
+        link = FlitLink(eng, "l", bpc, latency=0, sink=lambda f: None)
+        link.stats.strict = True
+        self._saturate(eng, link, 500)
+        assert link.stats.utilization(eng.now) <= 1.0  # strict: no raise
+        assert not link.stats.overcounted
+
+    def test_timestamps_stay_integers(self):
+        eng = Engine()
+        arrivals = []
+        link = FlitLink(
+            eng, "l", 0.3, latency=3, sink=lambda f: arrivals.append(eng.now)
+        )
+        self._saturate(eng, link, 20)
+        assert arrivals == sorted(arrivals)
+        assert all(type(t) is int for t in arrivals)
+        assert type(link.ready_at()) is int
+
+    def test_packet_link_arrivals_follow_exact_ceilings(self):
+        """Back-to-back 80 B packets at 12.8 B/cycle land on the exact
+        rational serialization boundaries, not float approximations."""
+        eng = Engine()
+        arrivals = []
+        link = PacketLink(
+            eng, "l", 12.8, latency=0, flit_size=16,
+            sink=lambda p: arrivals.append(eng.now),
+        )
+        for _ in range(4):
+            link.send(Packet(ptype=PacketType.READ_RSP, src_gpu=0, dst_gpu=1))
+        eng.run()
+        bpc = Fraction(12.8)  # the exact value of the float, as a rational
+        expected = [math.ceil(Fraction(k * 80) / bpc) for k in range(1, 5)]
+        assert arrivals == expected
+
+    def test_packet_link_busy_bytes_exact(self):
+        eng = Engine()
+        link = PacketLink(
+            eng, "l", 12.8, latency=0, flit_size=16, sink=lambda p: None
+        )
+        link.stats.strict = True
+        for _ in range(50):
+            link.send(Packet(ptype=PacketType.READ_RSP, src_gpu=0, dst_gpu=1))
+        eng.run()
+        assert link.stats.busy_bytes == 50 * 80
+        assert link.stats.utilization(eng.now) <= 1.0
+        assert not link.stats.overcounted
 
 
 class TestPacketLink:

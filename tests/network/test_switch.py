@@ -1,9 +1,11 @@
 """Tests for the cluster switch: routing, pipeline, reassembly."""
 
-from repro.network.flit import segment_packet
+import pytest
+
+from repro.network.flit import Flit, segment_packet
 from repro.network.link import PacketLink
 from repro.network.packet import Packet, PacketType
-from repro.network.switch import ClusterSwitch, ReassemblyBuffer
+from repro.network.switch import ClusterSwitch, DuplicateFlitError, ReassemblyBuffer
 from repro.sim.engine import Engine
 
 CLUSTER_MAP = {0: 0, 1: 0, 2: 1, 3: 1}
@@ -76,6 +78,55 @@ class TestReassembly:
             buf.receive(x)
             buf.receive(y)
         assert set(done) == {a, b}
+
+
+class TestDuplicateFlitGuard:
+    """The reassembly bitmask rejects repeated or impossible indices.
+
+    Regression: the old bookkeeping only *counted* flits per packet id,
+    so a duplicated delivery (a routing or stitching bug upstream)
+    silently completed the packet early while a later flit of the same
+    packet leaked into the pending map forever.
+    """
+
+    def test_duplicate_flit_raises(self):
+        buf = ReassemblyBuffer(16, lambda p: None)
+        pkt = Packet(ptype=PacketType.READ_RSP, src_gpu=2, dst_gpu=0)
+        flits = segment_packet(pkt, 16)
+        buf.receive(flits[0])
+        with pytest.raises(DuplicateFlitError):
+            buf.receive(flits[0])
+
+    def test_duplicate_does_not_complete_the_packet(self):
+        done = []
+        buf = ReassemblyBuffer(16, done.append)
+        pkt = Packet(ptype=PacketType.READ_RSP, src_gpu=2, dst_gpu=0)
+        flits = segment_packet(pkt, 16)
+        buf.receive(flits[0])
+        buf.receive(flits[1])
+        with pytest.raises(DuplicateFlitError):
+            buf.receive(flits[1])
+        assert done == []
+        assert buf.pending_packets() == 1
+
+    def test_out_of_range_index_raises(self):
+        buf = ReassemblyBuffer(16, lambda p: None)
+        pkt = Packet(ptype=PacketType.READ_REQ, src_gpu=2, dst_gpu=0)
+        rogue = Flit(packet=pkt, index=5, used_bytes=16, flit_size=16)
+        with pytest.raises(DuplicateFlitError):
+            buf.receive(rogue)
+
+    def test_duplicate_stitched_segment_raises(self):
+        """A duplicate hidden inside a stitched parent is still caught."""
+        buf = ReassemblyBuffer(16, lambda p: None)
+        a = Packet(ptype=PacketType.READ_RSP, src_gpu=2, dst_gpu=0)
+        b = Packet(ptype=PacketType.READ_RSP, src_gpu=2, dst_gpu=0)
+        parent = segment_packet(a, 16)[-1]  # tail: 4 used, 12 empty
+        b_tail = segment_packet(b, 16)[-1]  # partial candidate, cost 7
+        parent.absorb(b_tail)
+        buf.receive(b_tail)  # upstream bug: the flit also went out unstitched
+        with pytest.raises(DuplicateFlitError):
+            buf.receive(parent)
 
 
 class TestSwitchRouting:

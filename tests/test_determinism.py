@@ -1,0 +1,103 @@
+"""System-level determinism: a run is a pure function of its configuration.
+
+The simulator promises that a (workload, configuration, seed) point
+produces a byte-identical :class:`RunResult` no matter what ran before
+it in the process and no matter whether it ran inline or inside a
+``run_many`` worker process.  That promise is what makes the persistent
+result cache, the parallel fan-out, and the benchmark suite's result
+digest sound — so it gets its own golden tests here, run over a
+miniature version of the benchmark smoke grid.
+
+Historically the promise did not hold: ``pid``/``fid`` came from
+module-global ``itertools.count()`` streams, so the second run of a
+process saw IDs continuing where the first left off and anything keyed
+on raw IDs (trace sampling, trace artifacts) silently differed from a
+fresh-process run of the same point.
+"""
+
+import json
+
+from repro.config import SystemConfig
+from repro.core.config import NetCrafterConfig
+from repro.experiments.runner import ExperimentPoint, run_many
+from repro.gpu.system import MultiGpuSystem
+from repro.network.ids import FLIT_IDS, PACKET_IDS
+from repro.workloads.base import Scale
+from repro.workloads.registry import get_workload
+
+SCALE = Scale.tiny()
+
+#: two access patterns under the baseline and the full feature set — the
+#: shape of the benchmark smoke grid, shrunk to unit-test size
+GRID = [
+    ("gups", NetCrafterConfig.baseline()),
+    ("gups", NetCrafterConfig.full()),
+    ("mt", NetCrafterConfig.baseline()),
+    ("mt", NetCrafterConfig.full()),
+]
+
+
+def _run_direct(workload, netcrafter, seed=0):
+    """Simulate one point inline, bypassing every cache layer."""
+    config = SystemConfig.default()
+    trace = get_workload(workload).build(
+        n_gpus=config.n_gpus, scale=SCALE, seed=seed
+    )
+    system = MultiGpuSystem(config=config, netcrafter=netcrafter, seed=seed)
+    system.load(trace)
+    return system.run()
+
+
+def _payload(result):
+    """The byte string whose equality defines "the same result"."""
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+class TestInProcessRepeatability:
+    def test_grid_repeat_is_bit_identical(self):
+        first = [_payload(_run_direct(w, nc)) for w, nc in GRID]
+        second = [_payload(_run_direct(w, nc)) for w, nc in GRID]
+        assert first == second
+
+    def test_result_independent_of_what_ran_before(self):
+        """A point's result must not depend on process history."""
+        w, nc = GRID[0]
+        fresh = _payload(_run_direct(w, nc))
+        for other_w, other_nc in GRID[1:]:
+            _run_direct(other_w, other_nc)  # perturb module-global state
+        assert _payload(_run_direct(w, nc)) == fresh
+
+    def test_id_streams_restart_for_every_run(self):
+        """Each run draws pids/fids starting at zero.
+
+        Regression test for the module-global ID counters: after a full
+        simulation has allocated thousands of IDs, constructing the next
+        system must rewind both streams, so an in-process repeat and a
+        fresh worker process number their packets identically.
+        """
+        w, nc = GRID[0]
+        _run_direct(w, nc)
+        assert PACKET_IDS.peek() > 0
+        assert FLIT_IDS.peek() > 0
+        MultiGpuSystem(config=SystemConfig.default(), netcrafter=nc, seed=0)
+        assert PACKET_IDS.peek() == 0
+        assert FLIT_IDS.peek() == 0
+
+    def test_back_to_back_runs_allocate_identical_id_ranges(self):
+        w, nc = GRID[0]
+        _run_direct(w, nc)
+        first = (PACKET_IDS.peek(), FLIT_IDS.peek())
+        _run_direct(w, nc)
+        assert (PACKET_IDS.peek(), FLIT_IDS.peek()) == first
+
+
+class TestWorkerProcessEquivalence:
+    def test_run_many_two_jobs_matches_inline_runs(self):
+        """Fresh worker processes reproduce inline results byte for byte."""
+        inline = [_payload(_run_direct(w, nc)) for w, nc in GRID]
+        points = [
+            ExperimentPoint(workload=w, netcrafter=nc, scale=SCALE)
+            for w, nc in GRID
+        ]
+        fanned = run_many(points, jobs=2, use_cache=False)
+        assert [_payload(r) for r in fanned] == inline
