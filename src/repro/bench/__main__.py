@@ -8,9 +8,11 @@ Examples::
     python -m repro.bench --compare             # diff vs BENCH_baseline.json
     python -m repro.bench --update-baseline     # promote this run to baseline
 
-``--compare`` exits non-zero when any benchmark regressed past
-``--fail-threshold`` (default 2x, generous for noisy runners) or when the
-smoke sweep's result digest moved (simulator semantics changed).
+``--compare`` exits non-zero when any benchmark regressed past its
+threshold or when an e2e result digest moved (simulator semantics
+changed).  The default threshold is ``--fail-threshold`` (1.3x); a
+baseline row may pin its own ``fail_threshold`` for benchmarks known to
+be noisy, and ``--update-baseline`` preserves those pins.
 """
 
 from __future__ import annotations
@@ -23,6 +25,7 @@ from pathlib import Path
 from repro.bench.harness import (
     compare_reports,
     comparison_lines,
+    comparison_markdown,
     run_benchmarks,
 )
 from repro.bench.schema import BenchSchemaError, validate_report
@@ -59,9 +62,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--fail-threshold",
         type=float,
-        default=2.0,
+        default=1.3,
         help="with --compare, fail when a benchmark is this many times "
-        "slower than the baseline (default 2.0)",
+        "slower than the baseline (default 1.3; a baseline row's own "
+        "fail_threshold field overrides this per benchmark)",
+    )
+    parser.add_argument(
+        "--summary-out",
+        metavar="PATH",
+        help="write a markdown summary (the comparison delta table when "
+        "--compare is given, else the plain results) to PATH — CI "
+        "appends it to $GITHUB_STEP_SUMMARY",
     )
     parser.add_argument(
         "--repeats",
@@ -112,7 +123,33 @@ def main(argv=None) -> int:
     blob = json.dumps(doc, indent=2, sort_keys=True) + "\n"
     Path(args.out).write_text(blob)
     if args.update_baseline:
-        Path(args.compare or DEFAULT_BASELINE).write_text(blob)
+        baseline_path = Path(args.compare or DEFAULT_BASELINE)
+        baseline_doc = dict(doc)
+        baseline_doc.pop("comparison", None)
+        # carry hand-pinned per-benchmark thresholds over from the old
+        # baseline: promoting a run must not silently loosen the gate
+        if baseline_path.exists():
+            try:
+                old = json.loads(baseline_path.read_text())
+                pinned = {
+                    row["name"]: row["fail_threshold"]
+                    for row in old.get("benchmarks", [])
+                    if "fail_threshold" in row
+                }
+            except ValueError:
+                pinned = {}
+            if pinned:
+                baseline_doc["benchmarks"] = [
+                    (
+                        {**row, "fail_threshold": pinned[row["name"]]}
+                        if row["name"] in pinned
+                        else row
+                    )
+                    for row in baseline_doc["benchmarks"]
+                ]
+        baseline_path.write_text(
+            json.dumps(baseline_doc, indent=2, sort_keys=True) + "\n"
+        )
 
     for rec in report.records:
         print(
@@ -124,6 +161,22 @@ def main(argv=None) -> int:
         print()
         for line in comparison_lines(doc["comparison"]):
             print(line)
+    if args.summary_out:
+        if "comparison" in doc:
+            summary = ["### Benchmark deltas", ""]
+            summary += comparison_markdown(doc["comparison"])
+        else:
+            summary = [
+                "### Benchmark results",
+                "",
+                "| benchmark | work units | wall | rate |",
+                "|---|---:|---:|---:|",
+            ] + [
+                f"| {rec.name} | {rec.work_units:,} "
+                f"| {rec.wall_seconds:.3f}s | {rec.rate:,.0f}/s |"
+                for rec in report.records
+            ]
+        Path(args.summary_out).write_text("\n".join(summary) + "\n")
     print(f"\nwrote {args.out}")
     return exit_code
 

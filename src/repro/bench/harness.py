@@ -138,6 +138,7 @@ def default_suite(quick: bool) -> List[Benchmark]:
         ("packet_link_throughput", "micro", lambda: micro.bench_packet_link(quick)),
         ("cluster_queue_stitch_scan", "micro", lambda: micro.bench_stitch_scan(quick)),
         ("smoke_sweep", "e2e", lambda: smoke.bench_smoke_sweep(quick)),
+        ("sharded_speedup", "e2e", lambda: smoke.bench_sharded_speedup(quick)),
     ]
 
 
@@ -164,16 +165,18 @@ def run_benchmarks(
 def compare_reports(
     current: Dict[str, object],
     baseline: Dict[str, object],
-    fail_threshold: float = 2.0,
+    fail_threshold: float = 1.3,
 ) -> Dict[str, object]:
     """Diff ``current`` against ``baseline`` (both ``to_dict`` documents).
 
     Returns a comparison block with, per benchmark present in both:
-    ``speedup`` (current rate / baseline rate, >1 means faster now) and
-    the two rates.  ``regressions`` lists benchmarks slower than
-    ``fail_threshold`` (a generous 2x by default, so noisy CI runners do
-    not flap); ``digest_match`` is ``False`` when the end-to-end smoke
-    sweep's result digest moved, i.e. simulator semantics changed.
+    ``speedup`` (current rate / baseline rate, >1 means faster now),
+    the two rates, and the threshold applied.  A baseline row may carry
+    its own ``fail_threshold`` (for benchmarks known to be noisy on CI
+    runners); rows without one use the global default.  ``regressions``
+    lists benchmarks slower than their threshold; ``digest_match`` is
+    ``False`` when any shared e2e benchmark's result digest moved, i.e.
+    simulator semantics changed.
     """
     cur_by_name = {b["name"]: b for b in current.get("benchmarks", [])}
     base_by_name = {b["name"]: b for b in baseline.get("benchmarks", [])}
@@ -186,29 +189,34 @@ def compare_reports(
         cur_rate = float(cur["units_per_second"])
         base_rate = float(base["units_per_second"])
         speedup = cur_rate / base_rate if base_rate > 0 else 0.0
+        threshold = float(base.get("fail_threshold", fail_threshold))
         rows.append(
             {
                 "name": name,
                 "baseline_units_per_second": base_rate,
                 "current_units_per_second": cur_rate,
                 "speedup": speedup,
+                "fail_threshold": threshold,
             }
         )
-        if speedup > 0 and speedup < 1.0 / fail_threshold:
+        if speedup > 0 and speedup < 1.0 / threshold:
             regressions.append(name)
 
     digest_match: Optional[bool] = None
-    cur_smoke = cur_by_name.get("smoke_sweep")
-    base_smoke = base_by_name.get("smoke_sweep")
-    if cur_smoke is not None and base_smoke is not None:
-        cur_digest = cur_smoke.get("results_digest")
-        base_digest = base_smoke.get("results_digest")
-        if cur_digest is not None and base_digest is not None:
-            # digests only compare like with like (same point grid)
-            if cur_smoke.get("points") == base_smoke.get("points") and bool(
-                current.get("quick")
-            ) == bool(baseline.get("quick")):
-                digest_match = cur_digest == base_digest
+    for name, cur in cur_by_name.items():
+        base = base_by_name.get(name)
+        if base is None:
+            continue
+        cur_digest = cur.get("results_digest")
+        base_digest = base.get("results_digest")
+        if cur_digest is None or base_digest is None:
+            continue
+        # digests only compare like with like (same point grid)
+        if cur.get("points") == base.get("points") and bool(
+            current.get("quick")
+        ) == bool(baseline.get("quick")):
+            same = cur_digest == base_digest
+            digest_match = same if digest_match in (None, True) else False
 
     return {
         "baseline_python": baseline.get("python"),
@@ -221,21 +229,61 @@ def compare_reports(
 
 def comparison_lines(comparison: Dict[str, object]) -> List[str]:
     """Human-readable rendering of a :func:`compare_reports` block."""
-    lines = ["benchmark                        baseline/s      current/s   speedup"]
+    lines = [
+        "benchmark                        baseline/s      current/s"
+        "   speedup  threshold"
+    ]
     for row in comparison["benchmarks"]:
+        threshold = row.get("fail_threshold", comparison["fail_threshold"])
         lines.append(
             f"{row['name']:<30} {row['baseline_units_per_second']:>13.0f} "
             f"{row['current_units_per_second']:>14.0f} "
-            f"{row['speedup']:>8.2f}x"
+            f"{row['speedup']:>8.2f}x "
+            f"{threshold:>9.2f}x"
         )
     if comparison["regressions"]:
         lines.append(
-            f"REGRESSIONS (> {comparison['fail_threshold']:.1f}x slower): "
+            "REGRESSIONS (slower than their threshold): "
             + ", ".join(comparison["regressions"])
         )
     if comparison.get("digest_match") is False:
         lines.append(
-            "RESULT DIGEST MISMATCH: the smoke sweep no longer produces "
+            "RESULT DIGEST MISMATCH: an e2e benchmark no longer produces "
             "bit-identical stats (simulator semantics changed)"
         )
+    return lines
+
+
+def comparison_markdown(comparison: Dict[str, object]) -> List[str]:
+    """GitHub-flavoured markdown table of a :func:`compare_reports` block.
+
+    CI appends this to the job's step summary so per-benchmark deltas
+    are readable without digging into the JSON artifact.
+    """
+    lines = [
+        "| benchmark | baseline/s | current/s | speedup | threshold | status |",
+        "|---|---:|---:|---:|---:|---|",
+    ]
+    regressed = set(comparison["regressions"])
+    for row in comparison["benchmarks"]:
+        threshold = row.get("fail_threshold", comparison["fail_threshold"])
+        status = "regressed" if row["name"] in regressed else "ok"
+        lines.append(
+            f"| {row['name']} "
+            f"| {row['baseline_units_per_second']:,.0f} "
+            f"| {row['current_units_per_second']:,.0f} "
+            f"| {row['speedup']:.2f}x "
+            f"| {threshold:.2f}x "
+            f"| {status} |"
+        )
+    digest_match = comparison.get("digest_match")
+    if digest_match is False:
+        lines.append("")
+        lines.append(
+            "**RESULT DIGEST MISMATCH** — an e2e benchmark no longer "
+            "reproduces the baseline's bit-identical stats."
+        )
+    elif digest_match is True:
+        lines.append("")
+        lines.append("Result digests match the baseline (bit-identical stats).")
     return lines

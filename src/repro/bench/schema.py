@@ -89,3 +89,13 @@ def validate_report(doc: object) -> None:
                 raise BenchSchemaError(
                     f"{where}: results_digest must be a sha256 hex string"
                 )
+        if "fail_threshold" in row:
+            threshold = row["fail_threshold"]
+            if (
+                isinstance(threshold, bool)
+                or not isinstance(threshold, (int, float))
+                or threshold < 1.0
+            ):
+                raise BenchSchemaError(
+                    f"{where}: fail_threshold must be a number >= 1.0"
+                )

@@ -71,8 +71,44 @@ def results_digest(result_dicts: List[Dict[str, object]]) -> str:
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
-def run_smoke_grid(quick: bool = False, seed: int = 0):
-    """Simulate the grid; returns (results, total_events, total_cycles)."""
+def _build_node(
+    system_config: SystemConfig,
+    variant: str,
+    seed: int,
+    n_shards: int,
+    window,
+    parallel: bool,
+):
+    """Single-engine node, or the sharded front end when sharding is asked."""
+    netcrafter = _variant_config(variant)
+    if n_shards > 1 or window is not None:
+        from repro.shard.coordinator import ShardedSystem
+
+        return ShardedSystem(
+            config=system_config,
+            netcrafter=netcrafter,
+            seed=seed,
+            n_shards=n_shards,
+            window=window,
+            parallel=parallel,
+        )
+    return MultiGpuSystem(config=system_config, netcrafter=netcrafter, seed=seed)
+
+
+def run_smoke_grid(
+    quick: bool = False,
+    seed: int = 0,
+    n_shards: int = 1,
+    window=None,
+    parallel: bool = False,
+):
+    """Simulate the grid; returns (results, total_events, total_cycles).
+
+    With ``n_shards > 1`` (or an explicit ``window``) every point runs
+    through :class:`~repro.shard.coordinator.ShardedSystem` instead of
+    the single engine; by the lookahead-window construction the results
+    — and therefore the digest — are byte-identical.
+    """
     system_config = SystemConfig.default()
     scale = Scale.small()
     results = []
@@ -82,13 +118,13 @@ def run_smoke_grid(quick: bool = False, seed: int = 0):
         trace = get_workload(workload).build(
             n_gpus=system_config.n_gpus, scale=scale, seed=seed
         )
-        node = MultiGpuSystem(
-            config=system_config, netcrafter=_variant_config(variant), seed=seed
+        node = _build_node(
+            system_config, variant, seed, n_shards, window, parallel
         )
         node.load(trace)
         result = node.run()
         results.append(result)
-        total_events += node.engine.events_processed
+        total_events += result.events_processed
         total_cycles += result.cycles
     return results, total_events, total_cycles
 
@@ -105,3 +141,194 @@ def bench_smoke_sweep(quick: bool = False) -> Tuple[int, Dict[str, object]]:
         "events": total_events,
         "results_digest": digest,
     }
+
+
+# -- sharded-speedup macro ---------------------------------------------------
+
+#: the ISSUE's reference sharding benchmark: 8 GPUs in 4 clusters.  The
+#: raised inter-cluster latency widens the lookahead window, so each
+#: coordinator round-trip covers more simulated cycles — the regime
+#: intra-run sharding is built for.
+def _macro_config() -> SystemConfig:
+    return SystemConfig.default().with_overrides(
+        n_clusters=4, inter_link_latency=128
+    )
+
+
+def bench_sharded_speedup(quick: bool = False) -> Tuple[int, Dict[str, object]]:
+    """E2e macro: single-engine vs 2-shard process-parallel wall clock.
+
+    Runs ``gups`` on an 8-GPU / 4-cluster config once on the single
+    engine and once as two process-parallel shards, asserting the two
+    results are byte-identical (the digest is the semantic gate) and
+    reporting the wall-clock ratio.  ``speedup`` only demonstrates
+    parallelism when the host grants the process more than one CPU —
+    ``cpus`` records how many were available so a single-core runner's
+    numbers are not mistaken for a regression.
+    """
+    import os
+    import time
+
+    system_config = _macro_config()
+    scale = Scale.small() if quick else Scale.default()
+    trace = get_workload("gups").build(
+        n_gpus=system_config.n_gpus, scale=scale, seed=0
+    )
+
+    single = MultiGpuSystem(
+        config=system_config, netcrafter=NetCrafterConfig.full(), seed=0
+    )
+    single.load(trace)
+    start = time.perf_counter()
+    single_result = single.run()
+    single_wall = time.perf_counter() - start
+
+    from repro.shard.coordinator import ShardedSystem
+
+    sharded = ShardedSystem(
+        config=system_config,
+        netcrafter=NetCrafterConfig.full(),
+        seed=0,
+        n_shards=2,
+        parallel=True,
+    )
+    sharded.load(trace)
+    start = time.perf_counter()
+    sharded_result = sharded.run()
+    sharded_wall = time.perf_counter() - start
+
+    digest = results_digest([single_result.to_dict()])
+    sharded_digest = results_digest([sharded_result.to_dict()])
+    if digest != sharded_digest:
+        raise RuntimeError(
+            "sharded run diverged from the single engine: "
+            f"{sharded_digest} != {digest}"
+        )
+    return single_result.cycles, {
+        "points": 1,
+        "results_digest": digest,
+        "single_wall_seconds": single_wall,
+        "sharded_wall_seconds": sharded_wall,
+        "speedup": single_wall / sharded_wall if sharded_wall > 0 else 0.0,
+        "shards": 2,
+        "windows": sharded.windows_run,
+        "cpus": len(os.sched_getaffinity(0)),
+    }
+
+
+# -- CLI: the CI shard-smoke gate --------------------------------------------
+
+
+def _grid_key(quick: bool) -> str:
+    return "quick" if quick else "full"
+
+
+def main(argv=None) -> int:
+    """Run the smoke grid (optionally sharded) and check its digest.
+
+    The committed ``SMOKE_digest.json`` records the single-engine digest
+    per grid; CI re-runs the grid in sequential-windowed and 2-shard
+    process-parallel modes and requires both to reproduce it exactly.
+    """
+    import argparse
+    import sys
+    from pathlib import Path
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.smoke",
+        description="Run the smoke sweep and verify its result digest.",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="gups+mt grid instead of all four"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run every point as N cluster shards (default 1: single engine)",
+    )
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        metavar="CYCLES",
+        help="lookahead window override (default: the inter-cluster latency)",
+    )
+    parser.add_argument(
+        "--parallel",
+        action="store_true",
+        help="shards in worker processes (default: sequential round-robin)",
+    )
+    parser.add_argument(
+        "--expect-digest",
+        metavar="HEX",
+        help="fail unless the grid digest equals this sha256",
+    )
+    parser.add_argument(
+        "--expect-file",
+        metavar="PATH",
+        help="fail unless the digest matches this grid's entry in the "
+        "committed digest file (e.g. SMOKE_digest.json)",
+    )
+    parser.add_argument(
+        "--write-file",
+        metavar="PATH",
+        help="record this grid's digest into the digest file (merging "
+        "with any other grid's entry)",
+    )
+    args = parser.parse_args(argv)
+
+    results, events, cycles = run_smoke_grid(
+        quick=args.quick,
+        seed=args.seed,
+        n_shards=args.shards,
+        window=args.window,
+        parallel=args.parallel,
+    )
+    digest = results_digest([r.to_dict() for r in results])
+    mode = (
+        "single-engine"
+        if args.shards <= 1 and args.window is None
+        else f"{args.shards} shard(s), "
+        + ("process-parallel" if args.parallel else "sequential-windowed")
+    )
+    print(
+        f"smoke grid [{_grid_key(args.quick)}] {mode}: "
+        f"{len(results)} points, {cycles} cycles, {events} events"
+    )
+    print(f"digest {digest}")
+
+    exit_code = 0
+    expected = args.expect_digest
+    if args.expect_file:
+        committed = json.loads(Path(args.expect_file).read_text())
+        expected = committed.get(_grid_key(args.quick))
+        if expected is None:
+            print(
+                f"{args.expect_file} has no entry for the "
+                f"{_grid_key(args.quick)!r} grid",
+                file=sys.stderr,
+            )
+            return 2
+    if expected is not None:
+        if digest == expected:
+            print("digest matches the committed single-engine digest")
+        else:
+            print(f"DIGEST MISMATCH: expected {expected}", file=sys.stderr)
+            exit_code = 1
+
+    if args.write_file:
+        path = Path(args.write_file)
+        doc = json.loads(path.read_text()) if path.exists() else {}
+        doc[_grid_key(args.quick)] = digest
+        path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        print(f"recorded digest in {path}")
+    return exit_code
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -17,6 +17,7 @@ Two scales are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Optional
 
 
 @dataclass(frozen=True)
@@ -42,6 +43,11 @@ class SystemConfig:
     intra_cluster_bw: float = 128.0  # bytes/cycle == GB/s at 1 GHz
     inter_cluster_bw: float = 16.0
     link_latency: int = 8
+    #: latency override for inter-cluster links only; ``None`` uses
+    #: ``link_latency``.  The inter-cluster latency is the conservative
+    #: lookahead window for cluster-sharded execution, so scaling
+    #: studies of slower fabrics also widen the synchronization window.
+    inter_link_latency: Optional[int] = None
     switch_latency: int = 30
     switch_buffer_entries: int = 1024
     # L1 (per CU)
@@ -91,6 +97,8 @@ class SystemConfig:
             raise ValueError("coherence must be 'software' or 'hardware'")
         if self.inter_topology not in ("mesh", "ring"):
             raise ValueError("inter_topology must be 'mesh' or 'ring'")
+        if self.inter_link_latency is not None and self.inter_link_latency < 1:
+            raise ValueError("inter_link_latency must be at least 1 cycle")
 
     # -- topology helpers ----------------------------------------------------
 
@@ -110,6 +118,13 @@ class SystemConfig:
     @property
     def bandwidth_ratio(self) -> float:
         return self.intra_cluster_bw / self.inter_cluster_bw
+
+    @property
+    def effective_inter_link_latency(self) -> int:
+        """Latency of inter-cluster links (the sharding lookahead window)."""
+        if self.inter_link_latency is not None:
+            return self.inter_link_latency
+        return self.link_latency
 
     def with_overrides(self, **kwargs) -> "SystemConfig":
         return replace(self, **kwargs)

@@ -6,6 +6,7 @@ Usage::
     python -m repro.experiments fig14 --scale quick
     python -m repro.experiments fig3 fig9 --scale standard
     python -m repro.experiments all --scale quick --jobs 4
+    python -m repro.experiments fig14 --shards 2 --window 4
     python -m repro.experiments fig14 --trace --metrics-interval 1000 --profile
 
 Independent simulation points fan out over ``--jobs`` worker processes,
@@ -116,6 +117,39 @@ def main(argv=None) -> int:
         action="store_true",
         help="disable the persistent result cache for this invocation",
     )
+    shard_group = parser.add_argument_group(
+        "sharding",
+        "intra-run cluster sharding: split each simulation into "
+        "per-cluster shards advancing in conservative lookahead windows; "
+        "results are byte-identical to the single-engine run (use --jobs "
+        "instead when there are many independent points to spread)",
+    )
+    shard_group.add_argument(
+        "--shards",
+        type=int,
+        default=int(os.environ["REPRO_SHARDS"])
+        if os.environ.get("REPRO_SHARDS")
+        else None,
+        metavar="N",
+        help="simulate each point as N cluster shards in worker processes "
+        "(must divide the config's cluster count; default: $REPRO_SHARDS)",
+    )
+    shard_group.add_argument(
+        "--window",
+        type=int,
+        default=int(os.environ["REPRO_WINDOW"])
+        if os.environ.get("REPRO_WINDOW")
+        else None,
+        metavar="CYCLES",
+        help="lookahead window size in cycles (default: the inter-cluster "
+        "link latency, the maximum safe value)",
+    )
+    shard_group.add_argument(
+        "--sequential-shards",
+        action="store_true",
+        help="drive the shards round-robin in this process instead of "
+        "worker processes (debugging / digest comparisons)",
+    )
     obs_group = parser.add_argument_group(
         "observability",
         "per-run artifacts (any of these forces fresh simulation: "
@@ -160,6 +194,10 @@ def main(argv=None) -> int:
         parser.error("--trace-sample must be >= 1")
     if args.metrics_interval is not None and args.metrics_interval < 1:
         parser.error("--metrics-interval must be >= 1")
+    if args.shards is not None and args.shards < 1:
+        parser.error("--shards must be >= 1")
+    if args.window is not None and args.window < 1:
+        parser.error("--window must be >= 1")
 
     if args.targets == ["list"]:
         print("available targets:")
@@ -181,6 +219,19 @@ def main(argv=None) -> int:
     if obs_options.active:
         runner.set_observability(obs_options)
         print(f"observability artifacts -> {args.obs_dir}/ (cache bypassed)")
+    if args.shards is not None or args.window is not None:
+        runner.set_sharding(
+            runner.ShardingOptions(
+                n_shards=args.shards or 1,
+                window=args.window,
+                parallel=False if args.sequential_shards else None,
+            )
+        )
+        mode = "sequential" if args.sequential_shards else "process-parallel"
+        print(
+            f"cluster sharding: {args.shards or 1} shard(s), "
+            f"window={args.window or 'max'}, {mode}"
+        )
     exp = SCALES[args.scale]()
     targets = list(DRIVERS) + ["tables"] if args.targets == ["all"] else args.targets
     for target in targets:

@@ -39,6 +39,8 @@ from repro.obs import (
     MetricsRegistry,
     Observability,
 )
+from repro.shard.coordinator import ShardedSystem
+from repro.shard.shard_system import ShardObsSpec
 from repro.stats.report import RunResult
 from repro.workloads.base import Scale
 from repro.workloads.registry import all_workload_names, get_workload
@@ -213,11 +215,69 @@ class ObservabilityOptions:
         return self.trace or self.metrics_interval is not None or self.profile
 
 
+@dataclass(frozen=True)
+class ShardingOptions:
+    """How each simulation point is split across cluster shards.
+
+    Sharding is *intra-run* parallelism: one simulation is decomposed
+    into per-cluster shards advancing in conservative lookahead windows
+    (:class:`~repro.shard.coordinator.ShardedSystem`).  Results are
+    byte-identical to the single-engine run, so the result cache stays
+    shared between modes and the choice is purely about wall-clock.
+
+    Points whose system config the shard count does not divide fall back
+    to the single engine (identical results) rather than failing a whole
+    figure sweep.
+    """
+
+    n_shards: int = 1
+    #: lookahead window in cycles; ``None`` means the maximum safe value
+    #: (the inter-cluster link latency), clamped per-point when smaller
+    window: Optional[int] = None
+    #: ``None`` = processes exactly when ``n_shards > 1``; ``False``
+    #: forces sequential-windowed mode (debugging, digest comparisons)
+    parallel: Optional[bool] = None
+
+    @property
+    def active(self) -> bool:
+        return self.n_shards > 1 or self.window is not None
+
+    def use_processes(self) -> bool:
+        return self.n_shards > 1 if self.parallel is None else self.parallel
+
+    @classmethod
+    def from_env(cls) -> Optional["ShardingOptions"]:
+        """Honour ``REPRO_SHARDS`` / ``REPRO_WINDOW`` (unset -> None)."""
+        shards = os.environ.get("REPRO_SHARDS")
+        window = os.environ.get("REPRO_WINDOW")
+        if not shards and not window:
+            return None
+        return cls(
+            n_shards=int(shards) if shards else 1,
+            window=int(window) if window else None,
+        )
+
+
 _cache: Dict[tuple, RunResult] = {}
 _default_jobs = 1
 _disk_cache: Optional[ResultCache] = None
 #: module-level so forked run_many workers inherit it
 _obs_options: Optional[ObservabilityOptions] = None
+#: module-level for the same reason; seeded from the environment
+_sharding_options: Optional[ShardingOptions] = ShardingOptions.from_env()
+
+
+def set_sharding(options: Optional[ShardingOptions]) -> None:
+    """Shard every subsequent simulation point (``None`` disables)."""
+    global _sharding_options
+    _sharding_options = (
+        options if options is not None and options.active else None
+    )
+
+
+def sharding_options() -> Optional[ShardingOptions]:
+    """The active sharding options, or ``None`` when disabled."""
+    return _sharding_options
 
 
 def set_observability(options: Optional[ObservabilityOptions]) -> None:
@@ -303,6 +363,41 @@ def _simulate(point: ExperimentPoint) -> RunResult:
         n_gpus=point.system.n_gpus, scale=point.scale, seed=point.seed
     )
     options = _obs_options
+    sharding = _sharding_options
+    if (
+        sharding is not None
+        and sharding.active
+        and point.system.n_clusters % sharding.n_shards == 0
+    ):
+        lookahead = point.system.effective_inter_link_latency
+        spec = (
+            ShardObsSpec(
+                trace=options.trace,
+                trace_sample=options.trace_sample,
+                metrics_interval=options.metrics_interval,
+                profile=options.profile,
+            )
+            if options is not None
+            else None
+        )
+        node = ShardedSystem(
+            config=point.system,
+            netcrafter=point.netcrafter,
+            seed=point.seed,
+            n_shards=sharding.n_shards,
+            window=(
+                None
+                if sharding.window is None
+                else min(sharding.window, lookahead)
+            ),
+            parallel=sharding.use_processes(),
+            obs_spec=spec,
+        )
+        node.load(trace)
+        result = node.run()
+        if options is not None:
+            _write_artifacts(options, node.merged_obs(), point, result)
+        return result
     obs = _build_observability(options) if options is not None else None
     node = MultiGpuSystem(
         config=point.system, netcrafter=point.netcrafter, seed=point.seed, obs=obs

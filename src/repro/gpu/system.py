@@ -21,11 +21,38 @@ from repro.network.link import FlitLink
 from repro.network.topology import Topology, build_topology
 from repro.obs import Observability
 from repro.sim.engine import Engine
+from repro.stats.assemble import assemble_result, controller_row, link_row
 from repro.stats.collectors import RunStats
-from repro.stats.energy import estimate_energy
 from repro.stats.report import RunResult
 from repro.vm.page_table import PageTable
 from repro.vm.placement import AddressSpace, LaspPlacement
+
+
+def config_label(config: SystemConfig, netcrafter: NetCrafterConfig) -> str:
+    """Short human label for a (system, netcrafter) configuration pair.
+
+    Shared between the single-engine system and the sharded coordinator
+    so both report identical ``RunResult.config_label`` strings.
+    """
+    parts: List[str] = []
+    if netcrafter.enable_stitching:
+        label = "stitch"
+        if netcrafter.enable_pooling:
+            label += (
+                f"+sfp{netcrafter.pooling_window}"
+                if netcrafter.selective_pooling
+                else f"+fp{netcrafter.pooling_window}"
+            )
+        parts.append(label)
+    if netcrafter.enable_trimming:
+        parts.append("trim")
+    if netcrafter.enable_sequencing:
+        parts.append("seq")
+    if config.l1_fetch_mode == "sector":
+        parts.append(f"sector{config.l1_sector_bytes}")
+    if not parts:
+        parts.append("baseline")
+    return "+".join(parts)
 
 
 class MultiGpuSystem:
@@ -251,53 +278,24 @@ class MultiGpuSystem:
             # final snapshot at the finish cycle, so cumulative series
             # end exactly at the aggregate totals reported below
             self.obs.metrics.sample(self.stats.finish_cycle)
-        result = RunResult(
+        topo = self.topology
+        return assemble_result(
             workload=workload_name,
             config_label=self._config_label(),
             cycles=self.stats.finish_cycle,
             stats=self.stats,
             events_processed=self.engine.events_processed,
+            inter_rows=[link_row(link) for link in topo.inter_links],
+            intra_rows=[link_row(link) for link in topo.intra_links()],
+            controller_rows=[controller_row(c) for c in topo.controllers],
+            l2_accesses=sum(
+                gpu.l2.read_requests + gpu.l2.write_requests
+                for gpu in self.gpus.values()
+            ),
+            dram_accesses=sum(
+                gpu.dram.reads + gpu.dram.writes for gpu in self.gpus.values()
+            ),
         )
-        for link in self.topology.inter_links:
-            result.inter_flits_sent += link.stats.flits
-            result.inter_wire_bytes += link.stats.wire_bytes
-            result.inter_useful_bytes += link.stats.useful_bytes
-            result.inter_busy_cycles += min(
-                link.stats.busy_cycles, float(result.cycles)
-            )
-        result.inter_links = len(self.topology.inter_links)
-        for link in self.topology.intra_links():
-            result.intra_busy_cycles += link.stats.busy_cycles
-        result.intra_links = len(self.topology.intra_links())
-        for controller in self.topology.controllers:
-            stats = controller.stats
-            result.flits_entered += stats.flits_entered
-            result.flits_absorbed += stats.flits_absorbed
-            result.parents_stitched += stats.parents_stitched
-            result.ptw_flits += stats.ptw_flits
-            result.data_flits += stats.data_flits
-            result.ptw_bytes += stats.ptw_bytes
-            result.data_bytes += stats.data_bytes
-            result.packets_trimmed += controller.packets_trimmed
-            result.trim_bytes_saved += controller.trim_bytes_saved
-            result.occupancy.update(stats.occupancy)
-        result.energy = estimate_energy(self, result)
-        return result
 
     def _config_label(self) -> str:
-        nc = self.netcrafter
-        parts: List[str] = []
-        if nc.enable_stitching:
-            label = "stitch"
-            if nc.enable_pooling:
-                label += f"+sfp{nc.pooling_window}" if nc.selective_pooling else f"+fp{nc.pooling_window}"
-            parts.append(label)
-        if nc.enable_trimming:
-            parts.append("trim")
-        if nc.enable_sequencing:
-            parts.append("seq")
-        if self.config.l1_fetch_mode == "sector":
-            parts.append(f"sector{self.config.l1_sector_bytes}")
-        if not parts:
-            parts.append("baseline")
-        return "+".join(parts)
+        return config_label(self.config, self.netcrafter)

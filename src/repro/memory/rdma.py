@@ -61,6 +61,12 @@ class RdmaEngine(Traced, Component):
         self.responses_received = 0
         self.outstanding_writes = 0
         self.outstanding_invalidations = 0
+        #: cycle at which both outstanding counters last returned to zero,
+        #: and the schedule key of the event that drained them; sharded
+        #: coordinators read these to time kernel-boundary quiesce (the
+        #: skey orders the drain against the quiesce poll chain)
+        self.last_drain_cycle = 0
+        self.last_drain_skey = 0
         # hardware-coherence hooks (None under software coherence)
         self._on_read_served: Optional[Callable[[int, int], None]] = None
         self._on_write_served: Optional[Callable[[int, int], None]] = None
@@ -298,7 +304,13 @@ class RdmaEngine(Traced, Component):
                 self.stats.remote_read_latency_intra.record(latency)
         elif packet.ptype is PacketType.WRITE_RSP:
             self.outstanding_writes -= 1
+            if not self.outstanding_writes and not self.outstanding_invalidations:
+                self.last_drain_cycle = self.now
+                self.last_drain_skey = self.engine.cur_skey
         elif packet.ptype is PacketType.INV_RSP:
             self.outstanding_invalidations -= 1
+            if not self.outstanding_writes and not self.outstanding_invalidations:
+                self.last_drain_cycle = self.now
+                self.last_drain_skey = self.engine.cur_skey
         if ctx.on_complete is not None:
             ctx.on_complete(packet)

@@ -58,6 +58,14 @@ class StitchSegment:
         extra = STITCH_METADATA_BYTES if self.kind is StitchKind.PARTIAL_PAYLOAD else 0
         return self.flit.used_bytes + extra
 
+    # tuple state: cheaper than the default slot-dict when pickled inside
+    # cross-shard mail batches (see Flit.__getstate__)
+    def __getstate__(self):
+        return (self.kind, self.flit)
+
+    def __setstate__(self, state):
+        self.kind, self.flit = state
+
 
 @dataclass(eq=False, slots=True)
 class Flit:
@@ -176,6 +184,42 @@ class Flit:
     def all_carried_flits(self) -> List["Flit"]:
         """This flit plus every flit stitched into it (for un-stitching)."""
         return [self] + [seg.flit for seg in self.segments]
+
+    # Flits are the payload of cross-shard mailbox batches, pickled once
+    # per lookahead window in process-parallel mode.  The default slotted
+    # protocol emits a per-object {slot: value} dict; a flat tuple halves
+    # the serialization cost on the coordinator's critical path.
+    def __getstate__(self):
+        return (
+            self.packet,
+            self.index,
+            self.used_bytes,
+            self.flit_size,
+            self.fid,
+            self.segments,
+            self.pooled,
+            self.cq_seq,
+            self.pkt_flits,
+            self._cost,
+            self._seg_wire_bytes,
+            self._seg_payload_bytes,
+        )
+
+    def __setstate__(self, state):
+        (
+            self.packet,
+            self.index,
+            self.used_bytes,
+            self.flit_size,
+            self.fid,
+            self.segments,
+            self.pooled,
+            self.cq_seq,
+            self.pkt_flits,
+            self._cost,
+            self._seg_wire_bytes,
+            self._seg_payload_bytes,
+        ) = state
 
 
 def segment_packet(packet: Packet, flit_size: int) -> List[Flit]:

@@ -14,30 +14,64 @@ making every run's ID stream start at zero regardless of what ran before
 it in the process.  Allocation stays module-global (not per-engine)
 because packets are routinely built without a system in unit tests;
 uniqueness is only ever required *within* one run.
+
+Cluster-sharded runs (:mod:`repro.shard`) stride the streams instead:
+shard ``i`` of ``n`` draws ``i, i+n, i+2n, ...`` so IDs stay unique
+across shards without coordination.  Strided IDs differ from the
+single-engine numbering, which is safe because raw IDs are excluded from
+the result digest — only *uniqueness* within a run is load-bearing (the
+reassembly buffers key partial flits by ``pid``).
 """
 
 from __future__ import annotations
 
 
 class IdAllocator:
-    """A resettable monotonic counter, callable like ``itertools.count``."""
+    """A resettable monotonic counter, callable like ``itertools.count``.
 
-    __slots__ = ("_next",)
+    ``configure(start, step)`` turns the stream into the arithmetic
+    progression ``start, start+step, ...`` for sharded allocation;
+    ``reset()`` rewinds to the configured start.
+    """
+
+    __slots__ = ("_next", "_start", "_step")
 
     def __init__(self) -> None:
+        self._start = 0
+        self._step = 1
         self._next = 0
 
     def __call__(self) -> int:
         value = self._next
-        self._next = value + 1
+        self._next = value + self._step
         return value
 
     def peek(self) -> int:
         """The next ID that will be handed out (for tests)."""
         return self._next
 
+    def configure(self, start: int, step: int) -> None:
+        """Make the stream the progression ``start, start+step, ...``."""
+        if step < 1 or start < 0 or start >= step:
+            raise ValueError(f"invalid ID stride start={start} step={step}")
+        self._start = start
+        self._step = step
+        self._next = start
+
     def reset(self) -> None:
-        self._next = 0
+        self._next = self._start
+
+    def state(self) -> tuple:
+        """Snapshot (start, step, next) for save/restore swapping.
+
+        Sequential-windowed sharding runs several shard systems in one
+        process; each installs its own stream state around every slice of
+        engine execution so interleaved shards never cross-allocate.
+        """
+        return (self._start, self._step, self._next)
+
+    def restore(self, state: tuple) -> None:
+        self._start, self._step, self._next = state
 
 
 #: allocator for :class:`repro.network.packet.Packet` ``pid`` values
@@ -46,7 +80,12 @@ PACKET_IDS = IdAllocator()
 FLIT_IDS = IdAllocator()
 
 
-def reset_run_ids() -> None:
-    """Start both ID streams over; called at the top of every run."""
-    PACKET_IDS.reset()
-    FLIT_IDS.reset()
+def reset_run_ids(shard_index: int = 0, n_shards: int = 1) -> None:
+    """Start both ID streams over; called at the top of every run.
+
+    With the default arguments this restores the classic 0, 1, 2, ...
+    numbering.  Sharded systems pass their (shard_index, n_shards) so
+    concurrently allocated IDs never collide.
+    """
+    PACKET_IDS.configure(shard_index, n_shards)
+    FLIT_IDS.configure(shard_index, n_shards)

@@ -39,11 +39,20 @@ from repro.network.flit import Flit
 from repro.network.packet import Packet
 
 __all__ = [
+    "DELIVERY_RANK_SPAN",
+    "DELIVERY_SKEY_BASE",
     "FlitLink",
     "LinkStats",
     "PacketLink",
     "UtilizationOvercountError",
 ]
+
+#: schedule-key offset placing flit deliveries before every same-cycle
+#: locally scheduled event (whose skeys are non-negative cycle numbers)
+DELIVERY_SKEY_BASE = -(1 << 60)
+#: per-sequence spread of delivery ranks; bounds ``delivery_rank`` (one
+#: rank per directed inter-cluster link: src * n_clusters + dst < 64**2)
+DELIVERY_RANK_SPAN = 4096
 
 
 class UtilizationOvercountError(RuntimeError):
@@ -129,6 +138,14 @@ class FlitLink(Traced, Component):
     The owner (an egress controller) is responsible for pacing: it must
     only call :meth:`send` when :meth:`ready_at` <= now.  Delivery happens
     ``latency`` cycles after serialization completes.
+
+    Deliveries carry a *deterministic sub-cycle order*: within their
+    arrival cycle they execute before every locally scheduled event,
+    mutually ordered by per-link sequence number then ``delivery_rank``
+    (the directed link's topology index).  This makes same-cycle
+    tie-breaking at the receiver a pure function of wire traffic rather
+    than of global event interleaving — the property cluster-sharded
+    execution needs to reproduce a single shared engine exactly.
     """
 
     def __init__(
@@ -152,6 +169,11 @@ class FlitLink(Traced, Component):
         #: bytes serialized since the anchor; the wire frees up at
         #: ``anchor + sent_bytes / bytes_per_cycle`` exactly
         self._sent_bytes = 0
+        #: topology rank breaking same-cycle ties between links (set by
+        #: the topology builder to ``src * n_clusters + dst``)
+        self.delivery_rank = 0
+        #: per-link delivery counter, first component of the sub-cycle key
+        self._delivery_seq = 0
 
     def _next_free_cycle_floor(self) -> int:
         return self._anchor + (self._sent_bytes * self._bpc_den) // self._bpc_num
@@ -209,7 +231,23 @@ class FlitLink(Traced, Component):
                 bytes=size,
                 stitched=len(flit.segments),
             )
-        self.engine.schedule_at(arrival, self.sink, flit)
+        self._deliver(arrival, flit)
+
+    def _next_delivery_skey(self) -> int:
+        """The sub-cycle schedule key for this link's next delivery."""
+        seq = self._delivery_seq
+        self._delivery_seq = seq + 1
+        return DELIVERY_SKEY_BASE + seq * DELIVERY_RANK_SPAN + self.delivery_rank
+
+    def _deliver(self, arrival: int, flit: Flit) -> None:
+        """Hand the flit to the sink at ``arrival``.
+
+        Hook point for shard-boundary links, which capture the flit into
+        an outbox for cross-shard mailbox delivery instead of scheduling
+        it on the local engine.  Both paths use the same sub-cycle key,
+        so delivery order is identical however the flit travels.
+        """
+        self.engine.inject(arrival, self._next_delivery_skey(), self.sink, flit)
 
 
 class PacketLink(Component):

@@ -222,6 +222,54 @@ class Packet:
         """Padding bytes appended to fill the final flit."""
         return self.bytes_occupied(flit_size) - self.bytes_required
 
+    # Packets cross the shard boundary inside pickled mail batches every
+    # lookahead window; the default slotted-dataclass protocol builds a
+    # {slot: value} dict per object, which dominates serialization time.
+    # A flat tuple keeps the wire format compact and ~2x faster.
+    def __getstate__(self):
+        return (
+            self.ptype,
+            self.src_gpu,
+            self.dst_gpu,
+            self.addr,
+            self.payload_bytes,
+            self.bytes_needed,
+            self.sector_offset,
+            self.trim_allowed,
+            self.sector_fetch,
+            self.filled_sector_mask,
+            self.context,
+            self.on_delivery,
+            self.pid,
+            self.original_payload_bytes,
+            self.inject_cycle,
+            self._layout,
+            self._hdr,
+            self._ptw,
+        )
+
+    def __setstate__(self, state):
+        (
+            self.ptype,
+            self.src_gpu,
+            self.dst_gpu,
+            self.addr,
+            self.payload_bytes,
+            self.bytes_needed,
+            self.sector_offset,
+            self.trim_allowed,
+            self.sector_fetch,
+            self.filled_sector_mask,
+            self.context,
+            self.on_delivery,
+            self.pid,
+            self.original_payload_bytes,
+            self.inject_cycle,
+            self._layout,
+            self._hdr,
+            self._ptw,
+        ) = state
+
 
 def packet_census_row(ptype: PacketType, flit_size: int = 16) -> Dict[str, int]:
     """Reproduce one row of Table 1 analytically from the packet layout."""

@@ -10,7 +10,7 @@ a factory so this module stays independent of :mod:`repro.core`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.config import SystemConfig
 from repro.network.link import FlitLink, PacketLink
@@ -19,6 +19,25 @@ from repro.sim.engine import Engine
 
 #: ControllerFactory(name, link, src_cluster, dst_cluster) -> controller
 ControllerFactory = Callable[[str, FlitLink, int, int], object]
+
+#: BoundaryLinkFactory(name, bytes_per_cycle, latency, src, dst) -> FlitLink
+#: whose delivery captures flits for cross-shard mailbox transport
+BoundaryLinkFactory = Callable[[str, float, int, int, int], FlitLink]
+
+
+def inter_pairs(config: SystemConfig) -> List[Tuple[int, int]]:
+    """Ordered (src, dst) cluster pairs, in canonical wiring order.
+
+    This order defines ``Topology.inter_links`` (and the matching
+    controller list), and is the contract sharded result merging relies
+    on: it iterates ``src`` ascending, so a shard owning a contiguous
+    cluster range contributes a contiguous slice, and concatenating
+    shard slices in shard order reproduces the global order.
+    """
+    n = config.n_clusters
+    if config.inter_topology == "ring" and n > 2:
+        return [(src, dst) for src in range(n) for dst in ((src + 1) % n, (src - 1) % n)]
+    return [(src, dst) for src in range(n) for dst in range(n) if src != dst]
 
 
 @dataclass
@@ -40,16 +59,32 @@ def build_topology(
     config: SystemConfig,
     gpus: Dict[int, object],
     controller_factory: ControllerFactory,
+    owned_clusters: Optional[Set[int]] = None,
+    boundary_link_factory: Optional[BoundaryLinkFactory] = None,
 ) -> Topology:
     """Wire GPUs, switches, links and egress controllers together.
 
     ``gpus`` maps gpu_id -> an object exposing ``attach_uplink`` and
     ``receive_packet`` (the :class:`repro.gpu.gpu.Gpu` assembly).
+
+    With ``owned_clusters`` set, only that subset of the node is built
+    (one cluster shard): switches and intra links for owned clusters,
+    and the *outgoing* inter links of owned source clusters.  Links
+    whose destination lives in another shard are created through
+    ``boundary_link_factory`` so serialization/pacing behave identically
+    while delivery goes to a cross-shard outbox instead of a local sink.
     """
+    if owned_clusters is not None and boundary_link_factory is None:
+        raise ValueError("partial topologies require a boundary_link_factory")
     topo = Topology()
     cluster_of_gpu = {g: config.cluster_of(g) for g in range(config.n_gpus)}
 
-    for cluster in range(config.n_clusters):
+    clusters = (
+        range(config.n_clusters)
+        if owned_clusters is None
+        else sorted(owned_clusters)
+    )
+    for cluster in clusters:
         topo.switches[cluster] = ClusterSwitch(
             engine,
             f"switch{cluster}",
@@ -85,53 +120,67 @@ def build_topology(
         topo.gpu_uplinks[gpu_id] = uplink
         topo.gpu_downlinks[gpu_id] = downlink
 
+    for src, dst in inter_pairs(config):
+        if owned_clusters is not None and src not in owned_clusters:
+            continue
+        _add_inter_link(
+            engine,
+            config,
+            topo,
+            controller_factory,
+            src,
+            dst,
+            owned_clusters,
+            boundary_link_factory,
+        )
+
     if config.inter_topology == "ring" and config.n_clusters > 2:
-        _wire_ring(engine, config, topo, controller_factory)
-    else:
-        _wire_mesh(engine, config, topo, controller_factory)
+        # shortest-path next-hop routes, distance ties clockwise; packets
+        # reassemble at every intermediate switch (store-and-forward per
+        # hop), pay its pipeline latency, and re-enter that hop's egress
+        # controller — so NetCrafter stitches per link, consistent with
+        # the paper's same-route constraint
+        n = config.n_clusters
+        for src in clusters:
+            for dst in range(n):
+                if src == dst:
+                    continue
+                clockwise = (dst - src) % n
+                counter = (src - dst) % n
+                via = (src + 1) % n if clockwise <= counter else (src - 1) % n
+                topo.switches[src].set_route(dst, via)
 
     return topo
 
 
-def _add_inter_link(engine, config, topo, controller_factory, src: int, dst: int) -> None:
-    link = FlitLink(
-        engine,
-        f"switch{src}->switch{dst}",
-        bytes_per_cycle=config.inter_cluster_bw,
-        latency=config.link_latency,
-        sink=topo.switches[dst].receive_flit_from_network,
-    )
+def _add_inter_link(
+    engine,
+    config,
+    topo,
+    controller_factory,
+    src: int,
+    dst: int,
+    owned_clusters: Optional[Set[int]] = None,
+    boundary_link_factory: Optional[BoundaryLinkFactory] = None,
+) -> None:
+    name = f"switch{src}->switch{dst}"
+    latency = config.effective_inter_link_latency
+    if owned_clusters is not None and dst not in owned_clusters:
+        link = boundary_link_factory(
+            name, config.inter_cluster_bw, latency, src, dst
+        )
+    else:
+        link = FlitLink(
+            engine,
+            name,
+            bytes_per_cycle=config.inter_cluster_bw,
+            latency=latency,
+            sink=topo.switches[dst].receive_flit_from_network,
+        )
+    # deterministic same-cycle delivery order across links: the directed
+    # pair's index, identical whether the link is local or a shard boundary
+    link.delivery_rank = src * config.n_clusters + dst
     controller = controller_factory(f"egress{src}->{dst}", link, src, dst)
     topo.switches[src].attach_egress(dst, controller)
     topo.inter_links.append(link)
     topo.controllers.append(controller)
-
-
-def _wire_mesh(engine, config, topo, controller_factory) -> None:
-    """A direct inter-cluster link (and controller) per ordered pair."""
-    for src in range(config.n_clusters):
-        for dst in range(config.n_clusters):
-            if src != dst:
-                _add_inter_link(engine, config, topo, controller_factory, src, dst)
-
-
-def _wire_ring(engine, config, topo, controller_factory) -> None:
-    """Adjacent-cluster links only, with shortest-path next-hop routes.
-
-    Distance ties break clockwise.  Packets reassemble at every
-    intermediate switch (store-and-forward per hop), pay its pipeline
-    latency, and re-enter that hop's egress controller — so NetCrafter
-    stitches per link, consistent with the paper's same-route constraint.
-    """
-    n = config.n_clusters
-    for src in range(n):
-        for dst in ((src + 1) % n, (src - 1) % n):
-            _add_inter_link(engine, config, topo, controller_factory, src, dst)
-    for src in range(n):
-        for dst in range(n):
-            if src == dst:
-                continue
-            clockwise = (dst - src) % n
-            counter = (src - dst) % n
-            via = (src + 1) % n if clockwise <= counter else (src - 1) % n
-            topo.switches[src].set_route(dst, via)

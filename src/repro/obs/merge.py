@@ -1,0 +1,177 @@
+"""Merge per-shard observability payloads into single artifacts.
+
+A sharded run produces one trace / metrics / profile payload per shard.
+These helpers fold them into objects exposing the same export surface
+as the originals (``to_jsonl`` / ``to_chrome`` / ``to_json``), so the
+experiment runner's artifact writer works unchanged on sharded runs and
+``python -m repro.obs.validate`` accepts the merged output.
+
+Ordering contract: merged trace records are sorted by ``(cycle,
+shard_index, position)``.  Within a shard, emission order is preserved
+(the position tiebreak), and a flit's cross-shard lifecycle can never
+interleave badly across shards — a boundary flit's ``wire_start`` is
+emitted by the sender at the send cycle while its ``deliver`` is
+emitted by the receiver at least ``1 + link latency`` cycles later, so
+the cycle ordering alone already separates them.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import METRICS_SCHEMA_VERSION
+from repro.obs.tracer import EventTracer
+
+
+def merge_traces(reports) -> Optional[EventTracer]:
+    """Fold shard trace payloads into one :class:`EventTracer`.
+
+    Returns ``None`` when no shard traced.  The result is a real tracer
+    whose ring holds the merged records, so ``to_jsonl``/``to_chrome``
+    behave exactly as in the single-engine path; ``dropped`` sums the
+    shards' ring overflows (a positive sum flags the merged trace as
+    partial, which the validator honours).
+    """
+    tagged = []
+    sample = 1
+    dropped = 0
+    traced = False
+    for report in reports:
+        if report.trace_records is None:
+            continue
+        traced = True
+        sample = report.trace_sample
+        dropped += report.trace_dropped
+        for position, record in enumerate(report.trace_records):
+            tagged.append((record["cycle"], report.shard_index, position, record))
+    if not traced:
+        return None
+    tagged.sort(key=lambda entry: entry[:3])
+    tracer = EventTracer(sample=sample, ring_capacity=max(1, len(tagged)))
+    tracer._events.extend(entry[3] for entry in tagged)
+    tracer.emitted = len(tagged) + dropped
+    return tracer
+
+
+class MergedMetrics:
+    """Shard metric series joined on the sample cycle.
+
+    Shard registries prefix every metric name with ``s<shard>.``, so the
+    union of names is collision-free and each merged row is the union of
+    the shards' same-cycle rows.
+    """
+
+    def __init__(self, interval: int, names: List[str], samples: List[dict]) -> None:
+        self.interval = interval
+        self._names = names
+        self.samples = samples
+
+    def names(self) -> List[str]:
+        return list(self._names)
+
+    def to_jsonl(self, path: str) -> int:
+        with open(path, "w") as handle:
+            handle.write(
+                json.dumps(
+                    {
+                        "meta": True,
+                        "schema": METRICS_SCHEMA_VERSION,
+                        "interval": self.interval,
+                        "metrics": self.names(),
+                    }
+                )
+            )
+            handle.write("\n")
+            for row in self.samples:
+                handle.write(json.dumps(row))
+                handle.write("\n")
+        return len(self.samples)
+
+
+def merge_metrics(reports) -> Optional[MergedMetrics]:
+    """Join shard metric rows by cycle; ``None`` when metrics were off."""
+    interval = None
+    names: List[str] = []
+    by_cycle: Dict[int, dict] = {}
+    for report in reports:
+        if report.metrics_rows is None:
+            continue
+        interval = report.metrics_interval
+        names.extend(report.metrics_names)
+        for row in report.metrics_rows:
+            merged = by_cycle.setdefault(int(row["cycle"]), {"cycle": row["cycle"]})
+            merged.update(row)
+    if interval is None:
+        return None
+    samples = [by_cycle[cycle] for cycle in sorted(by_cycle)]
+    return MergedMetrics(interval=interval, names=names, samples=samples)
+
+
+class MergedProfile:
+    """Summed per-callback dispatch counts and wall time across shards."""
+
+    def __init__(self, doc: dict) -> None:
+        self._doc = doc
+
+    def to_dict(self) -> dict:
+        return self._doc
+
+    def to_json(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self._doc, handle, indent=2)
+
+
+def merge_profiles(reports) -> Optional[MergedProfile]:
+    events = 0
+    wall = 0.0
+    by_key: Dict[str, List[float]] = {}
+    profiled = False
+    for report in reports:
+        if report.profile is None:
+            continue
+        profiled = True
+        events += int(report.profile["events"])
+        wall += float(report.profile["wall_seconds"])
+        for row in report.profile["by_callback"]:
+            entry = by_key.setdefault(row["callback"], [0, 0.0])
+            entry[0] += int(row["count"])
+            entry[1] += float(row["seconds"])
+    if not profiled:
+        return None
+    rows = [
+        {"callback": key, "count": int(count), "seconds": secs}
+        for key, (count, secs) in by_key.items()
+    ]
+    rows.sort(key=lambda row: -row["seconds"])
+    return MergedProfile(
+        {"events": events, "wall_seconds": wall, "by_callback": rows}
+    )
+
+
+class MergedObservability:
+    """An :class:`~repro.obs.Observability`-shaped bundle of merged
+    artifacts, accepted by the runner's artifact writer."""
+
+    def __init__(self, tracer, metrics, profiler) -> None:
+        from repro.obs.tracer import NULL_TRACER
+
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
+        self.profiler = profiler
+
+    @property
+    def enabled(self) -> bool:
+        return (
+            self.tracer.enabled
+            or self.metrics is not None
+            or self.profiler is not None
+        )
+
+
+def merge_observability(reports) -> MergedObservability:
+    return MergedObservability(
+        tracer=merge_traces(reports),
+        metrics=merge_metrics(reports),
+        profiler=merge_profiles(reports),
+    )

@@ -1,0 +1,246 @@
+"""ShardedSystem: the MultiGpuSystem-compatible sharded front end.
+
+Drives ``n_shards`` :class:`~repro.shard.shard_system.ShardSystem`
+instances — in-process (*sequential-windowed*) or as worker processes
+(*process-parallel*) — in bounded windows of conservative lookahead.
+
+The window loop
+---------------
+
+All shard clocks stay aligned.  Each iteration the coordinator:
+
+1. computes ``t*``, the earliest pending event time across shards and
+   undelivered mail — nothing anywhere can happen before ``t*``;
+2. runs every shard to ``t* + window`` (``window <= W``, the minimum
+   inter-cluster link latency), delivering the previous window's mail.
+   Conservative lookahead makes this safe: a flit sent at ``t >= t*``
+   cannot arrive before ``t + 1 + W > t* + window``, so no shard ever
+   needs an input it has not been given;
+3. collects the shards' outboxes through the validating
+   :class:`~repro.shard.mailbox.Mailbox` for delivery next iteration.
+
+Kernel boundaries are resolved analytically.  When no mail is pending,
+every wavefront has completed, and every RDMA posted-write/invalidation
+counter is zero, the coordinator replays the single-engine quiesce poll
+chain (a poll every 16 cycles from the kernel-done cycle) against the
+shards' recorded drain keys to find the exact cycle ``q`` the next
+kernel would have launched at — then tells every shard to launch there,
+rewinding window overshoot.  The event keys this produces match the
+single-engine schedule, which is why both modes reproduce its results
+byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.config import SystemConfig
+from repro.core.config import NetCrafterConfig
+from repro.gpu.cta import WorkloadTrace
+from repro.gpu.system import config_label
+from repro.obs.merge import MergedObservability, merge_observability
+from repro.shard.mailbox import MailItem, Mailbox
+from repro.shard.merge import ShardReport, ShardStatus, merge_reports
+from repro.shard.partition import ShardPlan
+from repro.shard.shard_system import ShardObsSpec, ShardSystem
+from repro.shard.worker import LocalShard, RemoteShard
+from repro.stats.report import RunResult
+
+#: single-engine quiesce polling period (MultiGpuSystem._advance_when_quiesced)
+_QUIESCE_POLL_CYCLES = 16
+
+
+class ShardedSystem:
+    """A multi-GPU node simulated as cluster shards with lookahead windows.
+
+    API-compatible with :class:`~repro.gpu.system.MultiGpuSystem` for
+    the ``load`` / ``run`` flow; results are byte-identical.
+    """
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        netcrafter: Optional[NetCrafterConfig] = None,
+        seed: int = 0,
+        n_shards: int = 1,
+        window: Optional[int] = None,
+        parallel: bool = False,
+        obs_spec: Optional[ShardObsSpec] = None,
+    ) -> None:
+        self.config = config or SystemConfig.default()
+        self.netcrafter = netcrafter or NetCrafterConfig.baseline()
+        if (
+            self.netcrafter.enable_trimming
+            and self.netcrafter.trim_sector_bytes != self.config.l1_sector_bytes
+        ):
+            raise ValueError(
+                "trim granularity must match the L1 sector size "
+                f"({self.netcrafter.trim_sector_bytes} != {self.config.l1_sector_bytes})"
+            )
+        if self.config.coherence != "software":
+            raise ValueError(
+                "cluster sharding requires software coherence (the analytic "
+                "kernel-boundary replay assumes kernel-scoped L1 flushes)"
+            )
+        self.seed = seed
+        self.plan = ShardPlan.from_config(self.config, n_shards)
+        self.n_shards = n_shards
+        self.parallel = parallel
+        self.obs_spec = obs_spec or ShardObsSpec()
+        lookahead = self.config.effective_inter_link_latency
+        self.window = lookahead if window is None else window
+        if not 1 <= self.window <= lookahead:
+            raise ValueError(
+                f"window must be in 1..{lookahead} "
+                f"(the inter-cluster link latency), got {self.window}"
+            )
+        self._workload: Optional[WorkloadTrace] = None
+        self._reports: Optional[List[ShardReport]] = None
+        self._merged_obs: Optional[MergedObservability] = None
+        self.windows_run = 0
+
+    # -- MultiGpuSystem-parity API ------------------------------------------
+
+    def load(self, workload: WorkloadTrace) -> None:
+        workload.validate()
+        self._workload = workload
+
+    def run(self) -> RunResult:
+        if self._workload is None:
+            raise RuntimeError("no workload loaded")
+        handles = self._build_handles()
+        try:
+            return self._run_loop(handles)
+        finally:
+            for handle in handles:
+                handle.close()
+
+    def merged_obs(self) -> MergedObservability:
+        """Merged observability artifacts of the last :meth:`run`."""
+        if self._merged_obs is None:
+            raise RuntimeError("run() has not completed")
+        return self._merged_obs
+
+    # -- internals ----------------------------------------------------------
+
+    def _build_handles(self) -> List[object]:
+        handles: List[object] = []
+        for shard_index in range(self.n_shards):
+            if self.parallel:
+                handles.append(
+                    RemoteShard(
+                        self.config,
+                        self.netcrafter,
+                        self.seed,
+                        shard_index,
+                        self.n_shards,
+                        self.obs_spec,
+                        self._workload,
+                    )
+                )
+            else:
+                system = ShardSystem(
+                    self.config,
+                    self.netcrafter,
+                    self.seed,
+                    shard_index,
+                    self.n_shards,
+                    self.obs_spec,
+                )
+                system.load(self._workload)
+                handles.append(LocalShard(system))
+        return handles
+
+    def _broadcast(self, handles, commands) -> List[object]:
+        """Issue one command per handle, then collect every reply.
+
+        ``commands`` is a list of ``(verb, *args)`` tuples, one per
+        shard.  Remote handles overlap their work here — every worker is
+        busy before the first reply is awaited.
+        """
+        for handle, command in zip(handles, commands):
+            handle.start(*command)
+        return [handle.collect() for handle in handles]
+
+    def _run_loop(self, handles) -> RunResult:
+        kernels = self._workload.kernels
+        mailbox = Mailbox()
+        statuses: List[ShardStatus] = self._broadcast(
+            handles, [("begin",)] * self.n_shards
+        )
+        pending_mail: List[MailItem] = []
+        kernel_index = 0
+        while True:
+            at_boundary = (
+                not pending_mail
+                and all(s.wavefronts_remaining == 0 for s in statuses)
+                and all(s.counters_zero for s in statuses)
+            )
+            if at_boundary:
+                t_done = max(s.last_wf_cycle for s in statuses)
+                max_drain = max(s.max_drain for s in statuses)
+                q = self._quiesce_cycle(t_done, max_drain)
+                kernel_index += 1
+                if kernel_index < len(kernels):
+                    statuses = self._broadcast(
+                        handles,
+                        [("launch", kernel_index, q)] * self.n_shards,
+                    )
+                    continue
+                reports: List[ShardReport] = self._broadcast(
+                    handles, [("finish", q)] * self.n_shards
+                )
+                self._reports = reports
+                self._merged_obs = merge_observability(reports)
+                return merge_reports(
+                    reports,
+                    workload=self._workload.name,
+                    config_label=config_label(self.config, self.netcrafter),
+                    cycles=q,
+                    kernel_count=len(kernels),
+                )
+            if not pending_mail and all(s.real_pending == 0 for s in statuses):
+                left = sum(s.wavefronts_remaining for s in statuses)
+                raise RuntimeError(
+                    "simulation drained without completing all wavefronts "
+                    f"(kernel {kernel_index}, {left} left)"
+                )
+            candidates = [
+                s.next_event[0] for s in statuses if s.next_event is not None
+            ]
+            candidates.extend(item.arrival for item in pending_mail)
+            until = min(candidates) + self.window
+            mail_for = [[] for _ in range(self.n_shards)]
+            for item in pending_mail:
+                mail_for[self.plan.shard_of_cluster(item.dst_cluster)].append(item)
+            replies = self._broadcast(
+                handles,
+                [("window", until, mail_for[i]) for i in range(self.n_shards)],
+            )
+            self.windows_run += 1
+            outbox: List[MailItem] = []
+            statuses = []
+            for shard_outbox, status in replies:
+                outbox.extend(shard_outbox)
+                statuses.append(status)
+            pending_mail = mailbox.collate(outbox, boundary=until)
+
+    def _quiesce_cycle(self, t_done: int, max_drain: Tuple[int, int]) -> int:
+        """Replay the single-engine quiesce poll chain analytically.
+
+        The single-engine poll runs at ``(time=p_j, skey=s_j)`` with
+        ``p_0 = s_0 = t_done`` and ``p_j = t_done + 16j``,
+        ``s_j = p_{j-1}``.  It observes the counters as drained exactly
+        when the draining event's key ``(Z, Zskey)`` ordered before the
+        poll's — the condition tested here against the shards' recorded
+        lexicographic-max drain key.
+        """
+        drain_cycle, drain_skey = max_drain
+        poll, poll_skey = t_done, t_done
+        while not (
+            drain_cycle < poll
+            or (drain_cycle == poll and drain_skey < poll_skey)
+        ):
+            poll_skey = poll
+            poll += _QUIESCE_POLL_CYCLES
+        return poll

@@ -1,0 +1,162 @@
+"""Cross-shard flit transport: boundary links and the ordered mailbox.
+
+A :class:`BoundaryFlitLink` stands in for an inter-cluster link whose
+destination switch lives in another shard.  It inherits the real
+:class:`~repro.network.link.FlitLink` serialization and pacing — wire
+timing is identical to the single-engine run — but delivery lands in a
+local *outbox* instead of a remote sink.  The coordinator drains every
+shard's outbox at each window boundary, validates the batch through
+:class:`Mailbox`, and forwards each item to its destination shard, which
+injects it into its own engine at the precomputed arrival cycle.
+
+Determinism: every item carries the *delivery schedule key* its flit
+would have received from :meth:`FlitLink._deliver` in a single shared
+engine — the negative sub-cycle key ordering deliveries before local
+events, by per-link sequence then link rank.  The receiving shard
+injects with exactly that key, and the mailbox sorts by ``(arrival,
+skey)``, so delivery order is a pure function of simulated wire traffic,
+never of shard scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.network.flit import Flit
+from repro.network.link import FlitLink
+from repro.sim.engine import Engine
+
+
+class LateDeliveryError(RuntimeError):
+    """A boundary flit's arrival is not strictly beyond the window
+    boundary — the conservative lookahead contract was violated."""
+
+
+class DuplicateDeliveryError(RuntimeError):
+    """A boundary flit's per-link sequence number regressed (duplicate
+    or reordered delivery of the same link's traffic)."""
+
+
+@dataclass(slots=True)
+class MailItem:
+    """One cross-shard flit in flight, with its full ordering key."""
+
+    arrival: int
+    #: the delivery's sub-cycle schedule key (negative; see FlitLink)
+    skey: int
+    send_cycle: int
+    src_cluster: int
+    dst_cluster: int
+    link_seq: int
+    flit: Flit
+
+    def sort_key(self) -> Tuple[int, int]:
+        # (arrival, skey) is globally unique: ranks are unique per
+        # directed link and the sequence number is per-link monotone
+        return (self.arrival, self.skey)
+
+    # one MailItem per boundary flit per window: tuple state keeps the
+    # pickled batch compact (see Flit.__getstate__)
+    def __getstate__(self):
+        return (
+            self.arrival,
+            self.skey,
+            self.send_cycle,
+            self.src_cluster,
+            self.dst_cluster,
+            self.link_seq,
+            self.flit,
+        )
+
+    def __setstate__(self, state):
+        (
+            self.arrival,
+            self.skey,
+            self.send_cycle,
+            self.src_cluster,
+            self.dst_cluster,
+            self.link_seq,
+            self.flit,
+        ) = state
+
+
+class BoundaryFlitLink(FlitLink):
+    """A :class:`FlitLink` whose deliveries go to a cross-shard outbox."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        name: str,
+        bytes_per_cycle: float,
+        latency: int,
+        src_cluster: int,
+        dst_cluster: int,
+    ) -> None:
+        super().__init__(
+            engine,
+            name,
+            bytes_per_cycle=bytes_per_cycle,
+            latency=latency,
+            sink=self._unreachable_sink,
+        )
+        self.src_cluster = src_cluster
+        self.dst_cluster = dst_cluster
+        self.outbox: List[MailItem] = []
+        self._link_seq = 0
+
+    @staticmethod
+    def _unreachable_sink(flit: Flit) -> None:  # pragma: no cover
+        raise RuntimeError("boundary link delivers via its outbox, not a sink")
+
+    def _deliver(self, arrival: int, flit: Flit) -> None:
+        seq = self._link_seq
+        self._link_seq = seq + 1
+        self.outbox.append(
+            MailItem(
+                arrival=arrival,
+                skey=self._next_delivery_skey(),
+                send_cycle=self.engine.now,
+                src_cluster=self.src_cluster,
+                dst_cluster=self.dst_cluster,
+                link_seq=seq,
+                flit=flit,
+            )
+        )
+
+    def drain_outbox(self) -> List[MailItem]:
+        items = self.outbox
+        self.outbox = []
+        return items
+
+
+class Mailbox:
+    """Validates and orders boundary-flit batches between windows."""
+
+    def __init__(self) -> None:
+        #: (src_cluster, dst_cluster) -> last link_seq seen
+        self._last_seq: Dict[Tuple[int, int], int] = {}
+
+    def collate(self, items: List[MailItem], boundary: int) -> List[MailItem]:
+        """Validate a window's outbox batch and return it in delivery order.
+
+        ``boundary`` is the window-end cycle the batch was produced by;
+        every arrival must lie strictly beyond it (the receiver has
+        already simulated up to and including ``boundary``).
+        """
+        for item in items:
+            if item.arrival <= boundary:
+                raise LateDeliveryError(
+                    f"flit {item.flit.fid} on link {item.src_cluster}->"
+                    f"{item.dst_cluster} arrives at {item.arrival}, not "
+                    f"beyond the window boundary {boundary}"
+                )
+            key = (item.src_cluster, item.dst_cluster)
+            last = self._last_seq.get(key, -1)
+            if item.link_seq <= last:
+                raise DuplicateDeliveryError(
+                    f"link {item.src_cluster}->{item.dst_cluster} sequence "
+                    f"regressed: {item.link_seq} after {last}"
+                )
+            self._last_seq[key] = item.link_seq
+        return sorted(items, key=MailItem.sort_key)

@@ -1,0 +1,106 @@
+"""Shard status/report payloads and digest-exact result merging.
+
+:class:`ShardStatus` is the small per-window progress snapshot the
+coordinator reads between windows; :class:`ShardReport` is the final
+per-shard harvest.  Both are plain picklable dataclasses so the
+process-parallel mode can ship them over a pipe unchanged.
+
+:func:`merge_reports` folds shard reports into one
+:class:`~repro.stats.report.RunResult` through the same
+:func:`~repro.stats.assemble.assemble_result` path the single-engine
+system uses.  Shards own contiguous cluster ranges, so concatenating
+their row lists in shard order reproduces the global topology order and
+the float accumulations see an identical addend sequence — the merged
+result is byte-identical to the unsharded one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.stats.assemble import ControllerRow, LinkRow, assemble_result
+from repro.stats.collectors import RunStats
+from repro.stats.report import RunResult
+
+
+@dataclass
+class ShardStatus:
+    """One shard's progress snapshot at a window boundary."""
+
+    #: (time, skey) of the next pending event, or None when drained
+    next_event: Optional[Tuple[int, int]]
+    #: pending events excluding the metrics sampler's self-reschedule
+    real_pending: int
+    #: wavefronts of the current kernel still running on owned GPUs
+    wavefronts_remaining: int
+    #: cycle the shard's last owned wavefront completed (or the launch
+    #: cycle, for shards with no work in the current kernel)
+    last_wf_cycle: int
+    #: True when every owned RDMA engine's posted-write/invalidation
+    #: counters are zero
+    counters_zero: bool
+    #: lexicographic max over owned GPUs of (last_drain_cycle,
+    #: last_drain_skey) — when the quiesce poll chain would first observe
+    #: this shard's counters at zero
+    max_drain: Tuple[int, int]
+
+
+@dataclass
+class ShardReport:
+    """Everything one finished shard contributes to the merged result."""
+
+    shard_index: int
+    stats: RunStats
+    events_processed: int
+    inter_rows: List[LinkRow]
+    up_rows: List[LinkRow]
+    down_rows: List[LinkRow]
+    controller_rows: List[ControllerRow]
+    l2_accesses: int
+    dram_accesses: int
+    # -- observability payloads (None when the facility is off) --------
+    trace_records: Optional[List[dict]] = None
+    trace_sample: int = 1
+    trace_dropped: int = 0
+    metrics_rows: Optional[List[dict]] = None
+    metrics_names: List[str] = field(default_factory=list)
+    metrics_interval: Optional[int] = None
+    profile: Optional[dict] = None
+
+
+def merge_reports(
+    reports: List[ShardReport],
+    workload: str,
+    config_label: str,
+    cycles: int,
+    kernel_count: int,
+) -> RunResult:
+    """Fold shard reports (in shard order) into one :class:`RunResult`."""
+    stats = RunStats()
+    for report in reports:
+        stats.merge(report.stats)
+    stats.kernel_count = kernel_count
+    stats.finish_cycle = cycles
+    inter_rows: List[LinkRow] = []
+    up_rows: List[LinkRow] = []
+    down_rows: List[LinkRow] = []
+    controller_rows: List[ControllerRow] = []
+    for report in reports:
+        inter_rows.extend(report.inter_rows)
+        up_rows.extend(report.up_rows)
+        down_rows.extend(report.down_rows)
+        controller_rows.extend(report.controller_rows)
+    return assemble_result(
+        workload=workload,
+        config_label=config_label,
+        cycles=cycles,
+        stats=stats,
+        events_processed=sum(r.events_processed for r in reports),
+        inter_rows=inter_rows,
+        # single-engine intra order is all uplinks then all downlinks
+        intra_rows=up_rows + down_rows,
+        controller_rows=controller_rows,
+        l2_accesses=sum(r.l2_accesses for r in reports),
+        dram_accesses=sum(r.dram_accesses for r in reports),
+    )

@@ -1,0 +1,59 @@
+"""Shard planning: which clusters (and therefore GPUs) each shard owns.
+
+Shards own *contiguous* cluster ranges.  Contiguity is load-bearing:
+the canonical inter-link order (:func:`repro.network.topology.inter_pairs`)
+iterates sources ascending, so each shard's links form a contiguous
+slice of the global list and concatenating shard slices in shard order
+reproduces the single-engine order that result assembly depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import SystemConfig
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Static partition of a node's clusters over ``n_shards`` shards."""
+
+    n_clusters: int
+    n_shards: int
+    gpus_per_cluster: int
+
+    @classmethod
+    def from_config(cls, config: SystemConfig, n_shards: int) -> "ShardPlan":
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if config.n_clusters % n_shards != 0:
+            raise ValueError(
+                f"n_shards ({n_shards}) must divide n_clusters "
+                f"({config.n_clusters}) for contiguous cluster ownership"
+            )
+        return cls(
+            n_clusters=config.n_clusters,
+            n_shards=n_shards,
+            gpus_per_cluster=config.gpus_per_cluster,
+        )
+
+    @property
+    def clusters_per_shard(self) -> int:
+        return self.n_clusters // self.n_shards
+
+    def clusters_of(self, shard_index: int) -> range:
+        """The contiguous cluster range owned by ``shard_index``."""
+        if not 0 <= shard_index < self.n_shards:
+            raise ValueError(f"shard_index {shard_index} out of range")
+        per = self.clusters_per_shard
+        return range(shard_index * per, (shard_index + 1) * per)
+
+    def shard_of_cluster(self, cluster: int) -> int:
+        return cluster // self.clusters_per_shard
+
+    def gpus_of(self, shard_index: int) -> range:
+        clusters = self.clusters_of(shard_index)
+        return range(
+            clusters.start * self.gpus_per_cluster,
+            clusters.stop * self.gpus_per_cluster,
+        )

@@ -1,0 +1,419 @@
+"""One cluster shard: a self-contained single-engine slice of the node.
+
+A :class:`ShardSystem` owns a contiguous cluster range — the GPUs, the
+cluster switches, the intra-cluster links, and the *outgoing* halves of
+inter-cluster links (boundary links when the destination cluster lives
+in another shard).  It is driven externally by the coordinator through
+four verbs:
+
+* :meth:`begin` — load bookkeeping + launch kernel 0 at cycle 0;
+* :meth:`window` — inject a batch of cross-shard mail, run the local
+  engine to an exact boundary cycle, and hand back the outbox;
+* :meth:`launch_kernel` — replay the next kernel launch at the quiesce
+  cycle ``q`` the coordinator computed analytically;
+* :meth:`finish` — drain, snapshot, and report.
+
+Determinism: local events are keyed ``(time, skey=schedule-cycle,
+seq)``, and cross-shard mail is injected with the sub-cycle delivery
+key the sending link computed — exactly where the delivery callback
+sorts in a single shared engine (see
+:class:`~repro.network.link.FlitLink`) — so the shard's event order
+reproduces the single-engine run event for event.
+
+Kernel launches need one extra move.  The coordinator proves kernel
+``k+1`` launches at cycle ``q``, but a shard's clock may sit past ``q``
+(window overshoot) or before it.  The shard first runs to ``q - 1``
+(safe: at a quiesced kernel boundary no shard can emit cross-cluster
+traffic), then :meth:`~repro.sim.engine.Engine.rewind`\\ s to exactly
+``q`` so the launch injects into an empty-or-sorted bucket and its
+child events carry ``skey = q``, matching the single-engine keys.
+
+Because several shard systems interleave in one process under the
+sequential-windowed mode, each installs its own strided packet/flit ID
+stream state around every slice of engine execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import SystemConfig
+from repro.core.config import NetCrafterConfig
+from repro.gpu.cta import KernelTrace, WorkloadTrace
+from repro.gpu.gpu import Gpu
+from repro.network.ids import FLIT_IDS, PACKET_IDS
+from repro.network.link import FlitLink
+from repro.network.topology import Topology, build_topology
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import EngineProfiler
+from repro.obs.tracer import NULL_TRACER, EventTracer
+from repro.shard.mailbox import BoundaryFlitLink, MailItem
+from repro.shard.merge import ShardReport, ShardStatus
+from repro.shard.partition import ShardPlan
+from repro.sim.engine import Engine
+from repro.stats.assemble import controller_row, link_row
+from repro.stats.collectors import RunStats
+from repro.vm.page_table import PageTable
+from repro.vm.placement import AddressSpace, LaspPlacement
+
+
+@dataclass(frozen=True)
+class ShardObsSpec:
+    """Picklable recipe for per-shard observability instruments."""
+
+    trace: bool = False
+    trace_sample: int = 1
+    metrics_interval: Optional[int] = None
+    profile: bool = False
+
+    @property
+    def active(self) -> bool:
+        return self.trace or self.metrics_interval is not None or self.profile
+
+
+class ShardSystem:
+    """The simulation state of one shard, driven by a coordinator."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        netcrafter: NetCrafterConfig,
+        seed: int,
+        shard_index: int,
+        n_shards: int,
+        obs_spec: Optional[ShardObsSpec] = None,
+    ) -> None:
+        self.config = config
+        self.netcrafter = netcrafter
+        self.seed = seed
+        self.shard_index = shard_index
+        self.plan = ShardPlan.from_config(config, n_shards)
+        self.obs_spec = obs_spec or ShardObsSpec()
+        # strided ID streams: shard i draws i, i+n, i+2n, ...  State is
+        # installed around every engine-executing call so sequential mode
+        # can interleave shards in one process without cross-allocation.
+        self._pid_state = (shard_index, n_shards, shard_index)
+        self._fid_state = (shard_index, n_shards, shard_index)
+        self.engine = Engine()
+        self.stats = RunStats()
+        self.address_space = AddressSpace(config.n_gpus)
+        self.page_table = PageTable(self.address_space, root_gpu=0)
+        self.placement = LaspPlacement(self.address_space, self.page_table)
+        self.owned_clusters = set(self.plan.clusters_of(shard_index))
+        self.gpus: Dict[int, Gpu] = {
+            gpu_id: Gpu(
+                self.engine,
+                f"gpu{gpu_id}",
+                gpu_id,
+                config,
+                self.stats,
+                self.address_space,
+                self.page_table,
+            )
+            for gpu_id in self.plan.gpus_of(shard_index)
+        }
+        self.boundary_links: List[BoundaryFlitLink] = []
+        self.topology: Topology = build_topology(
+            self.engine,
+            config,
+            self.gpus,
+            self._make_controller,
+            owned_clusters=self.owned_clusters,
+            boundary_link_factory=self._make_boundary_link,
+        )
+        self.tracer = (
+            EventTracer(sample=self.obs_spec.trace_sample)
+            if self.obs_spec.trace
+            else NULL_TRACER
+        )
+        self.metrics = (
+            MetricsRegistry(self.obs_spec.metrics_interval)
+            if self.obs_spec.metrics_interval is not None
+            else None
+        )
+        self.profiler = EngineProfiler() if self.obs_spec.profile else None
+        self._wire_observability()
+        self._workload: Optional[WorkloadTrace] = None
+        self._kernel_index = 0
+        self._wavefronts_remaining = 0
+        self._last_wf_cycle = 0
+        self._finished = False
+
+    # -- construction helpers ----------------------------------------------
+
+    def _make_controller(self, name: str, link: FlitLink, src: int, dst: int):
+        from repro.core.controller import NetCrafterController
+
+        n_remote = max(1, self.config.n_clusters - 1)
+        capacity = max(16, self.netcrafter.cluster_queue_entries // n_remote)
+        return NetCrafterController(
+            self.engine,
+            name,
+            link,
+            flit_size=self.config.flit_size,
+            config=self.netcrafter,
+            queue_capacity=capacity,
+            seed=self.seed + src * 97 + dst,
+        )
+
+    def _make_boundary_link(
+        self, name: str, bytes_per_cycle: float, latency: int, src: int, dst: int
+    ) -> BoundaryFlitLink:
+        link = BoundaryFlitLink(
+            self.engine, name, bytes_per_cycle, latency, src, dst
+        )
+        self.boundary_links.append(link)
+        return link
+
+    def _wire_observability(self) -> None:
+        self.engine.profiler = self.profiler
+        if self.tracer.enabled:
+            for link in self.topology.inter_links:
+                link.tracer = self.tracer
+            for switch in self.topology.switches.values():
+                switch.tracer = self.tracer
+            for controller in self.topology.controllers:
+                controller.tracer = self.tracer
+            for gpu in self.gpus.values():
+                gpu.rdma.tracer = self.tracer
+        if self.metrics is not None:
+            self._register_metrics(self.metrics)
+
+    def _register_metrics(self, metrics: MetricsRegistry) -> None:
+        """The standard gauge set, names prefixed ``s<shard>.`` so merged
+        series from different shards never collide."""
+        prefix = f"s{self.shard_index}."
+        inter = self.topology.inter_links
+
+        def summed(attr):
+            return lambda: sum(getattr(link.stats, attr) for link in inter)
+
+        metrics.register(prefix + "inter.wire_bytes", summed("wire_bytes"))
+        metrics.register(prefix + "inter.useful_bytes", summed("useful_bytes"))
+        metrics.register(prefix + "inter.flits", summed("flits"))
+        metrics.register(prefix + "inter.busy_cycles", summed("busy_cycles"))
+        for controller in self.topology.controllers:
+            queue = controller.queue
+            metrics.register(
+                f"{prefix}cq.{controller.name}.occupancy", lambda q=queue: len(q)
+            )
+            metrics.register(
+                f"{prefix}cq.{controller.name}.blocked",
+                lambda q=queue: len(q.blocked_partitions(self.engine.now)),
+            )
+            metrics.register(
+                f"{prefix}cq.{controller.name}.rejected", lambda q=queue: q.rejected
+            )
+        metrics.register(
+            prefix + "mshr.l2.occupancy",
+            lambda: sum(len(gpu.l2.mshr) for gpu in self.gpus.values()),
+        )
+        metrics.register(
+            prefix + "mshr.l1.occupancy",
+            lambda: sum(len(cu.mshr) for gpu in self.gpus.values() for cu in gpu.cus),
+        )
+        metrics.register(prefix + "engine.pending_events", self.engine.pending_events)
+        metrics.register(
+            prefix + "engine.events_processed",
+            lambda: self.engine.events_processed,
+        )
+
+    def _sample_metrics(self) -> None:
+        if self._finished:
+            return
+        self.metrics.sample(self.engine.now)
+        self.engine.schedule(self.metrics.interval, self._sample_metrics)
+
+    # -- ID stream swapping -------------------------------------------------
+
+    def _install_ids(self) -> None:
+        PACKET_IDS.restore(self._pid_state)
+        FLIT_IDS.restore(self._fid_state)
+
+    def _save_ids(self) -> None:
+        self._pid_state = PACKET_IDS.state()
+        self._fid_state = FLIT_IDS.state()
+
+    # -- coordinator verbs --------------------------------------------------
+
+    def load(self, workload: WorkloadTrace) -> None:
+        workload.validate()
+        for kernel in workload.kernels:
+            for vpn, owner in kernel.page_owner.items():
+                self.placement.map_page(vpn, owner)
+        self._workload = workload
+
+    def begin(self) -> ShardStatus:
+        """Launch kernel 0 at cycle 0 and take the cycle-0 sample."""
+        if self._workload is None:
+            raise RuntimeError("no workload loaded")
+        self._install_ids()
+        try:
+            self._kernel_index = 0
+            self._start_kernel(self._workload.kernels[0])
+            if self.metrics is not None:
+                self._sample_metrics()
+        finally:
+            self._save_ids()
+        return self.status()
+
+    def window(
+        self, until: int, mail: List[MailItem]
+    ) -> Tuple[List[MailItem], ShardStatus]:
+        """Inject ``mail``, run to exactly ``until``, drain the outbox."""
+        self._install_ids()
+        try:
+            for item in mail:
+                self.engine.inject(
+                    item.arrival,
+                    item.skey,
+                    self.topology.switches[item.dst_cluster].receive_flit_from_network,
+                    item.flit,
+                )
+            self.engine.run(until=until)
+            outbox: List[MailItem] = []
+            for link in self.boundary_links:
+                outbox.extend(link.drain_outbox())
+        finally:
+            self._save_ids()
+        return outbox, self.status()
+
+    def launch_kernel(self, kernel_index: int, q: int) -> ShardStatus:
+        """Replay the launch of kernel ``kernel_index`` at cycle ``q``.
+
+        The wavefront bookkeeping is updated *eagerly* (before the
+        injected event runs) so the coordinator never mistakes the
+        pre-launch lull for the next kernel boundary — and so shards with
+        no work in this kernel still report ``last_wf_cycle = q``.
+        """
+        self._install_ids()
+        try:
+            engine = self.engine
+            if engine.now < q:
+                engine.run(until=q - 1)
+            if engine.now != q:
+                engine.rewind(q)
+            self._kernel_index = kernel_index
+            kernel = self._workload.kernels[kernel_index]
+            self._wavefronts_remaining = self._owned_wavefront_count(kernel)
+            self._last_wf_cycle = q
+            # bind the index: an empty kernel quiesces instantly, and the
+            # coordinator may issue the *next* launch before this event
+            # runs — reading self._kernel_index here would double-launch
+            engine.inject(q, q, self._launch_event, kernel_index)
+        finally:
+            self._save_ids()
+        return self.status()
+
+    def finish(self, q_final: int) -> ShardReport:
+        """Drain residual events and harvest this shard's report."""
+        self._install_ids()
+        try:
+            self._finished = True
+            if self.config.coherence == "software":
+                # the single-engine run flushes L1s at the final kernel
+                # boundary; pure state clear, no counters touched
+                for gpu in self.gpus.values():
+                    gpu.invalidate_l1s()
+            self.engine.run_until_idle()
+            self.stats.finish_cycle = q_final
+        finally:
+            self._save_ids()
+        return self._report(q_final)
+
+    # -- kernel plumbing ----------------------------------------------------
+
+    def _owned_wavefront_count(self, kernel: KernelTrace) -> int:
+        return sum(
+            len(cta.wavefronts) for cta in kernel.ctas if cta.gpu in self.gpus
+        )
+
+    def _launch_event(self, kernel_index: int) -> None:
+        if self.config.coherence == "software":
+            # L1 flush deferred from the previous kernel's end: no owned
+            # CU touches its L1 between its last wavefront and this launch
+            for gpu in self.gpus.values():
+                gpu.invalidate_l1s()
+        self._start_kernel(self._workload.kernels[kernel_index])
+
+    def _start_kernel(self, kernel: KernelTrace) -> None:
+        self._wavefronts_remaining = self._owned_wavefront_count(kernel)
+        self._last_wf_cycle = self.engine.now
+        rr_slot = {gpu_id: 0 for gpu_id in self.gpus}
+        for cta in kernel.ctas:
+            if cta.gpu not in self.gpus:
+                continue
+            gpu = self.gpus[cta.gpu]
+            for wf in cta.wavefronts:
+                cu = gpu.cus[rr_slot[cta.gpu] % len(gpu.cus)]
+                rr_slot[cta.gpu] += 1
+                cu.enqueue_wavefront(wf)
+        for gpu in self.gpus.values():
+            for cu in gpu.cus:
+                cu.on_wavefront_done = self._on_wavefront_done
+                cu.start()
+
+    def _on_wavefront_done(self) -> None:
+        self._wavefronts_remaining -= 1
+        if self._wavefronts_remaining == 0:
+            self._last_wf_cycle = self.engine.now
+
+    # -- status / report ----------------------------------------------------
+
+    def status(self) -> ShardStatus:
+        sampler_pending = 1 if (self.metrics is not None and not self._finished) else 0
+        max_drain = (0, 0)
+        counters_zero = True
+        for gpu in self.gpus.values():
+            rdma = gpu.rdma
+            if rdma.outstanding_writes or rdma.outstanding_invalidations:
+                counters_zero = False
+            drain = (rdma.last_drain_cycle, rdma.last_drain_skey)
+            if drain > max_drain:
+                max_drain = drain
+        return ShardStatus(
+            next_event=self.engine.peek_key(),
+            real_pending=self.engine.pending_events() - sampler_pending,
+            wavefronts_remaining=self._wavefronts_remaining,
+            last_wf_cycle=self._last_wf_cycle,
+            counters_zero=counters_zero,
+            max_drain=max_drain,
+        )
+
+    def _report(self, q_final: int) -> ShardReport:
+        topo = self.topology
+        report = ShardReport(
+            shard_index=self.shard_index,
+            stats=self.stats,
+            events_processed=self.engine.events_processed,
+            inter_rows=[link_row(link) for link in topo.inter_links],
+            up_rows=[link_row(link) for link in topo.gpu_uplinks.values()],
+            down_rows=[link_row(link) for link in topo.gpu_downlinks.values()],
+            controller_rows=[controller_row(c) for c in topo.controllers],
+            l2_accesses=sum(
+                gpu.l2.read_requests + gpu.l2.write_requests
+                for gpu in self.gpus.values()
+            ),
+            dram_accesses=sum(
+                gpu.dram.reads + gpu.dram.writes for gpu in self.gpus.values()
+            ),
+        )
+        if self.tracer.enabled:
+            report.trace_records = self.tracer.events()
+            report.trace_sample = self.tracer.sample
+            report.trace_dropped = self.tracer.dropped
+        if self.metrics is not None:
+            # windows may overshoot the finish cycle; drop those samples
+            # (the single-engine sampler stops at finish) and append the
+            # authoritative final snapshot
+            self.metrics.samples = [
+                row for row in self.metrics.samples if row["cycle"] <= q_final
+            ]
+            self.metrics.sample(q_final)
+            report.metrics_rows = self.metrics.samples
+            report.metrics_names = self.metrics.names()
+            report.metrics_interval = self.metrics.interval
+        if self.profiler is not None:
+            report.profile = self.profiler.to_dict()
+        return report

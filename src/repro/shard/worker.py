@@ -1,0 +1,216 @@
+"""Process-parallel shard execution: persistent workers over pipes.
+
+Each shard runs in its own ``multiprocessing.Process`` hosting one
+:class:`~repro.shard.shard_system.ShardSystem`, built locally in the
+worker from picklable inputs (configs, seed, workload, obs spec).  The
+coordinator drives it with small command tuples over a pipe::
+
+    ("begin",)               -> ("ok", ShardStatus)
+    ("window", until, mail)  -> ("ok", (outbox, ShardStatus))
+    ("launch", k, q)         -> ("ok", ShardStatus)
+    ("finish", q)            -> ("ok", ShardReport)
+    ("exit",)                -> worker terminates
+
+Any worker exception is shipped back as ``("error", traceback)`` and
+re-raised in the coordinator.
+
+Requester contexts (the ``on_complete`` closures riding on packets)
+are the one unpicklable part of a boundary flit.  The worker swaps each
+one for a :class:`CtxToken` before its outbox is pickled and swaps the
+original back when the token returns home on a response packet; the
+stash entry is never popped, because a multi-flit packet pickled in
+separate window batches arrives as several object copies, each of which
+must be restorable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.shard.mailbox import MailItem
+from repro.shard.shard_system import ShardObsSpec, ShardSystem
+
+
+@dataclass(frozen=True)
+class CtxToken:
+    """Placeholder for a stashed requester context (home shard + key)."""
+
+    home: int
+    key: int
+
+
+def _packets_of(flit) -> List[object]:
+    """The flit's packet plus every stitched segment's packet."""
+    packets = [flit.packet]
+    for segment in flit.segments:
+        packets.append(segment.flit.packet)
+    return packets
+
+
+class ContextStash:
+    """Token swap for requester callbacks crossing the pickle boundary."""
+
+    def __init__(self, shard_index: int) -> None:
+        self.shard_index = shard_index
+        self._store: Dict[int, object] = {}
+        self._next_key = 0
+
+    def tokenize(self, items: List[MailItem]) -> None:
+        for item in items:
+            for packet in _packets_of(item.flit):
+                ctx = packet.context
+                if (
+                    ctx is not None
+                    and not isinstance(ctx, CtxToken)
+                    and getattr(ctx, "on_complete", None) is not None
+                ):
+                    key = self._next_key
+                    self._next_key = key + 1
+                    self._store[key] = ctx
+                    packet.context = CtxToken(self.shard_index, key)
+
+    def restore(self, items: List[MailItem]) -> None:
+        for item in items:
+            for packet in _packets_of(item.flit):
+                ctx = packet.context
+                if isinstance(ctx, CtxToken) and ctx.home == self.shard_index:
+                    packet.context = self._store[ctx.key]
+
+
+def worker_main(
+    conn,
+    config,
+    netcrafter,
+    seed: int,
+    shard_index: int,
+    n_shards: int,
+    obs_spec: ShardObsSpec,
+    workload,
+) -> None:
+    """Worker process entry: build the shard, serve commands until exit."""
+    try:
+        shard = ShardSystem(
+            config, netcrafter, seed, shard_index, n_shards, obs_spec
+        )
+        shard.load(workload)
+        stash = ContextStash(shard_index)
+        while True:
+            message = conn.recv()
+            verb = message[0]
+            if verb == "begin":
+                conn.send(("ok", shard.begin()))
+            elif verb == "window":
+                _, until, mail = message
+                stash.restore(mail)
+                outbox, status = shard.window(until, mail)
+                stash.tokenize(outbox)
+                conn.send(("ok", (outbox, status)))
+            elif verb == "launch":
+                _, kernel_index, q = message
+                conn.send(("ok", shard.launch_kernel(kernel_index, q)))
+            elif verb == "finish":
+                _, q_final = message
+                conn.send(("ok", shard.finish(q_final)))
+            elif verb == "exit":
+                conn.close()
+                return
+            else:  # pragma: no cover - protocol error
+                raise RuntimeError(f"unknown shard command {verb!r}")
+    except (EOFError, KeyboardInterrupt):  # pragma: no cover
+        return
+    except Exception:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:  # pragma: no cover - parent already gone
+            pass
+
+
+class RemoteShard:
+    """Coordinator-side handle for one worker process."""
+
+    def __init__(
+        self,
+        config,
+        netcrafter,
+        seed: int,
+        shard_index: int,
+        n_shards: int,
+        obs_spec: ShardObsSpec,
+        workload,
+    ) -> None:
+        method = (
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        context = multiprocessing.get_context(method)
+        self._conn, child = context.Pipe()
+        self._process = context.Process(
+            target=worker_main,
+            args=(
+                child,
+                config,
+                netcrafter,
+                seed,
+                shard_index,
+                n_shards,
+                obs_spec,
+                workload,
+            ),
+            daemon=True,
+        )
+        self._process.start()
+        child.close()
+
+    def start(self, verb: str, *args) -> None:
+        self._conn.send((verb,) + args)
+
+    def collect(self):
+        kind, payload = self._conn.recv()
+        if kind == "error":
+            raise RuntimeError(f"shard worker failed:\n{payload}")
+        return payload
+
+    def close(self) -> None:
+        try:
+            self._conn.send(("exit",))
+        except (BrokenPipeError, OSError):  # pragma: no cover
+            pass
+        self._process.join(timeout=10)
+        if self._process.is_alive():  # pragma: no cover - hung worker
+            self._process.terminate()
+            self._process.join()
+        self._conn.close()
+
+
+class LocalShard:
+    """In-process handle with the same start/collect surface.
+
+    Sequential-windowed mode: flits cross shards as live objects, so no
+    context tokenization is needed (every closure stays valid).
+    """
+
+    _METHODS = {
+        "begin": "begin",
+        "window": "window",
+        "launch": "launch_kernel",
+        "finish": "finish",
+    }
+
+    def __init__(self, system: ShardSystem) -> None:
+        self.system = system
+        self._pending = None
+
+    def start(self, verb: str, *args) -> None:
+        self._pending = getattr(self.system, self._METHODS[verb])(*args)
+
+    def collect(self):
+        result = self._pending
+        self._pending = None
+        return result
+
+    def close(self) -> None:
+        pass

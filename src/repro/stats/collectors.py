@@ -236,6 +236,26 @@ class RunStats:
         )
         return small / total
 
+    def merge(self, other: "RunStats") -> None:
+        """Fold another run's counters in (cluster-shard aggregation).
+
+        Generic over attribute additions, like serialization below: ints
+        sum, Counters update, LatencyStats merge deterministically.
+        ``kernel_count`` and ``finish_cycle`` are run-global milestones
+        owned by the sharding coordinator, not per-shard partial sums, so
+        they are skipped here and assigned explicitly after merging.
+        """
+        for key, value in vars(other).items():
+            if key in ("kernel_count", "finish_cycle"):
+                continue
+            mine = getattr(self, key)
+            if isinstance(value, LatencyStat):
+                mine.merge(value)
+            elif isinstance(value, Counter):
+                mine.update(value)
+            else:
+                setattr(self, key, mine + value)
+
     # -- serialization (persistent result cache) ---------------------------
     #
     # Counters and latency stats are wrapped in tagged dicts so the format

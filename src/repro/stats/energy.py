@@ -68,33 +68,56 @@ class EnergyBreakdown:
         return "\n".join(lines)
 
 
-def estimate_energy(system, result, model: EnergyModel = None) -> EnergyBreakdown:
-    """Tally energy from a finished :class:`MultiGpuSystem` run."""
+def energy_from_totals(
+    inter_bytes: int,
+    intra_bytes: int,
+    switch_flits: int,
+    cq_flits: int,
+    l1_accesses: int,
+    l2_accesses: int,
+    dram_accesses: int,
+    model: EnergyModel = None,
+) -> EnergyBreakdown:
+    """Build a breakdown from pre-summed integer event totals.
+
+    Every component is a single ``int * float-constant`` product, so a
+    breakdown computed from totals summed across cluster shards is
+    bit-identical to one computed over the unsharded system.
+    """
     model = model or EnergyModel()
     breakdown = EnergyBreakdown()
-    topo = system.topology
-
-    inter_bytes = sum(link.stats.wire_bytes for link in topo.inter_links)
-    intra_bytes = sum(link.stats.wire_bytes for link in topo.intra_links())
     breakdown.components["inter_links"] = inter_bytes * model.inter_link_pj_per_byte
     breakdown.components["intra_links"] = intra_bytes * model.intra_link_pj_per_byte
+    breakdown.components["switches"] = switch_flits * model.switch_pj_per_flit
+    breakdown.components["cluster_queues"] = cq_flits * model.cq_sram_pj_per_flit
+    breakdown.components["l1_caches"] = l1_accesses * model.l1_pj_per_access
+    breakdown.components["l2_caches"] = l2_accesses * model.l2_pj_per_access
+    breakdown.components["dram"] = dram_accesses * model.dram_pj_per_access
+    return breakdown
 
+
+def estimate_energy(system, result, model: EnergyModel = None) -> EnergyBreakdown:
+    """Tally energy from a finished :class:`MultiGpuSystem` run."""
+    topo = system.topology
+    inter_bytes = sum(link.stats.wire_bytes for link in topo.inter_links)
+    intra_bytes = sum(link.stats.wire_bytes for link in topo.intra_links())
     switch_flits = sum(link.stats.flits for link in topo.inter_links) + sum(
         link.stats.flits for link in topo.intra_links()
     )
-    breakdown.components["switches"] = switch_flits * model.switch_pj_per_flit
-
     cq_flits = sum(c.stats.flits_entered for c in topo.controllers)
-    breakdown.components["cluster_queues"] = cq_flits * model.cq_sram_pj_per_flit
-
-    stats = result.stats
-    breakdown.components["l1_caches"] = stats.l1_accesses * model.l1_pj_per_access
     l2_accesses = sum(
         gpu.l2.read_requests + gpu.l2.write_requests for gpu in system.gpus.values()
     )
-    breakdown.components["l2_caches"] = l2_accesses * model.l2_pj_per_access
     dram_accesses = sum(
         gpu.dram.reads + gpu.dram.writes for gpu in system.gpus.values()
     )
-    breakdown.components["dram"] = dram_accesses * model.dram_pj_per_access
-    return breakdown
+    return energy_from_totals(
+        inter_bytes,
+        intra_bytes,
+        switch_flits,
+        cq_flits,
+        result.stats.l1_accesses,
+        l2_accesses,
+        dram_accesses,
+        model,
+    )

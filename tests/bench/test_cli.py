@@ -41,7 +41,27 @@ class TestEmission:
         )
         assert code == 0
         promoted = json.loads(baseline.read_text())
-        assert promoted == second  # the baseline now holds this run
+        # the baseline now holds this run, minus the (stale the moment it
+        # is promoted) comparison block
+        expected = {k: v for k, v in second.items() if k != "comparison"}
+        assert promoted == expected
+
+    def test_update_baseline_preserves_pinned_thresholds(self, tmp_path):
+        code, first = _run(tmp_path)
+        assert code == 0
+        (row,) = first["benchmarks"]
+        row["fail_threshold"] = 2.5  # hand-pinned in the committed baseline
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(first))
+        code, _ = _run(
+            tmp_path,
+            extra=["--compare", str(baseline), "--update-baseline"],
+            name="second.json",
+        )
+        assert code == 0
+        promoted = json.loads(baseline.read_text())
+        (promoted_row,) = promoted["benchmarks"]
+        assert promoted_row["fail_threshold"] == 2.5
 
 
 class TestCompare:

@@ -104,17 +104,32 @@ class TestCompareReports:
 
     def test_regression_past_threshold_flagged(self):
         cmp = compare_reports(_doc({"a": 40.0}), _doc({"a": 100.0}))
-        assert cmp["regressions"] == ["a"]  # 2.5x slower > default 2x
+        assert cmp["regressions"] == ["a"]  # 2.5x slower > default 1.3x
 
     def test_slower_within_threshold_not_flagged(self):
-        cmp = compare_reports(_doc({"a": 60.0}), _doc({"a": 100.0}))
-        assert cmp["regressions"] == []  # 1.67x slower, under the 2x gate
+        cmp = compare_reports(_doc({"a": 80.0}), _doc({"a": 100.0}))
+        assert cmp["regressions"] == []  # 1.25x slower, under the 1.3x gate
 
     def test_custom_threshold(self):
         cmp = compare_reports(
-            _doc({"a": 60.0}), _doc({"a": 100.0}), fail_threshold=1.5
+            _doc({"a": 80.0}), _doc({"a": 100.0}), fail_threshold=1.2
         )
         assert cmp["regressions"] == ["a"]
+
+    def test_baseline_row_threshold_overrides_the_default(self):
+        base = _doc({"a": 100.0})
+        base["benchmarks"][0]["fail_threshold"] = 2.0
+        # 1.67x slower: past the 1.3x default, within the row's 2x pin
+        cmp = compare_reports(_doc({"a": 60.0}), base)
+        assert cmp["regressions"] == []
+        (row,) = cmp["benchmarks"]
+        assert row["fail_threshold"] == 2.0
+
+    def test_row_threshold_only_shields_its_own_benchmark(self):
+        base = _doc({"a": 100.0, "b": 100.0})
+        base["benchmarks"][0]["fail_threshold"] = 2.0
+        cmp = compare_reports(_doc({"a": 60.0, "b": 60.0}), base)
+        assert cmp["regressions"] == ["b"]
 
     def test_benchmark_missing_from_baseline_ignored(self):
         cmp = compare_reports(_doc({"a": 100.0, "b": 1.0}), _doc({"a": 100.0}))

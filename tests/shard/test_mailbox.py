@@ -1,0 +1,164 @@
+"""Unit tests for the boundary mailbox's validation and ordering."""
+
+import pytest
+
+from repro.network.flit import Flit
+from repro.network.link import DELIVERY_RANK_SPAN
+from repro.network.packet import Packet, PacketType
+from repro.shard.mailbox import (
+    BoundaryFlitLink,
+    DuplicateDeliveryError,
+    LateDeliveryError,
+    MailItem,
+    Mailbox,
+)
+from repro.sim.engine import Engine
+
+
+def _flit() -> Flit:
+    packet = Packet(ptype=PacketType.READ_REQ, src_gpu=0, dst_gpu=2)
+    return Flit(packet=packet, index=0, used_bytes=12, flit_size=16)
+
+
+def _item(arrival, skey, src=0, dst=1, link_seq=0) -> MailItem:
+    return MailItem(
+        arrival=arrival,
+        skey=skey,
+        send_cycle=arrival - 8,
+        src_cluster=src,
+        dst_cluster=dst,
+        link_seq=link_seq,
+        flit=_flit(),
+    )
+
+
+class TestCollateValidation:
+    def test_late_delivery_raises(self):
+        # arrival at the boundary is late: the receiver already simulated
+        # that cycle
+        mailbox = Mailbox()
+        with pytest.raises(LateDeliveryError):
+            mailbox.collate([_item(arrival=10, skey=-100)], boundary=10)
+
+    def test_arrival_before_boundary_raises(self):
+        mailbox = Mailbox()
+        with pytest.raises(LateDeliveryError):
+            mailbox.collate([_item(arrival=7, skey=-100)], boundary=10)
+
+    def test_arrival_just_beyond_boundary_is_accepted(self):
+        mailbox = Mailbox()
+        out = mailbox.collate([_item(arrival=11, skey=-100)], boundary=10)
+        assert len(out) == 1
+
+    def test_duplicate_delivery_raises(self):
+        mailbox = Mailbox()
+        mailbox.collate([_item(arrival=11, skey=-100, link_seq=3)], boundary=10)
+        with pytest.raises(DuplicateDeliveryError):
+            mailbox.collate(
+                [_item(arrival=20, skey=-99, link_seq=3)], boundary=19
+            )
+
+    def test_regressed_sequence_within_a_batch_raises(self):
+        mailbox = Mailbox()
+        with pytest.raises(DuplicateDeliveryError):
+            mailbox.collate(
+                [
+                    _item(arrival=11, skey=-100, link_seq=1),
+                    _item(arrival=12, skey=-99, link_seq=0),
+                ],
+                boundary=10,
+            )
+
+    def test_sequences_are_tracked_per_directed_link(self):
+        # the same link_seq on different (src, dst) pairs is no duplicate
+        mailbox = Mailbox()
+        out = mailbox.collate(
+            [
+                _item(arrival=11, skey=-300, src=0, dst=1, link_seq=0),
+                _item(arrival=11, skey=-200, src=1, dst=0, link_seq=0),
+                _item(arrival=11, skey=-100, src=0, dst=2, link_seq=0),
+            ],
+            boundary=10,
+        )
+        assert len(out) == 3
+
+
+class TestCollateOrdering:
+    def test_sorted_by_arrival_then_skey(self):
+        # input order is per-link ascending (what shards produce) but
+        # globally jumbled; the collated order is by (arrival, skey)
+        items = [
+            _item(arrival=11, skey=-90, src=0, dst=1, link_seq=0),
+            _item(arrival=13, skey=-50, src=0, dst=1, link_seq=1),
+            _item(arrival=11, skey=-20, src=1, dst=0, link_seq=0),
+            _item(arrival=12, skey=-70, src=0, dst=2, link_seq=0),
+        ]
+        out = Mailbox().collate(items, boundary=10)
+        assert [(i.arrival, i.skey) for i in out] == [
+            (11, -90),
+            (11, -20),
+            (12, -70),
+            (13, -50),
+        ]
+
+    def test_order_is_independent_of_batch_arrival_order(self):
+        # shards hand their outboxes to the coordinator in shard order;
+        # the delivery order must not depend on it
+        def batch(reverse):
+            items = [
+                _item(arrival=11, skey=-90 + k, src=0, dst=1, link_seq=k)
+                for k in range(4)
+            ] + [
+                _item(arrival=11, skey=-290 + k, src=1, dst=0, link_seq=k)
+                for k in range(4)
+            ]
+            if reverse:
+                items = items[::-1]
+                # keep per-link sequences ascending for validation
+                items.sort(key=lambda i: (i.src_cluster, i.link_seq))
+            return items
+
+        forward = Mailbox().collate(batch(reverse=False), boundary=10)
+        shuffled = Mailbox().collate(batch(reverse=True), boundary=10)
+        assert [(i.arrival, i.skey) for i in forward] == [
+            (i.arrival, i.skey) for i in shuffled
+        ]
+
+
+class TestBoundaryFlitLink:
+    def _link(self):
+        engine = Engine()
+        link = BoundaryFlitLink(
+            engine,
+            "c0->c1",
+            bytes_per_cycle=32.0,
+            latency=8,
+            src_cluster=0,
+            dst_cluster=1,
+        )
+        link.delivery_rank = 0 * 4 + 1  # src * n_clusters + dst
+        return link
+
+    def test_deliveries_land_in_the_outbox_with_monotone_sequence(self):
+        link = self._link()
+        link._deliver(9, _flit())
+        link._deliver(12, _flit())
+        items = link.drain_outbox()
+        assert [i.link_seq for i in items] == [0, 1]
+        assert [i.arrival for i in items] == [9, 12]
+        assert link.outbox == []
+
+    def test_delivery_skeys_are_negative_and_rank_spaced(self):
+        link = self._link()
+        link._deliver(9, _flit())
+        link._deliver(9, _flit())
+        first, second = link.drain_outbox()
+        assert first.skey < 0 and second.skey < 0
+        # consecutive deliveries are one full rank span apart, so two
+        # links' same-cycle deliveries interleave by (seq, rank)
+        assert second.skey - first.skey == DELIVERY_RANK_SPAN
+
+    def test_sink_is_unreachable(self):
+        link = self._link()
+        with pytest.raises(RuntimeError):
+            link.sink(_flit())
