@@ -23,6 +23,7 @@ Quickstart::
 
 from repro.config import SystemConfig
 from repro.core import NetCrafterConfig, PriorityMode
+from repro.faults import FaultConfig, FlapWindow
 from repro.gpu import (
     CtaTrace,
     KernelTrace,
@@ -42,6 +43,8 @@ __all__ = [
     "SystemConfig",
     "NetCrafterConfig",
     "PriorityMode",
+    "FaultConfig",
+    "FlapWindow",
     "MultiGpuSystem",
     "MemAccess",
     "WavefrontTrace",

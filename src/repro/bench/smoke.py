@@ -101,6 +101,7 @@ def run_smoke_grid(
     n_shards: int = 1,
     window=None,
     parallel: bool = False,
+    system_config: SystemConfig = None,
 ):
     """Simulate the grid; returns (results, total_events, total_cycles).
 
@@ -108,8 +109,13 @@ def run_smoke_grid(
     through :class:`~repro.shard.coordinator.ShardedSystem` instead of
     the single engine; by the lookahead-window construction the results
     — and therefore the digest — are byte-identical.
+
+    ``system_config`` overrides the default node — the fault-injection
+    inertness gate reruns the grid with disabled fault configs and
+    requires the committed digest back.
     """
-    system_config = SystemConfig.default()
+    if system_config is None:
+        system_config = SystemConfig.default()
     scale = Scale.small()
     results = []
     total_events = 0

@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional
 
+from repro.faults.config import FaultConfig
+
 
 @dataclass(frozen=True)
 class SystemConfig:
@@ -87,6 +89,11 @@ class SystemConfig:
     #: boundaries); ``"hardware"`` = the directory/invalidation extension
     #: of Section 4.5's future work (see repro.memory.coherence)
     coherence: str = "software"
+    #: deterministic fault injection + link reliability (repro.faults);
+    #: the default is fully inert — no machinery is attached and results
+    #: are byte-identical to a fault-free build.  A frozen shared default
+    #: instance is safe: FaultConfig is itself frozen.
+    faults: FaultConfig = FaultConfig()
 
     def __post_init__(self) -> None:
         if self.l1_fetch_mode not in ("line", "sector"):
@@ -99,6 +106,8 @@ class SystemConfig:
             raise ValueError("inter_topology must be 'mesh' or 'ring'")
         if self.inter_link_latency is not None and self.inter_link_latency < 1:
             raise ValueError("inter_link_latency must be at least 1 cycle")
+        if not isinstance(self.faults, FaultConfig):
+            raise ValueError("faults must be a repro.faults FaultConfig")
 
     # -- topology helpers ----------------------------------------------------
 

@@ -22,7 +22,7 @@ import os
 import sys
 from typing import Callable, Dict
 
-from repro.experiments import ablations, extensions, figures, runner
+from repro.experiments import ablations, chaos, extensions, figures, runner
 from repro.experiments.cache import default_cache_dir
 from repro.experiments.report import generate_report
 from repro.experiments.runner import ExperimentScale
@@ -56,6 +56,7 @@ DRIVERS: Dict[str, Callable] = {
     "ext_scaling": extensions.ext_scaling,
     "ext_placement": extensions.ext_placement,
     "ext_energy": extensions.ext_energy,
+    "chaos": chaos.chaos_ber_sweep,
 }
 
 SCALES = {
@@ -150,6 +151,40 @@ def main(argv=None) -> int:
         help="drive the shards round-robin in this process instead of "
         "worker processes (debugging / digest comparisons)",
     )
+    fault_group = parser.add_argument_group(
+        "fault injection",
+        "chaos-run parameters for the 'chaos' target (deterministic: the "
+        "fault RNG is keyed on packet content, so points cache normally)",
+    )
+    fault_group.add_argument(
+        "--fault-ber",
+        default=None,
+        metavar="P[,P...]",
+        help="bit-error rates to sweep (comma list; default "
+        "0,2e-5,1e-4,5e-4)",
+    )
+    fault_group.add_argument(
+        "--fault-drop",
+        type=float,
+        default=None,
+        metavar="P",
+        help="per-flit drop probability applied at every sweep point "
+        "(default 0)",
+    )
+    fault_group.add_argument(
+        "--fault-flaps",
+        default=None,
+        metavar="S:E:F[,...]",
+        help="bandwidth-flap windows on inter-cluster links, each "
+        "start:end:factor (e.g. 1000:5000:0.25)",
+    )
+    fault_group.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fault-process seed (default 1)",
+    )
     obs_group = parser.add_argument_group(
         "observability",
         "per-run artifacts (any of these forces fresh simulation: "
@@ -198,6 +233,45 @@ def main(argv=None) -> int:
         parser.error("--shards must be >= 1")
     if args.window is not None and args.window < 1:
         parser.error("--window must be >= 1")
+
+    if (
+        args.fault_ber is not None
+        or args.fault_drop is not None
+        or args.fault_flaps is not None
+        or args.fault_seed is not None
+    ):
+        from repro.faults.config import FlapWindow
+
+        defaults = chaos.ChaosOptions()
+        try:
+            bers = (
+                tuple(float(p) for p in args.fault_ber.split(","))
+                if args.fault_ber is not None
+                else defaults.bers
+            )
+            flaps = defaults.flaps
+            if args.fault_flaps is not None:
+                windows = []
+                for spec in args.fault_flaps.split(","):
+                    start, end, factor = spec.split(":")
+                    windows.append(
+                        FlapWindow(int(start), int(end), float(factor))
+                    )
+                flaps = tuple(windows)
+        except ValueError as exc:
+            parser.error(f"bad fault sweep spec: {exc}")
+        chaos.set_chaos_options(
+            chaos.ChaosOptions(
+                bers=bers,
+                drop_rate=args.fault_drop
+                if args.fault_drop is not None
+                else defaults.drop_rate,
+                flaps=flaps,
+                seed=args.fault_seed
+                if args.fault_seed is not None
+                else defaults.seed,
+            )
+        )
 
     if args.targets == ["list"]:
         print("available targets:")

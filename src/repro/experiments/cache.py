@@ -31,8 +31,9 @@ from typing import Dict, Optional
 from repro.stats.report import RunResult
 
 #: bump whenever simulator output changes for the same configuration
-#: (2: LatencyStat cache payloads switched to histogram serialization)
-CACHE_FORMAT_VERSION = 2
+#: (2: LatencyStat cache payloads switched to histogram serialization;
+#: 3: fault-injection stats block added to RunStats serialization)
+CACHE_FORMAT_VERSION = 3
 
 
 def _json_default(obj: object) -> object:

@@ -1,0 +1,121 @@
+"""Fault-model configuration, embedded in ``SystemConfig``.
+
+Frozen dataclasses only: the whole object nests into the experiment
+cache fingerprint via ``dataclasses.asdict``, so every field is part of
+a run's identity.  This module must not import :mod:`repro.config` (it
+is imported *by* it) or :mod:`repro.network`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class FlapWindow:
+    """One scheduled link-degradation window on the inter-cluster links.
+
+    Between cycles ``start`` (inclusive) and ``end`` (exclusive) every
+    inter-cluster link's bandwidth is multiplied by ``factor`` — e.g.
+    ``FlapWindow(2000, 6000, 0.25)`` quarters the fabric for 4k cycles.
+    Flits already serializing when an edge passes finish at the old
+    rate; the new rate applies from the next transmission.
+    """
+
+    start: int
+    end: int
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise ValueError(
+                f"flap window must satisfy 0 <= start < end, got "
+                f"[{self.start}, {self.end})"
+            )
+        if not 0.0 < self.factor <= 1.0:
+            raise ValueError(
+                f"flap factor must be in (0, 1], got {self.factor}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Fault processes plus the reliability layer's timing knobs.
+
+    The default instance is fully inert: zero rates, no flaps, and
+    ``enabled=None`` (auto) resolve :attr:`active` to ``False``, so no
+    fault machinery is attached and results are byte-identical to a
+    simulator without the subsystem.  ``enabled=True`` forces the CRC /
+    retransmit layer on even at zero rates (every check passes; the
+    run's timing is unchanged but fault counters appear in its stats);
+    ``enabled=False`` forces everything off regardless of rates.
+    """
+
+    #: per-bit transient error probability on inter-cluster wires; a
+    #: flit is corrupted with ``1 - (1 - ber) ** (8 * flit_size)``
+    ber: float = 0.0
+    #: per-flit whole-loss probability (dropped, never arrives)
+    drop_rate: float = 0.0
+    #: scheduled bandwidth-degradation windows, applied to every
+    #: inter-cluster link; must be sorted and non-overlapping
+    flaps: Tuple[FlapWindow, ...] = ()
+    #: seed of the counter-based fault RNG (independent of the run seed,
+    #: so fault patterns can be varied against a fixed workload)
+    seed: int = 0
+    #: tri-state master switch: ``None`` = active iff any rate/flap is
+    #: nonzero; ``True``/``False`` force the layer on/off
+    enabled: Optional[bool] = None
+    # -- reliability-layer timing -----------------------------------------
+    #: cycles the receiving switch spends checking a flit's CRC before a
+    #: NACK can be generated
+    crc_latency: int = 4
+    #: cycles for the NACK to reach the sender (``None``: the link's
+    #: wire latency, the physical return path)
+    nack_latency: Optional[int] = None
+    #: sender-side timeout that re-queues a flit whose delivery was
+    #: never acknowledged (covers silent drops)
+    drop_timeout: int = 64
+    #: link-layer retransmissions per flit before the sender gives up
+    #: and leaves recovery to the RDMA backstop
+    max_link_retries: int = 8
+    #: requester-side timeout before a whole request is re-issued
+    rdma_timeout: int = 8192
+    #: cap of the exponential RDMA retry backoff (cycles)
+    rdma_backoff_cap: int = 65536
+    #: RDMA re-issues per request before the run aborts as unrecoverable
+    max_rdma_retries: int = 8
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.ber < 1.0:
+            raise ValueError(f"ber must be in [0, 1), got {self.ber}")
+        if not 0.0 <= self.drop_rate < 1.0:
+            raise ValueError(
+                f"drop_rate must be in [0, 1), got {self.drop_rate}"
+            )
+        if self.crc_latency < 0:
+            raise ValueError("crc_latency must be non-negative")
+        if self.nack_latency is not None and self.nack_latency < 0:
+            raise ValueError("nack_latency must be non-negative")
+        if self.drop_timeout < 1:
+            raise ValueError("drop_timeout must be at least 1 cycle")
+        if self.max_link_retries < 0 or self.max_rdma_retries < 0:
+            raise ValueError("retry limits must be non-negative")
+        if self.rdma_timeout < 1 or self.rdma_backoff_cap < self.rdma_timeout:
+            raise ValueError(
+                "rdma_timeout must be >= 1 and rdma_backoff_cap >= rdma_timeout"
+            )
+        last_end = -1
+        for window in self.flaps:
+            if window.start < last_end:
+                raise ValueError(
+                    "flap windows must be sorted and non-overlapping"
+                )
+            last_end = window.end
+
+    @property
+    def active(self) -> bool:
+        """Whether any fault machinery should be attached at build time."""
+        if self.enabled is not None:
+            return self.enabled
+        return self.ber > 0.0 or self.drop_rate > 0.0 or bool(self.flaps)

@@ -1,0 +1,57 @@
+"""Counter-based fault RNG: order-independent, cross-platform exact.
+
+A conventional seeded PRNG draws in *call order*, which differs between
+single-engine and sharded execution (each shard would consume its own
+stream).  Fault decisions here are instead a pure hash of the decision's
+*identity* — seed, link, packet content, flit index, attempt — chained
+through a splitmix64-style finalizer.  Probability comparisons are done
+against integer thresholds (``p`` scaled to 2**64), so a decision is a
+single integer compare with no float rounding anywhere near the
+uniformity boundary: the same inputs produce the same fate on every
+platform, in every execution mode, forever.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+_MASK64 = (1 << 64) - 1
+_TWO64 = 1 << 64
+
+
+def mix64(state: int, value: int) -> int:
+    """Fold ``value`` into ``state``: one splitmix64 finalizer round."""
+    x = (state + (value & _MASK64) * 0xBF58476D1CE4E5B9 + 0x9E3779B97F4A7C15) & _MASK64
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & _MASK64
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+def string_salt(text: str) -> int:
+    """A stable 64-bit salt for a name (``hash(str)`` is per-process)."""
+    return int.from_bytes(
+        hashlib.sha256(text.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+def fault_hash(seed: int, *values: int) -> int:
+    """Uniform 64-bit draw identified by ``(seed, *values)``."""
+    state = mix64(0x243F6A8885A308D3, seed)
+    for value in values:
+        state = mix64(state, value)
+    return state
+
+
+def probability_threshold(p: float) -> int:
+    """``p`` as an integer threshold: ``draw < threshold`` has prob. ``p``.
+
+    Clamped to the representable range so ``p=0`` never fires and values
+    rounding up to 1.0 always fire.
+    """
+    if p <= 0.0:
+        return 0
+    if p >= 1.0:
+        return _TWO64
+    return min(_TWO64, max(0, int(p * _TWO64)))

@@ -102,6 +102,17 @@ class MultiGpuSystem:
             self.engine, self.config, self.gpus, self._make_controller
         )
         self._wire_observability()
+        if self.config.faults.active:
+            from repro.faults.layer import attach_fault_layer
+
+            attach_fault_layer(
+                self.config.faults,
+                inter_links=self.topology.inter_links,
+                switches=self.topology.switches.values(),
+                rdma_engines=[gpu.rdma for gpu in self.gpus.values()],
+                stats=self.stats,
+                flit_size=self.config.flit_size,
+            )
         self._workload: Optional[WorkloadTrace] = None
         self._kernel_index = 0
         self._wavefronts_remaining = 0

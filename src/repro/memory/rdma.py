@@ -33,6 +33,10 @@ class _RequestContext:
     send_cycle: int
     crosses_cluster: bool
     on_complete: Optional[Callable[[Packet], None]]
+    #: set by the first response to arrive; under fault injection the
+    #: timeout backstop may have cloned the request, so a later duplicate
+    #: response must not complete (or drain-count) the request twice
+    completed: bool = False
 
 
 class RdmaEngine(Traced, Component):
@@ -72,7 +76,25 @@ class RdmaEngine(Traced, Component):
         self._on_write_served: Optional[Callable[[int, int], None]] = None
         self._on_invalidate: Optional[Callable[[int], None]] = None
 
+    #: fault layer: timeout/retry backstop config + counters, set by
+    #: :meth:`attach_faults` (class-attribute defaults keep the
+    #: fault-free request path free of per-packet timers)
+    _faults = None
+    _fault_stats = None
+
     # -- wiring ------------------------------------------------------------
+
+    def attach_faults(self, config, fault_stats) -> None:
+        """Arm the end-to-end timeout/retry backstop on every request.
+
+        The link-level retransmit path recovers almost everything; the
+        backstop exists for requests the link layer *abandons* (retry
+        budget exhausted), re-issuing them as fresh packets with capped
+        exponential backoff so forward progress never depends on a
+        single flit surviving.
+        """
+        self._faults = config
+        self._fault_stats = fault_stats
 
     def attach(
         self,
@@ -191,6 +213,50 @@ class RdmaEngine(Traced, Component):
         if self._trace_on:
             self._tracer.packet_event(self.now, "inject", packet, lane=self.name)
         self._inject(packet)
+        if self._faults is not None:
+            self.schedule(self._faults.rdma_timeout, self._backstop, packet, packet.context, 0)
+
+    def _backstop(self, packet: Packet, ctx: _RequestContext, attempt: int) -> None:
+        """Timeout fired: re-issue the request unless it completed."""
+        if ctx.completed:
+            return
+        cfg = self._faults
+        if attempt + 1 > cfg.max_rdma_retries:
+            raise RuntimeError(
+                f"{self.name}: request {packet.pid} ({packet.ptype.name} to "
+                f"GPU {packet.dst_gpu}, addr {packet.addr:#x}) unanswered "
+                f"after {attempt + 1} RDMA timeouts"
+            )
+        # a fresh packet (new pid) re-enters the network: reassembly
+        # tracks received flit indices per pid, so re-injecting the old
+        # pid would trip its duplicate guard if the original's flits
+        # partially arrived.  The context object is shared, so whichever
+        # copy's response arrives first completes the request.
+        clone = self._clone_request(packet)
+        self._fault_stats.rdma_retries += 1
+        self.requests_sent += 1
+        if self._trace_on:
+            self._tracer.packet_event(self.now, "inject", clone, lane=self.name)
+        self._inject(clone)
+        backoff = min(cfg.rdma_timeout << (attempt + 1), cfg.rdma_backoff_cap)
+        self.schedule(backoff, self._backstop, clone, ctx, attempt + 1)
+
+    def _clone_request(self, packet: Packet) -> Packet:
+        clone = Packet(
+            ptype=packet.ptype,
+            src_gpu=packet.src_gpu,
+            dst_gpu=packet.dst_gpu,
+            addr=packet.addr,
+            payload_bytes=packet.payload_bytes,
+            bytes_needed=packet.bytes_needed,
+            sector_offset=packet.sector_offset,
+            trim_allowed=packet.trim_allowed,
+            sector_fetch=packet.sector_fetch,
+            filled_sector_mask=packet.filled_sector_mask,
+            context=packet.context,
+        )
+        clone.inject_cycle = self.now
+        return clone
 
     # -- responder / completion side --------------------------------------------
 
@@ -294,8 +360,16 @@ class RdmaEngine(Traced, Component):
         self._inject(response)
 
     def _complete_response(self, packet: Packet) -> None:
-        self.responses_received += 1
         ctx: _RequestContext = packet.context
+        if self._faults is not None:
+            # with the retry backstop active the same logical request may
+            # answer more than once (original + clone both survive);
+            # only the first response completes it
+            if ctx.completed:
+                self._fault_stats.rdma_duplicate_responses += 1
+                return
+            ctx.completed = True
+        self.responses_received += 1
         if packet.ptype is PacketType.READ_RSP:
             latency = self.now - ctx.send_cycle
             if ctx.crosses_cluster:

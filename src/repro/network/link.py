@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from repro.faults.process import FATE_CORRUPT, FATE_OK, CorruptedTransmission
 from repro.obs.tracer import Traced
 from repro.sim.component import Component
 from repro.sim.engine import Engine
@@ -89,6 +90,10 @@ class LinkStats:
         self.packets = 0
         self.wire_bytes = 0
         self.useful_bytes = 0
+        #: extra busy time from transmissions at degraded (flapped)
+        #: bandwidth, beyond what ``busy_bytes`` at the nominal rate
+        #: accounts for; only ever nonzero under fault-injected flaps
+        self.busy_extra = 0.0
         #: worst busy-beyond-elapsed excess ever observed by
         #: :meth:`utilization`; nonzero means some counter double-counted
         self.overcount_cycles = 0.0
@@ -98,7 +103,10 @@ class LinkStats:
         """Cycles the wire spent serializing (bytes / bandwidth, once)."""
         if self._busy_override is not None:
             return self._busy_override
-        return self.busy_bytes * self._bpc_den / self._bpc_num
+        busy = self.busy_bytes * self._bpc_den / self._bpc_num
+        if self.busy_extra:
+            busy += self.busy_extra
+        return busy
 
     @busy_cycles.setter
     def busy_cycles(self, value: float) -> None:
@@ -175,11 +183,61 @@ class FlitLink(Traced, Component):
         #: per-link delivery counter, first component of the sub-cycle key
         self._delivery_seq = 0
 
+    # -- fault layer (repro.faults), attached only when active ------------
+    #: class-attribute defaults keep the fault-free hot path to a single
+    #: falsy check and existing pickles/tests unaffected
+    _faults = None
+    _fault_stats = None
+    _flap_edges = ()
+    _flap_idx = 0
+    _degraded = False
+    _nom_num = 0
+    _nom_den = 1
+
+    def attach_faults(self, process, fault_stats) -> None:
+        """Attach a :class:`~repro.faults.process.LinkFaultProcess`."""
+        self._faults = process
+        self._fault_stats = fault_stats
+        self._nom_num, self._nom_den = self._bpc_num, self._bpc_den
+        self._flap_edges = process.regime_edges(self.bytes_per_cycle)
+        self._flap_idx = 0
+        self._degraded = False
+
+    def _sync_regime(self) -> None:
+        """Apply any flap edges at or before the current cycle.
+
+        The in-flight burst retires at the old rate (its flits finish
+        serializing as started); the new rate anchors at the later of
+        the edge cycle and the burst's free cycle, so timing stays exact
+        integer arithmetic across every regime switch.
+        """
+        edges = self._flap_edges
+        idx = self._flap_idx
+        now = self.engine._now
+        if idx >= len(edges) or edges[idx][0] > now:
+            return
+        num, den = self._bpc_num, self._bpc_den
+        anchor, sent = self._anchor, self._sent_bytes
+        degraded = self._degraded
+        while idx < len(edges) and edges[idx][0] <= now:
+            cycle, new_num, new_den, degraded = edges[idx]
+            free_ceil = anchor - ((-sent * den) // num)
+            anchor = max(cycle, free_ceil)
+            sent = 0
+            num, den = new_num, new_den
+            idx += 1
+        self._flap_idx = idx
+        self._anchor, self._sent_bytes = anchor, sent
+        self._bpc_num, self._bpc_den = num, den
+        self._degraded = degraded
+
     def _next_free_cycle_floor(self) -> int:
         return self._anchor + (self._sent_bytes * self._bpc_den) // self._bpc_num
 
     def ready_at(self) -> int:
         """First integer cycle during which a new flit may start."""
+        if self._flap_edges:
+            self._sync_regime()
         now = self.engine._now
         free = self._anchor + (self._sent_bytes * self._bpc_den) // self._bpc_num
         return free if free > now else now
@@ -192,6 +250,8 @@ class FlitLink(Traced, Component):
         link accepts several flits within one cycle; it is "ready" while
         the next transmission can still *start* before the cycle ends.
         """
+        if self._flap_edges:
+            self._sync_regime()
         # next_free < now + 1, cross-multiplied to stay in integers
         return self._sent_bytes * self._bpc_den < (
             self.engine._now + 1 - self._anchor
@@ -199,6 +259,9 @@ class FlitLink(Traced, Component):
 
     def send(self, flit: Flit) -> None:
         """Serialize ``flit`` onto the wire and schedule its delivery."""
+        if self._faults is not None:
+            self._transmit_faulty(flit, 0, self.engine._now)
+            return
         now = self.engine._now
         num, den = self._bpc_num, self._bpc_den
         sent = self._sent_bytes
@@ -232,6 +295,107 @@ class FlitLink(Traced, Component):
                 stitched=len(flit.segments),
             )
         self._deliver(arrival, flit)
+
+    def _transmit_faulty(self, flit: Flit, attempt: int, first_cycle: int) -> None:
+        """:meth:`send` with a fault process attached.
+
+        Serialization timing and wire accounting are identical to the
+        clean path (every transmission — including retransmissions of
+        corrupted or dropped flits — occupies the wire and counts toward
+        ``busy_bytes``/``wire_bytes``); only ``useful_bytes`` is gated on
+        clean delivery, which is what separates goodput from raw
+        throughput under faults.
+        """
+        if self._flap_edges:
+            self._sync_regime()
+        now = self.engine._now
+        num, den = self._bpc_num, self._bpc_den
+        sent = self._sent_bytes
+        if sent * den <= (now - self._anchor) * num:
+            self._anchor = now
+            sent = 0
+        elif sent * den >= (now + 1 - self._anchor) * num:
+            raise RuntimeError(
+                f"{self.name}: send at cycle {now} before ready "
+                f"(next free {self._anchor + sent * den / num:.2f})"
+            )
+        size = flit.flit_size
+        sent += size
+        self._sent_bytes = sent
+        stats = self.stats
+        stats.busy_bytes += size
+        stats.flits += 1
+        stats.wire_bytes += size
+        fstats = self._fault_stats
+        if self._degraded:
+            # busy_bytes assumes the nominal rate; record the extra wire
+            # time a degraded-rate transmission actually took
+            fstats.degraded_flits += 1
+            stats.busy_extra += size * (
+                den / num - self._nom_den / self._nom_num
+            )
+        arrival = self._anchor - ((-sent * den) // num) + self.latency
+        if self._trace_on:
+            self._tracer.flit_event(
+                now,
+                "wire_start",
+                flit,
+                link=self.name,
+                dur=size * den / num,
+                bytes=size,
+                stitched=len(flit.segments),
+            )
+        fate = self._faults.fate(flit, attempt)
+        if fate == FATE_OK:
+            stats.useful_bytes += flit.useful_payload_bytes
+            if attempt:
+                fstats.recovery_latency.record(now - first_cycle)
+            self._deliver(arrival, flit)
+            return
+        cfg = self._faults.config
+        if fate == FATE_CORRUPT:
+            # the damaged copy still travels the wire; the receiving
+            # switch fails its CRC and discards it, while the sender
+            # learns of the failure one NACK trip after arrival
+            fstats.flits_corrupted += 1
+            fstats.bytes_corrupted += size
+            self._deliver(arrival, CorruptedTransmission(flit))
+            nack = (
+                cfg.nack_latency if cfg.nack_latency is not None else self.latency
+            )
+            retry_at = arrival + cfg.crc_latency + nack
+        else:  # FATE_DROP: nothing arrives; only the timeout recovers it
+            fstats.flits_dropped += 1
+            fstats.bytes_dropped += size
+            if self._trace_on:
+                self._tracer.flit_event(now, "drop", flit, link=self.name)
+            retry_at = now + cfg.drop_timeout
+        if attempt + 1 > cfg.max_link_retries:
+            fstats.flits_abandoned += 1
+            return
+        self.engine.schedule_at(
+            retry_at, self._retransmit, flit, attempt + 1, first_cycle
+        )
+
+    def _retransmit(self, flit: Flit, attempt: int, first_cycle: int) -> None:
+        """Re-send a corrupted/dropped flit once the wire is free.
+
+        Counts and traces only when the transmission actually starts; a
+        busy wire just requeues at its next free cycle.
+        """
+        if not self.is_ready():
+            self.engine.schedule_at(
+                self.ready_at(), self._retransmit, flit, attempt, first_cycle
+            )
+            return
+        fstats = self._fault_stats
+        fstats.flits_retransmitted += 1
+        fstats.bytes_retransmitted += flit.flit_size
+        if self._trace_on:
+            self._tracer.flit_event(
+                self.engine._now, "retransmit", flit, link=self.name, attempt=attempt
+            )
+        self._transmit_faulty(flit, attempt, first_cycle)
 
     def _next_delivery_skey(self) -> int:
         """The sub-cycle schedule key for this link's next delivery."""

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict
 
+from repro.faults.process import CorruptedTransmission
 from repro.obs.tracer import Traced
 from repro.sim.component import Component
 from repro.sim.engine import Engine
@@ -124,7 +125,16 @@ class ClusterSwitch(Traced, Component):
         self.reassembly = ReassemblyBuffer(flit_size, self._on_packet_reassembled)
         self.packets_routed = 0
 
+    #: fault layer: set by :meth:`attach_crc`, enabling the modeled CRC
+    #: check at network ingress (class-attribute default keeps the
+    #: fault-free path to one falsy test)
+    _crc_stats = None
+
     # -- wiring -----------------------------------------------------------
+
+    def attach_crc(self, fault_stats) -> None:
+        """Enable per-flit CRC checking at this switch's network ingress."""
+        self._crc_stats = fault_stats
 
     def attach_gpu_link(self, gpu_id: int, link: PacketLink) -> None:
         self._gpu_links[gpu_id] = link
@@ -148,6 +158,22 @@ class ClusterSwitch(Traced, Component):
 
     def receive_flit_from_network(self, flit: Flit) -> None:
         """A flit arrived from a remote cluster; un-stitch and reassemble."""
+        if self._crc_stats is not None:
+            if type(flit) is CorruptedTransmission:
+                # CRC failure: discard the whole wire flit (stitched
+                # children included) — the sender's NACK path already
+                # scheduled the retransmission, so nothing here may
+                # reach reassembly (its duplicate guard would trip on
+                # the retransmitted copy otherwise)
+                self._crc_stats.crc_fail += 1
+                if self._trace_on:
+                    self._tracer.flit_event(
+                        self.now, "corrupt", flit.flit, lane=self.name
+                    )
+                return
+            self._crc_stats.crc_ok += 1
+            if self._trace_on:
+                self._tracer.flit_event(self.now, "crc_ok", flit, lane=self.name)
         if self._trace_on:
             # one deliver per carried flit: the wire flit itself plus any
             # stitched children recovered by un-stitching here

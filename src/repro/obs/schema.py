@@ -9,6 +9,14 @@ Event-specific obligations:
 * ``pool``    — ``until`` (the partition's unblock cycle, >= ``cycle``)
 * ``wire_start`` — ``link`` (lane name) and ``dur`` (serialization cycles)
 
+Fault injection (repro.faults) adds four events: ``drop`` (the wire
+transmission vanished), ``corrupt`` (it arrived but failed the ingress
+CRC), ``crc_ok`` (it arrived and passed), and ``retransmit`` (the sender
+re-sent it).  ``retransmit`` legally *rewinds* a flit's lifecycle — the
+flit goes back on the wire after having been dropped or delivered
+corrupted — so the sequence checker resets that flit's rank rather than
+flagging the decrease; cycle monotonicity still applies.
+
 Beyond per-record shape, :func:`validate_records` checks per-flit
 *sequence* sanity: a flit must be staged before it is ejected, ejected
 before it starts on the wire, and on the wire before it is delivered —
@@ -25,14 +33,37 @@ from typing import Dict, Iterable, List
 #: packet-scoped lifecycle events
 PACKET_EVENTS = ("inject", "trim")
 #: flit-scoped lifecycle events
-FLIT_EVENTS = ("stage", "pool", "stitch", "eject", "wire_start", "deliver")
+FLIT_EVENTS = (
+    "stage",
+    "pool",
+    "stitch",
+    "eject",
+    "wire_start",
+    "deliver",
+    "retransmit",
+    "drop",
+    "corrupt",
+    "crc_ok",
+)
 #: the full event vocabulary
 EVENTS = PACKET_EVENTS + FLIT_EVENTS
 
 #: rank in the legal per-flit ordering (events may repeat a rank; a
 #: lower-ranked event must never follow a higher-ranked one for a flit,
-#: except ``stage``/``pool`` cycles while a pooled flit waits)
-_FLIT_ORDER = {"stage": 0, "pool": 1, "stitch": 2, "eject": 2, "wire_start": 3, "deliver": 4}
+#: except ``stage``/``pool`` cycles while a pooled flit waits and
+#: ``retransmit``, which resets the flit to just-ejected)
+_FLIT_ORDER = {
+    "stage": 0,
+    "pool": 1,
+    "stitch": 2,
+    "eject": 2,
+    "wire_start": 3,
+    "deliver": 4,
+    "retransmit": 2,
+    "drop": 3,
+    "corrupt": 4,
+    "crc_ok": 4,
+}
 
 
 def validate_record(record: Dict[str, object]) -> List[str]:
@@ -96,6 +127,12 @@ def validate_records(records: Iterable[Dict[str, object]]) -> List[str]:
                     f"record {index}: flit {fid} {event} at cycle {cycle} "
                     f"before its previous event at {last_cycle[fid]}"
                 )
+            if event == "retransmit":
+                # a legal lifecycle rewind: the flit re-enters the wire
+                # after a drop/corrupt; reset its rank to just-ejected
+                last_rank[fid] = rank
+                last_cycle[fid] = cycle
+                continue
             if rank < prev_rank:
                 errors.append(
                     f"record {index}: flit {fid} event {event} (rank {rank}) "

@@ -134,6 +134,20 @@ class ShardSystem:
         )
         self.profiler = EngineProfiler() if self.obs_spec.profile else None
         self._wire_observability()
+        if config.faults.active:
+            from repro.faults.layer import attach_fault_layer
+
+            # this shard's slice: outgoing inter-cluster links (boundary
+            # links included), owned switches, owned GPUs' RDMA engines —
+            # every fault event lands on exactly one shard
+            attach_fault_layer(
+                config.faults,
+                inter_links=self.topology.inter_links,
+                switches=self.topology.switches.values(),
+                rdma_engines=[gpu.rdma for gpu in self.gpus.values()],
+                stats=self.stats,
+                flit_size=config.flit_size,
+            )
         self._workload: Optional[WorkloadTrace] = None
         self._kernel_index = 0
         self._wavefronts_remaining = 0

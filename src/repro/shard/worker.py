@@ -59,14 +59,14 @@ class ContextStash:
         self._next_key = 0
 
     def tokenize(self, items: List[MailItem]) -> None:
+        # every non-token context is stashed, not just those carrying an
+        # on_complete closure: the fault backstop marks ``ctx.completed``
+        # on the requester's original object, which a pickled copy of a
+        # WRITE/INV context (on_complete=None) could never reach
         for item in items:
             for packet in _packets_of(item.flit):
                 ctx = packet.context
-                if (
-                    ctx is not None
-                    and not isinstance(ctx, CtxToken)
-                    and getattr(ctx, "on_complete", None) is not None
-                ):
+                if ctx is not None and not isinstance(ctx, CtxToken):
                     key = self._next_key
                     self._next_key = key + 1
                     self._store[key] = ctx

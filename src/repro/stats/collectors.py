@@ -165,6 +165,71 @@ class LatencyStat:
         return stat
 
 
+class FaultStats:
+    """Fault-injection and reliability-layer counters for one run.
+
+    Exists only when the fault subsystem is attached
+    (``RunStats.faults`` stays ``None`` otherwise, keeping fault-free
+    serialization byte-identical to builds without the subsystem).
+    Merging is deterministic: plain counters sum and the recovery
+    histogram merges through :class:`LatencyStat`'s order-independent
+    bottom-k, so sharded runs aggregate to the single-engine totals.
+    """
+
+    def __init__(self) -> None:
+        # link-level fault events (wire transmissions, not unique flits:
+        # a flit corrupted twice counts twice)
+        self.flits_corrupted = 0
+        self.bytes_corrupted = 0
+        self.flits_dropped = 0
+        self.bytes_dropped = 0
+        # reliability-layer recoveries
+        self.flits_retransmitted = 0
+        self.bytes_retransmitted = 0
+        #: faulted transmissions the link layer gave up on (recovery
+        #: falls to the RDMA backstop); conservation invariant:
+        #: corrupted + dropped == retransmitted + abandoned at drain
+        self.flits_abandoned = 0
+        # switch-ingress CRC outcomes (wire flits, stitched or not)
+        self.crc_ok = 0
+        self.crc_fail = 0
+        # requester-level backstop
+        self.rdma_retries = 0
+        self.rdma_duplicate_responses = 0
+        # flap bookkeeping: transmissions started at degraded bandwidth
+        self.degraded_flits = 0
+        #: cycles from a flit's first faulted transmission to its first
+        #: clean delivery
+        self.recovery_latency = LatencyStat()
+
+    def merge(self, other: "FaultStats") -> None:
+        for key, value in vars(other).items():
+            mine = getattr(self, key)
+            if isinstance(value, LatencyStat):
+                mine.merge(value)
+            else:
+                setattr(self, key, mine + value)
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {}
+        for key, value in vars(self).items():
+            if isinstance(value, LatencyStat):
+                out[key] = {"__latency__": value.to_dict()}
+            else:
+                out[key] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultStats":
+        stats = cls()
+        for key, value in data.items():
+            if isinstance(value, dict) and "__latency__" in value:
+                setattr(stats, key, LatencyStat.from_dict(value["__latency__"]))
+            else:
+                setattr(stats, key, value)
+        return stats
+
+
 class RunStats:
     """Counters updated in place by CUs, GMMUs, RDMA engines, etc.
 
@@ -206,6 +271,10 @@ class RunStats:
         self.coherence_inv_sent = 0
         self.coherence_inv_sent_inter = 0
         self.coherence_inv_received = 0
+        # fault-injection / reliability counters; created lazily by the
+        # fault layer so fault-free runs serialize without the block
+        # (digest discipline: off means byte-identical output)
+        self.faults: Optional[FaultStats] = None
         # execution milestones
         self.kernel_count = 0
         self.finish_cycle: Optional[int] = None
@@ -246,13 +315,18 @@ class RunStats:
         they are skipped here and assigned explicitly after merging.
         """
         for key, value in vars(other).items():
-            if key in ("kernel_count", "finish_cycle"):
+            if key in ("kernel_count", "finish_cycle") or value is None:
                 continue
             mine = getattr(self, key)
             if isinstance(value, LatencyStat):
                 mine.merge(value)
             elif isinstance(value, Counter):
                 mine.update(value)
+            elif isinstance(value, FaultStats):
+                if mine is None:
+                    mine = FaultStats()
+                    setattr(self, key, mine)
+                mine.merge(value)
             else:
                 setattr(self, key, mine + value)
 
@@ -271,6 +345,13 @@ class RunStats:
                 out[key] = {"__latency__": value.to_dict()}
             elif isinstance(value, Counter):
                 out[key] = {"__counter__": sorted(value.items())}
+            elif isinstance(value, FaultStats):
+                out[key] = {"__faults__": value.to_dict()}
+            elif value is None and key != "finish_cycle":
+                # optional sub-stat blocks (``faults``) are omitted when
+                # absent, so enabling-capable builds serialize
+                # byte-identically to builds without them
+                continue
             else:
                 out[key] = value
         return out
@@ -284,6 +365,8 @@ class RunStats:
             elif isinstance(value, dict) and "__counter__" in value:
                 pairs: List = value["__counter__"]
                 setattr(stats, key, Counter({int(k): int(v) for k, v in pairs}))
+            elif isinstance(value, dict) and "__faults__" in value:
+                setattr(stats, key, FaultStats.from_dict(value["__faults__"]))
             else:
                 setattr(stats, key, value)
         return stats

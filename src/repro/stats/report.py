@@ -145,3 +145,35 @@ class RunResult:
 
     def mean_inter_read_latency(self) -> float:
         return self.stats.remote_read_latency_inter.mean()
+
+    # -- fault injection (repro.faults) -------------------------------------
+
+    def raw_throughput(self) -> float:
+        """Inter-cluster wire bytes per cycle, faults and retries included."""
+        if self.cycles <= 0:
+            return 0.0
+        return self.inter_wire_bytes / self.cycles
+
+    def goodput(self) -> float:
+        """Inter-cluster *cleanly delivered* useful bytes per cycle.
+
+        ``inter_useful_bytes`` only counts transmissions that arrived
+        intact (corrupted/dropped copies and the padding on every copy
+        are excluded), so under fault injection ``goodput() <
+        raw_throughput()`` and their ratio is the wire efficiency.
+        """
+        if self.cycles <= 0:
+            return 0.0
+        return self.inter_useful_bytes / self.cycles
+
+    def goodput_ratio(self) -> float:
+        """Goodput as a fraction of raw wire throughput (1.0 fault-free
+        modulo padding; degrades with corruption, drops and retries)."""
+        if self.inter_wire_bytes == 0:
+            return 0.0
+        return self.inter_useful_bytes / self.inter_wire_bytes
+
+    @property
+    def fault_stats(self):
+        """The run's fault counters, or ``None`` when faults were off."""
+        return self.stats.faults

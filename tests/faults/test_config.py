@@ -1,0 +1,82 @@
+"""FaultConfig validation, the activation tri-state, and cache identity."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.faults.config import FaultConfig, FlapWindow
+
+
+def test_defaults_are_inert():
+    assert not FaultConfig().active
+    assert not SystemConfig.default().faults.active
+
+
+def test_auto_activation():
+    assert FaultConfig(ber=1e-5).active
+    assert FaultConfig(drop_rate=0.01).active
+    assert FaultConfig(flaps=(FlapWindow(0, 10, 0.5),)).active
+
+
+def test_enabled_overrides_auto():
+    assert not FaultConfig(ber=1e-5, enabled=False).active
+    assert FaultConfig(enabled=True).active
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"ber": -0.1},
+        {"ber": 1.0},
+        {"drop_rate": -0.1},
+        {"drop_rate": 1.0},
+        {"crc_latency": -1},
+        {"drop_timeout": 0},
+        {"rdma_timeout": 0},
+        {"max_link_retries": -1},
+        {"max_rdma_retries": -1},
+        {"rdma_timeout": 100, "rdma_backoff_cap": 50},
+    ],
+)
+def test_rejects_bad_values(kwargs):
+    with pytest.raises(ValueError):
+        FaultConfig(**kwargs)
+
+
+def test_rejects_bad_flaps():
+    with pytest.raises(ValueError):
+        FlapWindow(10, 10, 0.5)  # empty window
+    with pytest.raises(ValueError):
+        FlapWindow(0, 10, 0.0)  # zero bandwidth
+    with pytest.raises(ValueError):
+        FlapWindow(0, 10, 1.5)  # not a degradation
+    with pytest.raises(ValueError):  # overlapping windows
+        FaultConfig(flaps=(FlapWindow(0, 100, 0.5), FlapWindow(50, 150, 0.5)))
+    with pytest.raises(ValueError):  # out of order
+        FaultConfig(flaps=(FlapWindow(100, 200, 0.5), FlapWindow(0, 50, 0.5)))
+
+
+def test_system_config_requires_fault_config():
+    with pytest.raises(ValueError):
+        SystemConfig.default().with_overrides(faults={"ber": 0.1})
+
+
+def test_cache_fingerprint_covers_fault_config():
+    """Two points differing only in faults must hash differently."""
+    from repro.experiments.cache import fingerprint
+    from repro.experiments.runner import ExperimentPoint
+
+    plain = ExperimentPoint(workload="gups").normalized()
+    faulty = ExperimentPoint(
+        workload="gups",
+        system=SystemConfig.default().with_overrides(
+            faults=FaultConfig(ber=1e-4, seed=3)
+        ),
+    ).normalized()
+    assert fingerprint(plain) != fingerprint(faulty)
+    reseeded = ExperimentPoint(
+        workload="gups",
+        system=SystemConfig.default().with_overrides(
+            faults=FaultConfig(ber=1e-4, seed=4)
+        ),
+    ).normalized()
+    assert fingerprint(faulty) != fingerprint(reseeded)

@@ -1,0 +1,72 @@
+"""Fault injection must not break the sharded simulator's bit-identity.
+
+The fault RNG is keyed on packet *content*, never on allocation order or
+shard-striped IDs, and every fault timer is a local event on the shard
+that owns the link — so a faulty run must digest identically whether it
+executes on one engine, on sequential windowed shards, or in worker
+processes.
+"""
+
+import pytest
+
+from repro.bench.smoke import results_digest
+from repro.config import SystemConfig
+from repro.core.config import NetCrafterConfig
+from repro.faults.config import FaultConfig, FlapWindow
+from repro.gpu.system import MultiGpuSystem
+from repro.shard.coordinator import ShardedSystem
+from repro.workloads.base import Scale
+from repro.workloads.registry import get_workload
+
+FAULTS = FaultConfig(
+    ber=2e-4,
+    drop_rate=0.01,
+    flaps=(FlapWindow(200, 900, 0.25),),
+    seed=7,
+    rdma_timeout=512,
+)
+CONFIG = SystemConfig.default().with_overrides(
+    n_clusters=4, inter_link_latency=8, faults=FAULTS
+)
+
+
+def _run(node):
+    trace = get_workload("gups").build(
+        n_gpus=CONFIG.n_gpus, scale=Scale.tiny(), seed=0
+    )
+    node.load(trace)
+    return node.run()
+
+
+@pytest.fixture(scope="module")
+def single_engine():
+    return _run(
+        MultiGpuSystem(config=CONFIG, netcrafter=NetCrafterConfig.full(), seed=0)
+    )
+
+
+def test_the_reference_run_actually_faults(single_engine):
+    f = single_engine.stats.faults
+    assert f is not None and f.flits_corrupted > 0
+    assert f.flits_dropped > 0
+    assert f.flits_retransmitted > 0
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"n_shards": 2},
+        {"n_shards": 2, "parallel": True},
+        {"n_shards": 4, "parallel": True},
+    ],
+    ids=["2-sequential", "2-parallel", "4-parallel"],
+)
+def test_faulty_run_is_shard_invariant(single_engine, kwargs):
+    sharded = _run(
+        ShardedSystem(
+            config=CONFIG, netcrafter=NetCrafterConfig.full(), seed=0, **kwargs
+        )
+    )
+    assert results_digest([sharded.to_dict()]) == results_digest(
+        [single_engine.to_dict()]
+    )

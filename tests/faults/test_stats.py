@@ -1,0 +1,75 @@
+"""FaultStats aggregation and its embedding in RunStats serialization."""
+
+from repro.stats.collectors import FaultStats, RunStats
+
+
+def _sample(corrupted=3, dropped=1, latencies=(10, 20)):
+    stats = FaultStats()
+    stats.flits_corrupted = corrupted
+    stats.bytes_corrupted = corrupted * 16
+    stats.flits_dropped = dropped
+    stats.flits_retransmitted = corrupted + dropped
+    stats.crc_ok = 100
+    stats.crc_fail = corrupted
+    for latency in latencies:
+        stats.recovery_latency.record(latency)
+    return stats
+
+
+def test_merge_sums_counters_and_latency():
+    a = _sample(corrupted=3, dropped=1, latencies=(10, 20))
+    b = _sample(corrupted=2, dropped=4, latencies=(30,))
+    a.merge(b)
+    assert a.flits_corrupted == 5
+    assert a.flits_dropped == 5
+    assert a.flits_retransmitted == 10
+    assert a.crc_ok == 200
+    assert a.recovery_latency.count == 3
+    assert a.recovery_latency.mean() == 20.0
+
+
+def test_merge_is_order_independent():
+    left = _sample(corrupted=3, latencies=(10, 20))
+    left.merge(_sample(corrupted=2, latencies=(30, 5)))
+    right = _sample(corrupted=2, latencies=(30, 5))
+    right.merge(_sample(corrupted=3, latencies=(10, 20)))
+    assert left.to_dict() == right.to_dict()
+
+
+def test_round_trip():
+    original = _sample()
+    rebuilt = FaultStats.from_dict(original.to_dict())
+    assert rebuilt.to_dict() == original.to_dict()
+    assert rebuilt.recovery_latency.count == original.recovery_latency.count
+
+
+def test_run_stats_round_trip_with_faults():
+    run = RunStats()
+    run.mem_ops = 42
+    run.faults = _sample()
+    data = run.to_dict()
+    assert "__faults__" in data["faults"]
+    rebuilt = RunStats.from_dict(data)
+    assert rebuilt.faults is not None
+    assert rebuilt.faults.flits_corrupted == 3
+    assert rebuilt.to_dict() == data
+
+
+def test_run_stats_skips_faults_when_none():
+    run = RunStats()
+    data = run.to_dict()
+    assert "faults" not in data
+    rebuilt = RunStats.from_dict(data)
+    assert rebuilt.faults is None
+
+
+def test_run_stats_merge_with_one_sided_faults():
+    left = RunStats()
+    right = RunStats()
+    right.faults = _sample(corrupted=7)
+    left.merge(right)
+    assert left.faults is not None
+    assert left.faults.flits_corrupted == 7
+    # and merging a fault-free shard into a faulted one is a no-op
+    left.merge(RunStats())
+    assert left.faults.flits_corrupted == 7

@@ -1,0 +1,47 @@
+"""Fault events in the flit lifecycle trace pass schema validation."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.config import NetCrafterConfig
+from repro.faults.config import FaultConfig
+from repro.gpu.system import MultiGpuSystem
+from repro.obs import EventTracer, Observability
+from repro.obs.schema import validate_records
+from repro.workloads.base import Scale
+from repro.workloads.registry import get_workload
+
+
+@pytest.fixture(scope="module")
+def traced_faulty_run():
+    config = SystemConfig.default().with_overrides(
+        faults=FaultConfig(ber=2e-4, drop_rate=0.01, seed=7, rdma_timeout=512)
+    )
+    obs = Observability(tracer=EventTracer())
+    trace = get_workload("gups").build(
+        n_gpus=config.n_gpus, scale=Scale.tiny(), seed=0
+    )
+    system = MultiGpuSystem(
+        config=config, netcrafter=NetCrafterConfig.full(), seed=0, obs=obs
+    )
+    system.load(trace)
+    result = system.run()
+    return result, obs.tracer
+
+
+def test_faulty_trace_validates(traced_faulty_run):
+    _, tracer = traced_faulty_run
+    assert validate_records(tracer.events()) == []
+
+
+def test_fault_events_present(traced_faulty_run):
+    result, tracer = traced_faulty_run
+    counts = tracer.count_by_event()
+    for event in ("corrupt", "drop", "retransmit", "crc_ok"):
+        assert counts.get(event, 0) > 0, f"no {event!r} events"
+    # the trace and the counters tell the same story
+    f = result.stats.faults
+    assert counts["corrupt"] == f.flits_corrupted == f.crc_fail
+    assert counts["drop"] == f.flits_dropped
+    assert counts["retransmit"] == f.flits_retransmitted
+    assert counts["crc_ok"] == f.crc_ok

@@ -18,7 +18,13 @@ def _load(name):
 
 @pytest.mark.parametrize(
     "name",
-    ["quickstart", "custom_workload", "topology_explorer", "netcrafter_ablation"],
+    [
+        "quickstart",
+        "custom_workload",
+        "topology_explorer",
+        "netcrafter_ablation",
+        "fault_injection",
+    ],
 )
 def test_example_imports(name):
     module = _load(name)
