@@ -1,9 +1,11 @@
 #!/usr/bin/env python3
-"""Explore bandwidth configurations and cluster shapes (paper §5.5).
+"""Explore bandwidth configurations, cluster shapes, and fabric shapes.
 
-Sweeps the inter/intra-cluster bandwidth ratio (Figure 22) and the
-cluster topology itself (2x2 vs 4x2 vs 2x4), reporting how much headroom
-the ideal network has and how much of it NetCrafter recovers.
+Sweeps the inter/intra-cluster bandwidth ratio (Figure 22, paper §5.5),
+the cluster topology itself (2x2 vs 4x2 vs 2x4), and finally tours the
+topology zoo (``repro.network.topologies``) — mesh, ring, star,
+fat_tree, torus3d — reporting how much headroom the ideal network has
+and how much of it NetCrafter recovers on each fabric.
 """
 
 from repro import (
@@ -14,6 +16,7 @@ from repro import (
     geometric_mean,
     get_workload,
 )
+from repro.network.topologies import get_topology, topology_names
 
 WORKLOADS = ["gups", "mis", "spmv", "mt"]
 SCALE = Scale.small()
@@ -67,8 +70,37 @@ def main() -> None:
             f"{row['ideal']:7.2f} {row['netcrafter']:11.2f}"
         )
 
+    print("\n== fabric zoo (4 clusters x 1 GPU, 128:16 GB/s) ==")
+    print(f"{'fabric':>10s} {'cycles':>8s} {'netcrafter':>11s}  shape")
+    for fabric in topology_names():
+        cfg = SystemConfig.default().with_overrides(
+            n_clusters=4, gpus_per_cluster=1, inter_topology=fabric
+        )
+        base = run("gups", cfg, NetCrafterConfig.baseline())
+        crafted = run("gups", cfg, NetCrafterConfig.full())
+        print(
+            f"{fabric:>10s} {base.cycles:8d} "
+            f"{crafted.speedup_over(base):11.2f}  "
+            f"{get_topology(fabric).describe(cfg)}"
+        )
+
+    print("\n== non-uniform fabric (star with thin uplinks) ==")
+    skewed = SystemConfig.default().with_overrides(
+        n_clusters=4,
+        gpus_per_cluster=1,
+        inter_topology="star",
+        link_bw_overrides={"up": 8.0, "down": 32.0},
+    )
+    base = run("gups", skewed, NetCrafterConfig.baseline())
+    crafted = run("gups", skewed, NetCrafterConfig.full())
+    print(
+        f"8 GB/s up / 32 GB/s down: baseline {base.cycles} cycles, "
+        f"NetCrafter {crafted.speedup_over(base):.2f}x"
+    )
+
     print("\nNetCrafter recovers a large share of the ideal network's headroom,")
-    print("and keeps helping even at milder ratios and bigger topologies.")
+    print("and keeps helping even at milder ratios, bigger topologies, and")
+    print("non-mesh fabrics (see `python -m repro.experiments ext_topology`).")
 
 
 if __name__ == "__main__":

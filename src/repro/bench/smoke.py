@@ -42,6 +42,27 @@ _WORKLOADS_FULL = ("gups", "mt", "mis", "spmv")
 _WORKLOADS_QUICK = ("gups", "mt")
 
 
+def topology_smoke_config(topology: str = "mesh") -> SystemConfig:
+    """The node each topology's smoke grid runs on.
+
+    ``mesh`` keeps the historical default 2x2 node so its digests (and
+    the committed gate entries) are untouched; every other fabric runs a
+    small single-GPU-per-cluster node — 8 clusters for ``torus3d`` (a
+    true 2x2x2 grid) and 4 for the rest — sized so the grid stays fast
+    while still exercising virtual switches, multi-hop routes, and
+    2-shard boundaries.
+    """
+    if topology == "mesh":
+        return SystemConfig.default()
+    if topology == "torus3d":
+        return SystemConfig.default().with_overrides(
+            n_clusters=8, gpus_per_cluster=1, inter_topology="torus3d"
+        )
+    return SystemConfig.default().with_overrides(
+        n_clusters=4, gpus_per_cluster=1, inter_topology=topology
+    )
+
+
 def smoke_points(quick: bool = False) -> List[Tuple[str, str]]:
     """The (workload, variant) grid, as stable labels for the report."""
     workloads = _WORKLOADS_QUICK if quick else _WORKLOADS_FULL
@@ -102,6 +123,7 @@ def run_smoke_grid(
     window=None,
     parallel: bool = False,
     system_config: SystemConfig = None,
+    topology: str = "mesh",
 ):
     """Simulate the grid; returns (results, total_events, total_cycles).
 
@@ -110,12 +132,15 @@ def run_smoke_grid(
     the single engine; by the lookahead-window construction the results
     — and therefore the digest — are byte-identical.
 
-    ``system_config`` overrides the default node — the fault-injection
+    ``topology`` selects the fabric's standard smoke node
+    (:func:`topology_smoke_config`); every registered topology carries
+    its own committed digest entries, gated identically to the mesh.
+    ``system_config`` overrides the node entirely — the fault-injection
     inertness gate reruns the grid with disabled fault configs and
     requires the committed digest back.
     """
     if system_config is None:
-        system_config = SystemConfig.default()
+        system_config = topology_smoke_config(topology)
     scale = Scale.small()
     results = []
     total_events = 0
@@ -225,8 +250,10 @@ def bench_sharded_speedup(quick: bool = False) -> Tuple[int, Dict[str, object]]:
 # -- CLI: the CI shard-smoke gate --------------------------------------------
 
 
-def _grid_key(quick: bool) -> str:
-    return "quick" if quick else "full"
+def _grid_key(quick: bool, topology: str = "mesh") -> str:
+    """Digest-file key: historical bare keys for mesh, prefixed otherwise."""
+    grid = "quick" if quick else "full"
+    return grid if topology == "mesh" else f"{topology}:{grid}"
 
 
 def main(argv=None) -> int:
@@ -246,6 +273,13 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--quick", action="store_true", help="gups+mt grid instead of all four"
+    )
+    parser.add_argument(
+        "--topology",
+        default="mesh",
+        metavar="SHAPE",
+        help="inter-cluster fabric to smoke (any registered topology; "
+        "default mesh, the paper fabric, on the historical 2x2 node)",
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
@@ -286,12 +320,23 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    from repro.network.topologies import topology_names
+
+    if args.topology not in topology_names():
+        print(
+            f"unknown topology {args.topology!r}; "
+            f"registered: {', '.join(topology_names())}",
+            file=sys.stderr,
+        )
+        return 2
+    grid_key = _grid_key(args.quick, args.topology)
     results, events, cycles = run_smoke_grid(
         quick=args.quick,
         seed=args.seed,
         n_shards=args.shards,
         window=args.window,
         parallel=args.parallel,
+        topology=args.topology,
     )
     digest = results_digest([r.to_dict() for r in results])
     mode = (
@@ -301,7 +346,7 @@ def main(argv=None) -> int:
         + ("process-parallel" if args.parallel else "sequential-windowed")
     )
     print(
-        f"smoke grid [{_grid_key(args.quick)}] {mode}: "
+        f"smoke grid [{grid_key}] {mode}: "
         f"{len(results)} points, {cycles} cycles, {events} events"
     )
     print(f"digest {digest}")
@@ -310,11 +355,11 @@ def main(argv=None) -> int:
     expected = args.expect_digest
     if args.expect_file:
         committed = json.loads(Path(args.expect_file).read_text())
-        expected = committed.get(_grid_key(args.quick))
+        expected = committed.get(grid_key)
         if expected is None:
             print(
                 f"{args.expect_file} has no entry for the "
-                f"{_grid_key(args.quick)!r} grid",
+                f"{grid_key!r} grid",
                 file=sys.stderr,
             )
             return 2
@@ -328,7 +373,7 @@ def main(argv=None) -> int:
     if args.write_file:
         path = Path(args.write_file)
         doc = json.loads(path.read_text()) if path.exists() else {}
-        doc[_grid_key(args.quick)] = digest
+        doc[grid_key] = digest
         path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
         print(f"recorded digest in {path}")
     return exit_code

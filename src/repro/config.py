@@ -17,7 +17,7 @@ Two scales are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.faults.config import FaultConfig
 
@@ -29,11 +29,27 @@ class SystemConfig:
     # topology
     n_clusters: int = 2
     gpus_per_cluster: int = 2
-    #: inter-cluster fabric shape: ``"mesh"`` = a direct link per cluster
-    #: pair (the paper's two-cluster node trivially satisfies this);
-    #: ``"ring"`` = links between adjacent clusters only, multi-hop
-    #: shortest-path routing through intermediate switches
+    #: inter-cluster fabric shape, resolved through the pluggable
+    #: topology zoo (:mod:`repro.network.topologies`).  Shipped shapes:
+    #: ``"mesh"`` (a direct link per cluster pair — the paper's
+    #: two-cluster node trivially satisfies this), ``"ring"`` (adjacent
+    #: neighbours, multi-hop shortest-path routing), ``"star"`` (a
+    #: DGX-style central hub switch), ``"fat_tree"`` (2-level
+    #: leaf/spine), ``"torus3d"`` (wraparound 3D grid)
     inter_topology: str = "mesh"
+    #: per-bandwidth-class overrides for inter-switch links, as a sorted
+    #: tuple of ``(class_name, bytes_per_cycle)`` pairs (a dict is
+    #: accepted and normalized).  Classes not listed fall back to
+    #: ``inter_cluster_bw``; valid names come from the topology's
+    #: ``bw_classes`` (e.g. ``up``/``down`` for star and fat_tree,
+    #: ``x``/``y``/``z`` for torus3d, ``inter`` for mesh/ring)
+    link_bw_overrides: Tuple[Tuple[str, float], ...] = ()
+    #: fat_tree only: spine-tier thinning factor; the spine count is
+    #: ``max(1, n_clusters // (2 * oversubscription))``
+    fat_tree_oversubscription: int = 1
+    #: torus3d only: the ``(x, y, z)`` grid; ``None`` picks the most
+    #: cube-like factorization of ``n_clusters``
+    torus_dims: Optional[Tuple[int, int, int]] = None
     # compute
     cus_per_gpu: int = 8
     max_wavefronts_per_cu: int = 8
@@ -102,12 +118,56 @@ class SystemConfig:
             raise ValueError("topology must have at least one cluster and GPU")
         if self.coherence not in ("software", "hardware"):
             raise ValueError("coherence must be 'software' or 'hardware'")
-        if self.inter_topology not in ("mesh", "ring"):
-            raise ValueError("inter_topology must be 'mesh' or 'ring'")
         if self.inter_link_latency is not None and self.inter_link_latency < 1:
             raise ValueError("inter_link_latency must be at least 1 cycle")
         if not isinstance(self.faults, FaultConfig):
             raise ValueError("faults must be a repro.faults FaultConfig")
+        self._validate_topology()
+
+    def _validate_topology(self) -> None:
+        """Resolve and validate the fabric shape through the topology zoo.
+
+        Imported lazily: :mod:`repro.network.topologies` is standalone
+        (it imports nothing from ``repro``), but importing it at module
+        level here would cycle through ``repro.network.__init__`` back
+        into this module.
+        """
+        from repro.network.topologies import get_topology
+
+        if self.fat_tree_oversubscription < 1:
+            raise ValueError(
+                "fat_tree_oversubscription must be >= 1, got "
+                f"{self.fat_tree_oversubscription}"
+            )
+        if self.torus_dims is not None and not isinstance(self.torus_dims, tuple):
+            object.__setattr__(self, "torus_dims", tuple(self.torus_dims))
+        overrides = self.link_bw_overrides
+        if isinstance(overrides, dict):
+            overrides = overrides.items()
+        try:
+            normalized = tuple(
+                sorted((str(cls), float(bw)) for cls, bw in overrides)
+            )
+        except (TypeError, ValueError):
+            raise ValueError(
+                "link_bw_overrides must map bandwidth-class names to "
+                f"bytes/cycle, got {self.link_bw_overrides!r}"
+            ) from None
+        object.__setattr__(self, "link_bw_overrides", normalized)
+        spec = get_topology(self.inter_topology)  # raises on unknown name
+        spec.validate(self)
+        for cls, bw in normalized:
+            if cls not in spec.bw_classes:
+                raise ValueError(
+                    f"bandwidth class {cls!r} is not used by topology "
+                    f"{self.inter_topology!r} "
+                    f"(classes: {', '.join(spec.bw_classes)})"
+                )
+            if bw <= 0:
+                raise ValueError(
+                    f"bandwidth override for class {cls!r} must be "
+                    f"positive, got {bw}"
+                )
 
     # -- topology helpers ----------------------------------------------------
 
@@ -127,6 +187,17 @@ class SystemConfig:
     @property
     def bandwidth_ratio(self) -> float:
         return self.intra_cluster_bw / self.inter_cluster_bw
+
+    def bandwidth_of(self, bw_class: str) -> float:
+        """Bytes/cycle for an inter-switch link of ``bw_class``.
+
+        Per-class overrides (``link_bw_overrides``) win; everything else
+        runs at the uniform ``inter_cluster_bw``.
+        """
+        for cls, bw in self.link_bw_overrides:
+            if cls == bw_class:
+                return bw
+        return self.inter_cluster_bw
 
     @property
     def effective_inter_link_latency(self) -> int:

@@ -54,6 +54,7 @@ DRIVERS: Dict[str, Callable] = {
     "ext_coherence": extensions.ext_hw_coherence,
     "ext_coherence_traffic": extensions.ext_coherence_traffic,
     "ext_scaling": extensions.ext_scaling,
+    "ext_topology": extensions.ext_topology,
     "ext_placement": extensions.ext_placement,
     "ext_energy": extensions.ext_energy,
     "chaos": chaos.chaos_ber_sweep,
@@ -64,6 +65,12 @@ SCALES = {
     "standard": ExperimentScale.standard,
     "full": lambda: ExperimentScale(scale=Scale.default()),
 }
+
+
+def _topology_choices():
+    from repro.network.topologies import topology_names
+
+    return topology_names()
 
 
 def _print_tables() -> None:
@@ -150,6 +157,29 @@ def main(argv=None) -> int:
         action="store_true",
         help="drive the shards round-robin in this process instead of "
         "worker processes (debugging / digest comparisons)",
+    )
+    topo_group = parser.add_argument_group(
+        "topology",
+        "re-run any target on a different inter-cluster fabric from the "
+        "topology zoo (repro.network.topologies); applies to every "
+        "simulation point, and the 'ext_topology' target sweeps the "
+        "whole zoo in one figure",
+    )
+    topo_group.add_argument(
+        "--topology",
+        choices=_topology_choices(),
+        default=None,
+        metavar="SHAPE",
+        help="inter-cluster fabric for every point "
+        f"(one of: {', '.join(_topology_choices())})",
+    )
+    topo_group.add_argument(
+        "--bw-class",
+        action="append",
+        default=None,
+        metavar="CLASS=BW",
+        help="per-class link bandwidth override in bytes/cycle, e.g. "
+        "'up=32' for a star/fat_tree uplink tier (repeatable)",
     )
     fault_group = parser.add_argument_group(
         "fault injection",
@@ -271,6 +301,30 @@ def main(argv=None) -> int:
                 if args.fault_seed is not None
                 else defaults.seed,
             )
+        )
+
+    if args.topology is not None or args.bw_class:
+        overrides = {}
+        if args.topology is not None:
+            overrides["inter_topology"] = args.topology
+        if args.bw_class:
+            bw = {}
+            for spec in args.bw_class:
+                cls, sep, value = spec.partition("=")
+                if not sep or not cls:
+                    parser.error(f"--bw-class wants CLASS=BW, got {spec!r}")
+                try:
+                    bw[cls] = float(value)
+                except ValueError:
+                    parser.error(f"bad bandwidth in --bw-class {spec!r}")
+            overrides["link_bw_overrides"] = tuple(sorted(bw.items()))
+        try:
+            runner.set_system_overrides(**overrides)
+        except ValueError as exc:
+            parser.error(str(exc))
+        print(
+            "topology overrides: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(overrides.items()))
         )
 
     if args.targets == ["list"]:

@@ -32,8 +32,9 @@ from repro.stats.report import RunResult
 
 #: bump whenever simulator output changes for the same configuration
 #: (2: LatencyStat cache payloads switched to histogram serialization;
-#: 3: fault-injection stats block added to RunStats serialization)
-CACHE_FORMAT_VERSION = 3
+#: 3: fault-injection stats block added to RunStats serialization;
+#: 4: topology-zoo config fields + exact degraded-bandwidth busy time)
+CACHE_FORMAT_VERSION = 4
 
 
 def _json_default(obj: object) -> object:

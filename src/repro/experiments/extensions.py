@@ -139,6 +139,70 @@ def ext_scaling(exp: Optional[ExperimentScale] = None) -> FigureResult:
     )
 
 
+#: topology-zoo sweep points: every registered fabric on a fixed
+#: 4-cluster x 1-GPU node, so differences are purely the fabric shape
+TOPOLOGY_ZOO = ("mesh", "ring", "star", "fat_tree", "torus3d")
+
+
+def _zoo_system(fabric: str) -> SystemConfig:
+    return SystemConfig.default().with_overrides(
+        n_clusters=4, gpus_per_cluster=1, inter_topology=fabric
+    )
+
+
+def ext_topology(exp: Optional[ExperimentScale] = None) -> FigureResult:
+    """NetCrafter across the topology zoo (extension).
+
+    Holds the node fixed (4 clusters x 1 GPU) and sweeps every
+    registered inter-cluster fabric.  Series, per fabric:
+
+    * ``netcrafter`` — full NetCrafter's geomean speedup over that
+      fabric's own baseline (does stitching/trimming survive hubs,
+      spines, and dimension-ordered routing?);
+    * ``baseline_vs_mesh`` — the fabric's baseline cycles relative to
+      the mesh baseline (how much the shape itself costs, >1 = slower).
+    """
+    exp = exp or ExperimentScale.standard()
+    nc = NetCrafterConfig.full()
+    prefetch_variants(
+        exp,
+        [
+            variant
+            for fabric in TOPOLOGY_ZOO
+            for variant in ((_zoo_system(fabric), None), (_zoo_system(fabric), nc))
+        ],
+    )
+    labels: List[str] = []
+    crafted_series: List[float] = []
+    shape_cost_series: List[float] = []
+    mesh_cycles: Dict[str, int] = {}
+    for name in exp.workload_names():
+        run = run_one(name, system=_zoo_system("mesh"), scale=exp.scale, seed=exp.seed)
+        mesh_cycles[name] = run.cycles
+    for fabric in TOPOLOGY_ZOO:
+        system = _zoo_system(fabric)
+        crafted_speedups, shape_costs = [], []
+        for name in exp.workload_names():
+            base = run_one(name, system=system, scale=exp.scale, seed=exp.seed)
+            crafted = run_one(
+                name, system=system, netcrafter=nc, scale=exp.scale, seed=exp.seed
+            )
+            crafted_speedups.append(crafted.speedup_over(base))
+            shape_costs.append(base.cycles / mesh_cycles[name])
+        labels.append(fabric)
+        crafted_series.append(geometric_mean(crafted_speedups))
+        shape_cost_series.append(geometric_mean(shape_costs))
+    return FigureResult(
+        "ext_topology",
+        "Full NetCrafter across the inter-cluster topology zoo",
+        labels,
+        {"netcrafter": crafted_series, "baseline_vs_mesh": shape_cost_series},
+        notes="star/fat_tree pay two store-and-forward hops through "
+        "virtual switches and torus3d routes dimension-ordered; "
+        "NetCrafter's per-link mechanisms apply unchanged on every hop",
+    )
+
+
 def ext_energy(exp: Optional[ExperimentScale] = None) -> FigureResult:
     """Network energy with NetCrafter, normalized to the baseline.
 

@@ -103,11 +103,21 @@ class ExperimentPoint:
     seed: int = 0
 
     def normalized(self) -> "ExperimentPoint":
-        if self.system is not None and self.netcrafter is not None and self.scale is not None:
+        system = self.system or SystemConfig.default()
+        if _system_overrides:
+            # global topology/bandwidth overrides (the CLI's --topology /
+            # --bw-class) reshape every point, explicit systems included;
+            # idempotent, so re-normalizing cannot double-apply
+            system = system.with_overrides(**_system_overrides)
+        if (
+            system is self.system
+            and self.netcrafter is not None
+            and self.scale is not None
+        ):
             return self
         return ExperimentPoint(
             workload=self.workload,
-            system=self.system or SystemConfig.default(),
+            system=system,
             netcrafter=self.netcrafter or NetCrafterConfig.baseline(),
             scale=self.scale or Scale.small(),
             seed=self.seed,
@@ -265,6 +275,30 @@ _disk_cache: Optional[ResultCache] = None
 _obs_options: Optional[ObservabilityOptions] = None
 #: module-level for the same reason; seeded from the environment
 _sharding_options: Optional[ShardingOptions] = ShardingOptions.from_env()
+#: SystemConfig field overrides applied to every point at normalization
+#: (the CLI's --topology/--bw-class); module-level so forked run_many
+#: workers inherit it, though points are normalized before pickling
+_system_overrides: Dict[str, object] = {}
+
+
+def set_system_overrides(**overrides: object) -> None:
+    """Apply ``SystemConfig`` field overrides to every subsequent point.
+
+    Used by the CLI's topology flags so a whole figure sweep can be
+    re-run on a different fabric (``inter_topology``, per-class
+    ``link_bw_overrides``, ...).  Overrides are validated eagerly
+    against the default config so bad values fail here, not deep inside
+    a worker.  Call with no arguments to clear.
+    """
+    global _system_overrides
+    if overrides:
+        SystemConfig.default().with_overrides(**overrides)  # validate
+    _system_overrides = dict(overrides)
+
+
+def system_overrides() -> Dict[str, object]:
+    """The active global system overrides (empty when disabled)."""
+    return dict(_system_overrides)
 
 
 def set_sharding(options: Optional[ShardingOptions]) -> None:

@@ -15,10 +15,21 @@ from repro.network.packet import (
 )
 from repro.network.flit import Flit, StitchKind, StitchSegment, segment_packet
 from repro.network.link import FlitLink, PacketLink
-from repro.network.switch import ClusterSwitch, ReassemblyBuffer
+from repro.network.switch import ClusterSwitch, ReassemblyBuffer, RoutingError
+from repro.network.topologies import (
+    TopologySpec,
+    get_topology,
+    register_topology,
+    topology_names,
+)
 from repro.network.topology import Topology, build_topology
 
 __all__ = [
+    "RoutingError",
+    "TopologySpec",
+    "get_topology",
+    "register_topology",
+    "topology_names",
     "Packet",
     "PacketType",
     "HEADER_BYTES",

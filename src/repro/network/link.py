@@ -29,7 +29,7 @@ once at query time.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.faults.process import FATE_CORRUPT, FATE_OK, CorruptedTransmission
 from repro.obs.tracer import Traced
@@ -51,8 +51,13 @@ __all__ = [
 #: schedule-key offset placing flit deliveries before every same-cycle
 #: locally scheduled event (whose skeys are non-negative cycle numbers)
 DELIVERY_SKEY_BASE = -(1 << 60)
-#: per-sequence spread of delivery ranks; bounds ``delivery_rank`` (one
-#: rank per directed inter-cluster link: src * n_clusters + dst < 64**2)
+#: default per-sequence spread of delivery ranks (one rank per directed
+#: inter-cluster link: src * n_nodes + dst).  Sufficient for fabrics of
+#: up to 64 switch nodes; the topology builder installs a wider
+#: ``delivery_span`` on every link of larger fabrics
+#: (:func:`repro.network.topology.delivery_span_for`), because a rank
+#: >= the span would alias with the next sequence step of another link
+#: and corrupt deterministic same-cycle delivery order
 DELIVERY_RANK_SPAN = 4096
 
 
@@ -90,13 +95,40 @@ class LinkStats:
         self.packets = 0
         self.wire_bytes = 0
         self.useful_bytes = 0
-        #: extra busy time from transmissions at degraded (flapped)
-        #: bandwidth, beyond what ``busy_bytes`` at the nominal rate
-        #: accounts for; only ever nonzero under fault-injected flaps
-        self.busy_extra = 0.0
+        #: bytes transmitted at degraded (flapped) bandwidth, keyed by
+        #: the exact rate regime ``(num, den, nom_num, nom_den)``; the
+        #: extra busy time is derived by division once at query time
+        #: (:attr:`busy_extra`), never by accumulating per-flit floats
+        self._degraded_bytes: Dict[Tuple[int, int, int, int], int] = {}
+        self._busy_extra_override = 0.0
         #: worst busy-beyond-elapsed excess ever observed by
         #: :meth:`utilization`; nonzero means some counter double-counted
         self.overcount_cycles = 0.0
+
+    def add_degraded_bytes(
+        self, nbytes: int, num: int, den: int, nom_num: int, nom_den: int
+    ) -> None:
+        """Account ``nbytes`` serialized at ``num/den`` B/cycle while the
+        nominal rate is ``nom_num/nom_den`` (a bandwidth flap)."""
+        key = (num, den, nom_num, nom_den)
+        self._degraded_bytes[key] = self._degraded_bytes.get(key, 0) + nbytes
+
+    @property
+    def busy_extra(self) -> float:
+        """Extra busy time from degraded-rate transmissions, beyond what
+        ``busy_bytes`` at the nominal rate accounts for; only ever
+        nonzero under fault-injected flaps.  Derived per rate regime
+        with one division each, so it carries a few ulps of rounding no
+        matter how many flits a flap covered."""
+        extra = self._busy_extra_override
+        for (num, den, nom_num, nom_den), nbytes in self._degraded_bytes.items():
+            extra += (nbytes * den) / num - (nbytes * nom_den) / nom_num
+        return extra
+
+    @busy_extra.setter
+    def busy_extra(self, value: float) -> None:
+        self._degraded_bytes.clear()
+        self._busy_extra_override = float(value)
 
     @property
     def busy_cycles(self) -> float:
@@ -178,8 +210,12 @@ class FlitLink(Traced, Component):
         #: ``anchor + sent_bytes / bytes_per_cycle`` exactly
         self._sent_bytes = 0
         #: topology rank breaking same-cycle ties between links (set by
-        #: the topology builder to ``src * n_clusters + dst``)
+        #: the topology builder to ``src * n_nodes + dst``)
         self.delivery_rank = 0
+        #: per-sequence rank spread; the topology builder widens it on
+        #: fabrics with more than 64 switch nodes so ranks never alias
+        #: into the next sequence step of another link
+        self.delivery_span = DELIVERY_RANK_SPAN
         #: per-link delivery counter, first component of the sub-cycle key
         self._delivery_seq = 0
 
@@ -329,10 +365,11 @@ class FlitLink(Traced, Component):
         fstats = self._fault_stats
         if self._degraded:
             # busy_bytes assumes the nominal rate; record the extra wire
-            # time a degraded-rate transmission actually took
+            # time a degraded-rate transmission actually took, as exact
+            # bytes per rate regime (divided once at query time)
             fstats.degraded_flits += 1
-            stats.busy_extra += size * (
-                den / num - self._nom_den / self._nom_num
+            stats.add_degraded_bytes(
+                size, num, den, self._nom_num, self._nom_den
             )
         arrival = self._anchor - ((-sent * den) // num) + self.latency
         if self._trace_on:
@@ -401,7 +438,7 @@ class FlitLink(Traced, Component):
         """The sub-cycle schedule key for this link's next delivery."""
         seq = self._delivery_seq
         self._delivery_seq = seq + 1
-        return DELIVERY_SKEY_BASE + seq * DELIVERY_RANK_SPAN + self.delivery_rank
+        return DELIVERY_SKEY_BASE + seq * self.delivery_span + self.delivery_rank
 
     def _deliver(self, arrival: int, flit: Flit) -> None:
         """Hand the flit to the sink at ``arrival``.

@@ -21,6 +21,16 @@ from repro.network.link import PacketLink
 from repro.network.packet import Packet
 
 
+class RoutingError(RuntimeError):
+    """A switch had no egress toward a packet's destination cluster.
+
+    Raised instead of the old silent fallback (assume a direct link and
+    die in an opaque ``KeyError``), so a topology with a missing or
+    wrong route table entry fails loudly, naming the switch, the
+    destination, and what routes/ports it actually has.
+    """
+
+
 class DuplicateFlitError(RuntimeError):
     """A flit index arrived twice (or out of range) for the same packet.
 
@@ -119,8 +129,9 @@ class ClusterSwitch(Traced, Component):
         self.flit_size = flit_size
         self._gpu_links: Dict[int, PacketLink] = {}
         self._egress: Dict[int, "EgressControllerProtocol"] = {}
-        #: dst cluster -> neighbouring cluster whose egress link to use;
-        #: identity by default (direct mesh), set by ring topologies
+        #: dst cluster -> neighbouring node whose egress link to use;
+        #: identity by default (direct mesh), installed from the
+        #: topology spec's route table for multi-hop fabrics
         self._next_hop: Dict[int, int] = {}
         self.reassembly = ReassemblyBuffer(flit_size, self._on_packet_reassembled)
         self.packets_routed = 0
@@ -199,7 +210,16 @@ class ClusterSwitch(Traced, Component):
             self._forward_local(packet)
         else:
             via = self._next_hop.get(dst_cluster, dst_cluster)
-            self._egress[via].accept_packet(packet)
+            egress = self._egress.get(via)
+            if egress is None:
+                raise RoutingError(
+                    f"{self.name} (node {self.cluster_id}) cannot route "
+                    f"packet {packet.pid} toward cluster {dst_cluster}: "
+                    f"next hop {via} has no egress port "
+                    f"(egress ports: {sorted(self._egress)}; "
+                    f"installed routes: {dict(sorted(self._next_hop.items()))})"
+                )
+            egress.accept_packet(packet)
 
     def _forward_local(self, packet: Packet) -> None:
         link = self._gpu_links[packet.dst_gpu]

@@ -1,0 +1,412 @@
+"""Pluggable inter-cluster topology registry (the "topology zoo").
+
+Each :class:`TopologySpec` describes one fabric shape purely as data —
+no simulator objects — so both :mod:`repro.config` (validation) and
+:mod:`repro.network.topology` (construction) can consume it without an
+import cycle.  A spec contributes three things:
+
+* :meth:`~TopologySpec.edges` — the directed inter-switch edge list in a
+  **canonical order**: sources ascending, and within one source a fixed
+  per-topology neighbour order.  This order is a load-bearing contract:
+  it defines ``Topology.inter_links`` (and the matching controller
+  list), and :mod:`repro.shard` relies on source-ascending order so a
+  shard owning a contiguous node range contributes a contiguous slice of
+  the global link list (see :func:`repro.network.topology.inter_pairs`).
+* a per-edge **bandwidth class** (``TopoEdge.bw_class``), so non-uniform
+  bandwidth is a per-link property: ``SystemConfig.link_bw_overrides``
+  maps class names to bytes/cycle, defaulting to ``inter_cluster_bw``.
+* :meth:`~TopologySpec.routes` — a shortest-path next-hop table
+  ``(node, dst_cluster) -> via_node`` installed on every built
+  :class:`~repro.network.switch.ClusterSwitch`.  Missing entries mean
+  "direct" (an edge to ``dst`` must exist, or routing fails loudly with
+  :class:`~repro.network.switch.RoutingError`).
+
+Topologies may introduce **virtual switch nodes** — switches that own no
+GPUs, like a DGX star hub or fat-tree spines.  Virtual nodes get ids
+``n_clusters .. n_nodes-1`` so they sort after every GPU cluster; the
+shard planner assigns them to the last shard, which keeps the
+contiguous-slice merge contract intact.
+
+This module is deliberately free of ``repro`` imports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Tuple
+
+
+class TopoEdge(NamedTuple):
+    """One directed switch-to-switch edge with its bandwidth class."""
+
+    src: int
+    dst: int
+    bw_class: str = "inter"
+
+
+class TopologySpec:
+    """Base class: one fabric shape's edges, classes, and routes.
+
+    ``config`` parameters are duck-typed: any object exposing
+    ``n_clusters`` (plus the topology's own knobs, e.g. ``torus_dims``
+    or ``fat_tree_oversubscription``) works, which is how the registry
+    stays import-cycle-free with :mod:`repro.config`.
+    """
+
+    name: str = ""
+    #: bandwidth class names this topology's edges may carry
+    bw_classes: Tuple[str, ...] = ("inter",)
+
+    def validate(self, config) -> None:
+        """Raise ``ValueError`` when ``config`` cannot build this shape."""
+
+    def n_nodes(self, config) -> int:
+        """Total switch nodes: GPU clusters plus any virtual switches."""
+        return config.n_clusters
+
+    def edges(self, config) -> List[TopoEdge]:
+        """Directed edges in canonical (source-ascending) order."""
+        raise NotImplementedError
+
+    def routes(self, config) -> Dict[Tuple[int, int], int]:
+        """Next-hop table ``(node, dst_cluster) -> via``; {} = all direct."""
+        return {}
+
+    def multi_hop(self, config) -> bool:
+        """True when some route crosses an intermediate switch (so
+        per-controller packet counts legally exceed endpoint traffic)."""
+        return True
+
+    def describe(self, config) -> str:
+        """One-line human description of the built shape."""
+        return f"{self.name}: {len(self.edges(config))} directed links"
+
+
+class MeshTopology(TopologySpec):
+    """The paper's fabric: a direct link per ordered cluster pair."""
+
+    name = "mesh"
+
+    def edges(self, config) -> List[TopoEdge]:
+        n = config.n_clusters
+        return [
+            TopoEdge(src, dst)
+            for src in range(n)
+            for dst in range(n)
+            if src != dst
+        ]
+
+    def multi_hop(self, config) -> bool:
+        return False
+
+    def describe(self, config) -> str:
+        n = config.n_clusters
+        return f"mesh: full bipartite, {n * (n - 1)} directed links, 1 hop"
+
+
+class RingTopology(TopologySpec):
+    """Adjacent-neighbour links; shortest-path routes, clockwise ties.
+
+    With two clusters the ring degenerates to the mesh (both directions
+    of one link), exactly as the original hard-wired builder did.
+    """
+
+    name = "ring"
+
+    def _degenerate(self, config) -> bool:
+        return config.n_clusters <= 2
+
+    def edges(self, config) -> List[TopoEdge]:
+        n = config.n_clusters
+        if self._degenerate(config):
+            return MeshTopology().edges(config)
+        return [
+            TopoEdge(src, dst)
+            for src in range(n)
+            for dst in ((src + 1) % n, (src - 1) % n)
+        ]
+
+    def routes(self, config) -> Dict[Tuple[int, int], int]:
+        # shortest-path next hops, distance ties broken clockwise;
+        # packets reassemble at every intermediate switch
+        # (store-and-forward per hop), pay its pipeline latency, and
+        # re-enter that hop's egress controller — so NetCrafter stitches
+        # per link, consistent with the paper's same-route constraint
+        if self._degenerate(config):
+            return {}
+        n = config.n_clusters
+        table: Dict[Tuple[int, int], int] = {}
+        for src in range(n):
+            for dst in range(n):
+                if src == dst:
+                    continue
+                clockwise = (dst - src) % n
+                counter = (src - dst) % n
+                via = (src + 1) % n if clockwise <= counter else (src - 1) % n
+                table[(src, dst)] = via
+        return table
+
+    def multi_hop(self, config) -> bool:
+        return not self._degenerate(config)
+
+    def describe(self, config) -> str:
+        n = config.n_clusters
+        return f"ring: {len(self.edges(config))} directed links, <= {n // 2} hops"
+
+
+class StarTopology(TopologySpec):
+    """DGX-style central switch tier: every cluster hangs off one hub.
+
+    The hub is a virtual switch (node id ``n_clusters``) owning no GPUs;
+    every cluster-to-cluster path is exactly two hops through it.  Leaf
+    uplinks carry class ``up``, hub downlinks class ``down``, so the two
+    directions can run at different bandwidths.
+    """
+
+    name = "star"
+    bw_classes = ("up", "down")
+
+    def validate(self, config) -> None:
+        if config.n_clusters < 2:
+            raise ValueError("star topology needs at least 2 clusters")
+
+    def n_nodes(self, config) -> int:
+        return config.n_clusters + 1
+
+    def hub(self, config) -> int:
+        return config.n_clusters
+
+    def edges(self, config) -> List[TopoEdge]:
+        n = config.n_clusters
+        hub = self.hub(config)
+        up = [TopoEdge(src, hub, "up") for src in range(n)]
+        down = [TopoEdge(hub, dst, "down") for dst in range(n)]
+        return up + down
+
+    def routes(self, config) -> Dict[Tuple[int, int], int]:
+        n = config.n_clusters
+        hub = self.hub(config)
+        table: Dict[Tuple[int, int], int] = {}
+        for src in range(n):
+            for dst in range(n):
+                if src != dst:
+                    table[(src, dst)] = hub
+        for dst in range(n):
+            table[(hub, dst)] = dst
+        return table
+
+    def describe(self, config) -> str:
+        n = config.n_clusters
+        return f"star: 1 hub switch, {2 * n} directed links, 2 hops"
+
+
+class FatTreeTopology(TopologySpec):
+    """Two-level leaf/spine fat tree with configurable oversubscription.
+
+    ``spines = max(1, n_clusters // (2 * oversubscription))`` — at
+    oversubscription 1 this is the classic full-bisection leaf/spine
+    (half as many spines as leaves); each doubling of the factor halves
+    the spine tier.  Spines are virtual switches (ids ``n_clusters ..``).
+    Routing spreads destinations across spines deterministically
+    (``spine = dst % spines``), the static analogue of ECMP hashing.
+    """
+
+    name = "fat_tree"
+    bw_classes = ("up", "down")
+
+    def validate(self, config) -> None:
+        if config.n_clusters < 2:
+            raise ValueError("fat_tree topology needs at least 2 clusters")
+        oversub = getattr(config, "fat_tree_oversubscription", 1)
+        if oversub < 1:
+            raise ValueError(
+                f"fat_tree_oversubscription must be >= 1, got {oversub}"
+            )
+
+    def spines(self, config) -> int:
+        oversub = getattr(config, "fat_tree_oversubscription", 1)
+        return max(1, config.n_clusters // (2 * oversub))
+
+    def n_nodes(self, config) -> int:
+        return config.n_clusters + self.spines(config)
+
+    def edges(self, config) -> List[TopoEdge]:
+        n = config.n_clusters
+        spines = self.spines(config)
+        out: List[TopoEdge] = []
+        for leaf in range(n):
+            for spine in range(spines):
+                out.append(TopoEdge(leaf, n + spine, "up"))
+        for spine in range(spines):
+            for leaf in range(n):
+                out.append(TopoEdge(n + spine, leaf, "down"))
+        return out
+
+    def routes(self, config) -> Dict[Tuple[int, int], int]:
+        n = config.n_clusters
+        spines = self.spines(config)
+        table: Dict[Tuple[int, int], int] = {}
+        for leaf in range(n):
+            for dst in range(n):
+                if leaf != dst:
+                    table[(leaf, dst)] = n + (dst % spines)
+        for spine in range(spines):
+            for dst in range(n):
+                table[(n + spine, dst)] = dst
+        return table
+
+    def describe(self, config) -> str:
+        spines = self.spines(config)
+        return (
+            f"fat_tree: {spines} spine(s), "
+            f"{len(self.edges(config))} directed links, 2 hops"
+        )
+
+
+def default_torus_dims(n: int) -> Tuple[int, int, int]:
+    """The most cube-like ``(x, y, z)`` factorization of ``n``.
+
+    Deterministic: among all ``x <= y <= z`` with ``x*y*z == n``, the
+    one maximizing ``x`` then ``y`` (8 -> 2x2x2, 4 -> 1x2x2, 6 -> 1x2x3).
+    """
+    best = (1, 1, n)
+    for x in range(1, n + 1):
+        if x * x * x > n:
+            break
+        if n % x:
+            continue
+        rest = n // x
+        for y in range(x, rest + 1):
+            if y * y > rest:
+                break
+            if rest % y:
+                continue
+            best = (x, y, rest // y)
+    return best
+
+
+class Torus3dTopology(TopologySpec):
+    """APEnet+-style 3D torus: wraparound neighbour links per dimension.
+
+    Clusters sit on an ``X x Y x Z`` grid (``torus_dims``, defaulting to
+    the most cube-like factorization of ``n_clusters``); node
+    ``(ix, iy, iz)`` is cluster ``(ix * Y + iy) * Z + iz``.  Each node
+    links to its +/- neighbour in every dimension of size > 1 (a
+    dimension of size 2 has one neighbour, not two), with per-dimension
+    bandwidth classes ``x``/``y``/``z``.  Routing is dimension-ordered
+    (x, then y, then z), shortest direction per dimension with the ring's
+    clockwise (+) tie-break — a 1x1xN torus is exactly the ring.
+    """
+
+    name = "torus3d"
+    bw_classes = ("x", "y", "z")
+
+    def dims(self, config) -> Tuple[int, int, int]:
+        dims = getattr(config, "torus_dims", None)
+        if dims is None:
+            return default_torus_dims(config.n_clusters)
+        return tuple(dims)
+
+    def validate(self, config) -> None:
+        dims = self.dims(config)
+        if len(dims) != 3 or any(d < 1 for d in dims):
+            raise ValueError(f"torus_dims must be 3 positive ints, got {dims}")
+        x, y, z = dims
+        if x * y * z != config.n_clusters:
+            raise ValueError(
+                f"torus_dims {x}x{y}x{z} != n_clusters ({config.n_clusters})"
+            )
+
+    def _coords(self, node: int, dims) -> Tuple[int, int, int]:
+        _x, y, z = dims
+        return (node // (y * z), (node // z) % y, node % z)
+
+    def _node(self, coords, dims) -> int:
+        _x, y, z = dims
+        ix, iy, iz = coords
+        return (ix * y + iy) * z + iz
+
+    def edges(self, config) -> List[TopoEdge]:
+        dims = self.dims(config)
+        out: List[TopoEdge] = []
+        for node in range(config.n_clusters):
+            coords = self._coords(node, dims)
+            for axis, cls in enumerate(self.bw_classes):
+                size = dims[axis]
+                if size <= 1:
+                    continue
+                steps = (1,) if size == 2 else (1, -1)
+                for step in steps:
+                    neigh = list(coords)
+                    neigh[axis] = (coords[axis] + step) % size
+                    out.append(TopoEdge(node, self._node(neigh, dims), cls))
+        return out
+
+    def routes(self, config) -> Dict[Tuple[int, int], int]:
+        dims = self.dims(config)
+        table: Dict[Tuple[int, int], int] = {}
+        for src in range(config.n_clusters):
+            s = self._coords(src, dims)
+            for dst in range(config.n_clusters):
+                if src == dst:
+                    continue
+                d = self._coords(dst, dims)
+                for axis in range(3):
+                    if s[axis] == d[axis]:
+                        continue
+                    size = dims[axis]
+                    forward = (d[axis] - s[axis]) % size
+                    backward = (s[axis] - d[axis]) % size
+                    step = 1 if forward <= backward else -1
+                    via = list(s)
+                    via[axis] = (s[axis] + step) % size
+                    table[(src, dst)] = self._node(via, dims)
+                    break
+        return table
+
+    def multi_hop(self, config) -> bool:
+        return config.n_clusters > 2
+
+    def describe(self, config) -> str:
+        x, y, z = self.dims(config)
+        return (
+            f"torus3d: {x}x{y}x{z} grid, "
+            f"{len(self.edges(config))} directed links, "
+            f"<= {x // 2 + y // 2 + z // 2} hops"
+        )
+
+
+_REGISTRY: Dict[str, TopologySpec] = {}
+
+
+def register_topology(spec: TopologySpec) -> TopologySpec:
+    """Add ``spec`` to the zoo (last registration of a name wins)."""
+    if not spec.name:
+        raise ValueError("topology spec needs a name")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_topology(name: str) -> TopologySpec:
+    """Look up a registered topology by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown inter_topology {name!r}; "
+            f"registered: {', '.join(topology_names())}"
+        ) from None
+
+
+def topology_names() -> List[str]:
+    """Registered topology names, sorted."""
+    return sorted(_REGISTRY)
+
+
+for _spec in (
+    MeshTopology(),
+    RingTopology(),
+    StarTopology(),
+    FatTreeTopology(),
+    Torus3dTopology(),
+):
+    register_topology(_spec)

@@ -1,10 +1,21 @@
 """Topology builder: clusters, switches, links, egress controllers.
 
-Builds the Figure 2 node: each cluster has one switch; GPUs connect to
-their cluster switch over intra-cluster bandwidth links; cluster
-switches connect pairwise over inter-cluster bandwidth links, each
-guarded by an egress controller (NetCrafter or pass-through) supplied by
-a factory so this module stays independent of :mod:`repro.core`.
+Builds the Figure 2 node generalized over the pluggable topology zoo
+(:mod:`repro.network.topologies`): each GPU cluster has one switch; GPUs
+connect to their cluster switch over intra-cluster bandwidth links; and
+the cluster switches are wired by the registered
+:class:`~repro.network.topologies.TopologySpec` named by
+``config.inter_topology`` — its directed edges become inter-cluster
+links (each guarded by an egress controller supplied by a factory so
+this module stays independent of :mod:`repro.core`), its per-edge
+bandwidth classes resolve through ``config.bandwidth_of``, and its
+shortest-path routing table is installed on every built switch.
+
+Topologies with virtual switch nodes (a star hub, fat-tree spines) get
+extra :class:`~repro.network.switch.ClusterSwitch` instances with node
+ids ``>= n_clusters`` and no attached GPUs; packets store-and-forward
+through them paying the switch pipeline latency and re-entering that
+hop's egress controller, exactly as ring forwarding always has.
 """
 
 from __future__ import annotations
@@ -13,8 +24,9 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.config import SystemConfig
-from repro.network.link import FlitLink, PacketLink
+from repro.network.link import DELIVERY_RANK_SPAN, FlitLink, PacketLink
 from repro.network.switch import ClusterSwitch
+from repro.network.topologies import TopologySpec, get_topology
 from repro.sim.engine import Engine
 
 #: ControllerFactory(name, link, src_cluster, dst_cluster) -> controller
@@ -25,19 +37,41 @@ ControllerFactory = Callable[[str, FlitLink, int, int], object]
 BoundaryLinkFactory = Callable[[str, float, int, int, int], FlitLink]
 
 
+def topology_spec(config: SystemConfig) -> TopologySpec:
+    """The registered spec for ``config.inter_topology``."""
+    return get_topology(config.inter_topology)
+
+
 def inter_pairs(config: SystemConfig) -> List[Tuple[int, int]]:
-    """Ordered (src, dst) cluster pairs, in canonical wiring order.
+    """Ordered (src, dst) node pairs, in canonical wiring order.
 
     This order defines ``Topology.inter_links`` (and the matching
     controller list), and is the contract sharded result merging relies
-    on: it iterates ``src`` ascending, so a shard owning a contiguous
-    cluster range contributes a contiguous slice, and concatenating
-    shard slices in shard order reproduces the global order.
+    on: every registered topology emits its edges with ``src``
+    ascending, so a shard owning a contiguous node range contributes a
+    contiguous slice, and concatenating shard slices in shard order
+    reproduces the global order.  (Virtual switch nodes carry ids above
+    every real cluster and belong to the last shard, so they extend the
+    last slice without breaking contiguity.)
     """
-    n = config.n_clusters
-    if config.inter_topology == "ring" and n > 2:
-        return [(src, dst) for src in range(n) for dst in ((src + 1) % n, (src - 1) % n)]
-    return [(src, dst) for src in range(n) for dst in range(n) if src != dst]
+    return [(e.src, e.dst) for e in topology_spec(config).edges(config)]
+
+
+def delivery_span_for(n_nodes: int) -> int:
+    """Per-sequence delivery-rank span for an ``n_nodes``-switch fabric.
+
+    Ranks are ``src * n_nodes + dst < n_nodes**2``, so the span is the
+    smallest power of two >= ``n_nodes**2`` that is at least the
+    historical :data:`~repro.network.link.DELIVERY_RANK_SPAN` — for any
+    fabric of up to 64 switches the span (and therefore every schedule
+    key) is unchanged, and beyond that the span grows instead of
+    silently aliasing same-cycle delivery order across links.
+    """
+    span = DELIVERY_RANK_SPAN
+    needed = n_nodes * n_nodes
+    while span < needed:
+        span *= 2
+    return span
 
 
 @dataclass
@@ -68,27 +102,27 @@ def build_topology(
     ``receive_packet`` (the :class:`repro.gpu.gpu.Gpu` assembly).
 
     With ``owned_clusters`` set, only that subset of the node is built
-    (one cluster shard): switches and intra links for owned clusters,
-    and the *outgoing* inter links of owned source clusters.  Links
-    whose destination lives in another shard are created through
+    (one cluster shard): switches and intra links for owned nodes, and
+    the *outgoing* inter links of owned source nodes.  Links whose
+    destination lives in another shard are created through
     ``boundary_link_factory`` so serialization/pacing behave identically
     while delivery goes to a cross-shard outbox instead of a local sink.
     """
     if owned_clusters is not None and boundary_link_factory is None:
         raise ValueError("partial topologies require a boundary_link_factory")
+    spec = topology_spec(config)
+    n_nodes = spec.n_nodes(config)
     topo = Topology()
     cluster_of_gpu = {g: config.cluster_of(g) for g in range(config.n_gpus)}
 
-    clusters = (
-        range(config.n_clusters)
-        if owned_clusters is None
-        else sorted(owned_clusters)
+    nodes = (
+        range(n_nodes) if owned_clusters is None else sorted(owned_clusters)
     )
-    for cluster in clusters:
-        topo.switches[cluster] = ClusterSwitch(
+    for node in nodes:
+        topo.switches[node] = ClusterSwitch(
             engine,
-            f"switch{cluster}",
-            cluster_id=cluster,
+            f"switch{node}",
+            cluster_id=node,
             cluster_of_gpu=cluster_of_gpu,
             pipeline_latency=config.switch_latency,
             flit_size=config.flit_size,
@@ -120,35 +154,25 @@ def build_topology(
         topo.gpu_uplinks[gpu_id] = uplink
         topo.gpu_downlinks[gpu_id] = downlink
 
-    for src, dst in inter_pairs(config):
-        if owned_clusters is not None and src not in owned_clusters:
+    span = delivery_span_for(n_nodes)
+    for edge in spec.edges(config):
+        if owned_clusters is not None and edge.src not in owned_clusters:
             continue
         _add_inter_link(
             engine,
             config,
             topo,
             controller_factory,
-            src,
-            dst,
+            edge,
+            n_nodes,
+            span,
             owned_clusters,
             boundary_link_factory,
         )
 
-    if config.inter_topology == "ring" and config.n_clusters > 2:
-        # shortest-path next-hop routes, distance ties clockwise; packets
-        # reassemble at every intermediate switch (store-and-forward per
-        # hop), pay its pipeline latency, and re-enter that hop's egress
-        # controller — so NetCrafter stitches per link, consistent with
-        # the paper's same-route constraint
-        n = config.n_clusters
-        for src in clusters:
-            for dst in range(n):
-                if src == dst:
-                    continue
-                clockwise = (dst - src) % n
-                counter = (src - dst) % n
-                via = (src + 1) % n if clockwise <= counter else (src - 1) % n
-                topo.switches[src].set_route(dst, via)
+    for (node, dst), via in spec.routes(config).items():
+        if node in topo.switches:
+            topo.switches[node].set_route(dst, via)
 
     return topo
 
@@ -158,28 +182,37 @@ def _add_inter_link(
     config,
     topo,
     controller_factory,
-    src: int,
-    dst: int,
+    edge,
+    n_nodes: int,
+    span: int,
     owned_clusters: Optional[Set[int]] = None,
     boundary_link_factory: Optional[BoundaryLinkFactory] = None,
 ) -> None:
+    src, dst = edge.src, edge.dst
     name = f"switch{src}->switch{dst}"
     latency = config.effective_inter_link_latency
+    bandwidth = config.bandwidth_of(edge.bw_class)
     if owned_clusters is not None and dst not in owned_clusters:
-        link = boundary_link_factory(
-            name, config.inter_cluster_bw, latency, src, dst
-        )
+        link = boundary_link_factory(name, bandwidth, latency, src, dst)
     else:
         link = FlitLink(
             engine,
             name,
-            bytes_per_cycle=config.inter_cluster_bw,
+            bytes_per_cycle=bandwidth,
             latency=latency,
             sink=topo.switches[dst].receive_flit_from_network,
         )
     # deterministic same-cycle delivery order across links: the directed
-    # pair's index, identical whether the link is local or a shard boundary
-    link.delivery_rank = src * config.n_clusters + dst
+    # pair's index, identical whether the link is local or a shard
+    # boundary.  The span scales with the node count so ranks can never
+    # alias across a sequence step (rank < span is asserted, not hoped).
+    rank = src * n_nodes + dst
+    if rank >= span:
+        raise ValueError(
+            f"delivery rank {rank} for link {name} exceeds span {span}"
+        )
+    link.delivery_rank = rank
+    link.delivery_span = span
     controller = controller_factory(f"egress{src}->{dst}", link, src, dst)
     topo.switches[src].attach_egress(dst, controller)
     topo.inter_links.append(link)

@@ -1,10 +1,16 @@
-"""Shard planning: which clusters (and therefore GPUs) each shard owns.
+"""Shard planning: which switch nodes (and therefore GPUs) each shard owns.
 
-Shards own *contiguous* cluster ranges.  Contiguity is load-bearing:
-the canonical inter-link order (:func:`repro.network.topology.inter_pairs`)
+Shards own *contiguous* node ranges.  Contiguity is load-bearing: the
+canonical inter-link order (:func:`repro.network.topology.inter_pairs`)
 iterates sources ascending, so each shard's links form a contiguous
 slice of the global list and concatenating shard slices in shard order
 reproduces the single-engine order that result assembly depends on.
+
+Topologies with virtual switch nodes (a star hub, fat-tree spines — ids
+``n_clusters .. n_nodes-1``) assign every virtual node to the *last*
+shard: virtual ids sort after every real cluster, so the last shard's
+owned range simply extends past ``n_clusters`` and the contiguous-slice
+merge contract survives unchanged.
 """
 
 from __future__ import annotations
@@ -16,11 +22,14 @@ from repro.config import SystemConfig
 
 @dataclass(frozen=True)
 class ShardPlan:
-    """Static partition of a node's clusters over ``n_shards`` shards."""
+    """Static partition of a node's switch nodes over ``n_shards`` shards."""
 
     n_clusters: int
     n_shards: int
     gpus_per_cluster: int
+    #: virtual switch nodes (star hub, fat-tree spines) beyond the GPU
+    #: clusters; all owned by the last shard
+    n_virtual: int = 0
 
     @classmethod
     def from_config(cls, config: SystemConfig, n_shards: int) -> "ShardPlan":
@@ -31,11 +40,20 @@ class ShardPlan:
                 f"n_shards ({n_shards}) must divide n_clusters "
                 f"({config.n_clusters}) for contiguous cluster ownership"
             )
+        from repro.network.topologies import get_topology
+
+        spec = get_topology(config.inter_topology)
         return cls(
             n_clusters=config.n_clusters,
             n_shards=n_shards,
             gpus_per_cluster=config.gpus_per_cluster,
+            n_virtual=spec.n_nodes(config) - config.n_clusters,
         )
+
+    @property
+    def n_nodes(self) -> int:
+        """All switch nodes: GPU clusters plus virtual switches."""
+        return self.n_clusters + self.n_virtual
 
     @property
     def clusters_per_shard(self) -> int:
@@ -48,7 +66,18 @@ class ShardPlan:
         per = self.clusters_per_shard
         return range(shard_index * per, (shard_index + 1) * per)
 
+    def nodes_of(self, shard_index: int) -> range:
+        """Owned switch nodes: the cluster range, plus every virtual
+        node when ``shard_index`` is the last shard (still contiguous,
+        since virtual ids start exactly at ``n_clusters``)."""
+        clusters = self.clusters_of(shard_index)
+        if shard_index == self.n_shards - 1 and self.n_virtual:
+            return range(clusters.start, self.n_nodes)
+        return clusters
+
     def shard_of_cluster(self, cluster: int) -> int:
+        if cluster >= self.n_clusters:
+            return self.n_shards - 1
         return cluster // self.clusters_per_shard
 
     def gpus_of(self, shard_index: int) -> range:

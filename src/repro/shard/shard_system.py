@@ -100,7 +100,9 @@ class ShardSystem:
         self.address_space = AddressSpace(config.n_gpus)
         self.page_table = PageTable(self.address_space, root_gpu=0)
         self.placement = LaspPlacement(self.address_space, self.page_table)
-        self.owned_clusters = set(self.plan.clusters_of(shard_index))
+        # owned switch nodes: the shard's cluster range, plus every
+        # virtual switch (star hub, fat-tree spines) on the last shard
+        self.owned_clusters = set(self.plan.nodes_of(shard_index))
         self.gpus: Dict[int, Gpu] = {
             gpu_id: Gpu(
                 self.engine,

@@ -55,13 +55,18 @@ def verify_traffic(system, result) -> List[str]:
 
     An empty list means every packet the memory system generated is
     accounted for at the egress controllers — nothing lost, duplicated,
-    or misrouted.  Only exact for single-hop (mesh) topologies: ring
-    forwarding legitimately re-counts packets at intermediate hops.
+    or misrouted.  Only exact for single-hop topologies (mesh, and
+    shapes that degenerate to it): multi-hop forwarding legitimately
+    re-counts packets at intermediate switches.
     """
-    if system.config.inter_topology == "ring" and system.config.n_clusters > 2:
+    from repro.network.topologies import get_topology
+
+    config = system.config
+    if get_topology(config.inter_topology).multi_hop(config):
         raise ValueError(
-            "verify_traffic is exact only for mesh topologies; ring "
-            "forwarding re-counts packets at intermediate hops"
+            "verify_traffic is exact only for single-hop (mesh-like) "
+            f"topologies; {config.inter_topology!r} forwarding re-counts "
+            "packets at intermediate hops"
         )
     problems: List[str] = []
     expected = expected_inter_packets(result.stats)

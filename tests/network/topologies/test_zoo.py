@@ -1,0 +1,298 @@
+"""Unit tests for the pluggable topology registry (the zoo).
+
+Every spec is checked against the same structural contracts the builder
+and the shard merge rely on: canonical source-ascending edge order,
+complete shortest-path route tables (verified against BFS distances on
+the spec's own edge list), and declared bandwidth classes covering
+every emitted edge.
+"""
+
+from collections import deque
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.network.topologies import (
+    FatTreeTopology,
+    MeshTopology,
+    RingTopology,
+    StarTopology,
+    TopoEdge,
+    TopologySpec,
+    Torus3dTopology,
+    default_torus_dims,
+    get_topology,
+    register_topology,
+    topology_names,
+)
+
+SHIPPED = ("mesh", "ring", "star", "fat_tree", "torus3d")
+
+
+def _config(topology, n_clusters, **overrides):
+    return SystemConfig.default().with_overrides(
+        inter_topology=topology,
+        n_clusters=n_clusters,
+        gpus_per_cluster=1,
+        **overrides,
+    )
+
+
+def _bfs_distances(edges, n_nodes):
+    """Hop distance between every node pair on the directed edge list."""
+    adj = {node: [] for node in range(n_nodes)}
+    for edge in edges:
+        adj[edge.src].append(edge.dst)
+    dist = {}
+    for start in range(n_nodes):
+        dist[(start, start)] = 0
+        frontier = deque([start])
+        while frontier:
+            node = frontier.popleft()
+            for neigh in adj[node]:
+                if (start, neigh) not in dist:
+                    dist[(start, neigh)] = dist[(start, node)] + 1
+                    frontier.append(neigh)
+    return dist
+
+
+def _follow_route(spec, config, src, dst):
+    """Walk the route table from ``src`` to ``dst``; returns the hop path."""
+    routes = spec.routes(config)
+    edges = {(e.src, e.dst) for e in spec.edges(config)}
+    path = [src]
+    node = src
+    for _ in range(spec.n_nodes(config)):
+        via = routes.get((node, dst), dst)
+        assert (node, via) in edges, (
+            f"{spec.name}: route at node {node} toward {dst} uses "
+            f"non-existent edge {(node, via)}"
+        )
+        path.append(via)
+        if via == dst:
+            return path
+        node = via
+    raise AssertionError(f"{spec.name}: route {src}->{dst} never terminates")
+
+
+# -- registry ----------------------------------------------------------------
+
+
+def test_all_shipped_topologies_registered():
+    names = topology_names()
+    for name in SHIPPED:
+        assert name in names
+    assert names == sorted(names)
+
+
+def test_unknown_topology_error_lists_registered_names():
+    with pytest.raises(ValueError, match="hypercube"):
+        get_topology("hypercube")
+    with pytest.raises(ValueError, match="mesh"):
+        get_topology("hypercube")
+
+
+def test_register_requires_a_name():
+    with pytest.raises(ValueError, match="name"):
+        register_topology(TopologySpec())
+
+
+def test_registration_last_wins_and_is_restorable():
+    original = get_topology("mesh")
+
+    class _Override(MeshTopology):
+        pass
+
+    override = _Override()
+    try:
+        assert register_topology(override) is override
+        assert get_topology("mesh") is override
+    finally:
+        register_topology(original)
+    assert get_topology("mesh") is original
+
+
+# -- structural contracts, every spec ----------------------------------------
+
+
+@pytest.mark.parametrize("name", SHIPPED)
+@pytest.mark.parametrize("n_clusters", [2, 3, 4, 6, 8])
+def test_edges_are_canonically_ordered(name, n_clusters):
+    config = _config(name, n_clusters)
+    spec = get_topology(name)
+    edges = spec.edges(config)
+    srcs = [edge.src for edge in edges]
+    assert srcs == sorted(srcs), f"{name}: sources not ascending"
+    assert len(set(edges)) == len(edges), f"{name}: duplicate edges"
+    n_nodes = spec.n_nodes(config)
+    for edge in edges:
+        assert 0 <= edge.src < n_nodes and 0 <= edge.dst < n_nodes
+        assert edge.src != edge.dst
+        assert edge.bw_class in spec.bw_classes
+
+
+@pytest.mark.parametrize("name", SHIPPED)
+@pytest.mark.parametrize("n_clusters", [2, 3, 4, 6, 8])
+def test_routes_reach_every_cluster_shortest_path(name, n_clusters):
+    config = _config(name, n_clusters)
+    spec = get_topology(name)
+    dist = _bfs_distances(spec.edges(config), spec.n_nodes(config))
+    for src in range(spec.n_nodes(config)):
+        for dst in range(config.n_clusters):
+            if src == dst:
+                continue
+            path = _follow_route(spec, config, src, dst)
+            assert len(path) - 1 == dist[(src, dst)], (
+                f"{name}: route {src}->{dst} takes {len(path) - 1} hops, "
+                f"shortest is {dist[(src, dst)]}"
+            )
+
+
+@pytest.mark.parametrize("name", SHIPPED)
+def test_multi_hop_flag_matches_route_table(name):
+    config = _config(name, 4)
+    spec = get_topology(name)
+    dist = _bfs_distances(spec.edges(config), spec.n_nodes(config))
+    longest = max(
+        dist[(src, dst)]
+        for src in range(config.n_clusters)
+        for dst in range(config.n_clusters)
+    )
+    assert spec.multi_hop(config) == (longest > 1)
+
+
+@pytest.mark.parametrize("name", SHIPPED)
+def test_describe_mentions_the_name(name):
+    config = _config(name, 4)
+    assert name in get_topology(name).describe(config)
+
+
+# -- per-shape behaviour ------------------------------------------------------
+
+
+def test_mesh_is_all_pairs_single_hop():
+    config = _config("mesh", 4)
+    spec = get_topology("mesh")
+    assert spec.edges(config) == [
+        TopoEdge(src, dst)
+        for src in range(4)
+        for dst in range(4)
+        if src != dst
+    ]
+    assert spec.routes(config) == {}
+    assert not spec.multi_hop(config)
+
+
+def test_ring_edge_order_matches_historical_builder():
+    # the exact order the pre-zoo hard-wired builder emitted; the
+    # committed smoke digests depend on it
+    config = _config("ring", 5)
+    spec = get_topology("ring")
+    expected = [
+        TopoEdge(src, dst)
+        for src in range(5)
+        for dst in ((src + 1) % 5, (src - 1) % 5)
+    ]
+    assert spec.edges(config) == expected
+
+
+def test_ring_two_clusters_degenerates_to_mesh():
+    config = _config("ring", 2)
+    spec = get_topology("ring")
+    assert spec.edges(config) == get_topology("mesh").edges(config)
+    assert spec.routes(config) == {}
+    assert not spec.multi_hop(config)
+
+
+def test_star_hub_is_a_virtual_node():
+    config = _config("star", 4)
+    spec = get_topology("star")
+    assert isinstance(spec, StarTopology)
+    assert spec.n_nodes(config) == 5
+    assert spec.hub(config) == 4
+    assert spec.edges(config) == (
+        [TopoEdge(src, 4, "up") for src in range(4)]
+        + [TopoEdge(4, dst, "down") for dst in range(4)]
+    )
+    routes = spec.routes(config)
+    for src in range(4):
+        for dst in range(4):
+            if src != dst:
+                assert routes[(src, dst)] == 4
+    for dst in range(4):
+        assert routes[(4, dst)] == dst
+
+
+def test_star_needs_two_clusters():
+    with pytest.raises(ValueError, match="star"):
+        _config("star", 1)
+
+
+def test_fat_tree_oversubscription_thins_the_spine_tier():
+    spec = get_topology("fat_tree")
+    assert isinstance(spec, FatTreeTopology)
+    full = _config("fat_tree", 8)
+    thin = _config("fat_tree", 8, fat_tree_oversubscription=2)
+    assert spec.spines(full) == 4
+    assert spec.spines(thin) == 2
+    assert spec.spines(_config("fat_tree", 2, fat_tree_oversubscription=4)) == 1
+    # every leaf uplinks to every spine, every spine downlinks to every leaf
+    assert len(spec.edges(full)) == 2 * 8 * 4
+    assert len(spec.edges(thin)) == 2 * 8 * 2
+
+
+def test_fat_tree_spreads_destinations_across_spines():
+    config = _config("fat_tree", 8)
+    spec = get_topology("fat_tree")
+    routes = spec.routes(config)
+    used_spines = {routes[(0, dst)] for dst in range(1, 8)}
+    assert len(used_spines) > 1  # static ECMP analogue, not one hot spine
+
+
+def test_default_torus_dims_most_cube_like():
+    assert default_torus_dims(8) == (2, 2, 2)
+    assert default_torus_dims(4) == (1, 2, 2)
+    assert default_torus_dims(6) == (1, 2, 3)
+    assert default_torus_dims(12) == (2, 2, 3)
+    assert default_torus_dims(7) == (1, 1, 7)
+    assert default_torus_dims(64) == (4, 4, 4)
+    for n in range(1, 65):
+        x, y, z = default_torus_dims(n)
+        assert x * y * z == n and x <= y <= z
+
+
+def test_torus_1x1xn_is_exactly_the_ring():
+    config = _config("torus3d", 5, torus_dims=(1, 1, 5))
+    torus = get_topology("torus3d")
+    ring = get_topology("ring")
+    assert [
+        (e.src, e.dst) for e in torus.edges(config)
+    ] == [(e.src, e.dst) for e in ring.edges(config)]
+    assert torus.routes(config) == ring.routes(config)
+
+
+def test_torus_size_two_dimension_has_one_link_not_two():
+    config = _config("torus3d", 8)  # 2x2x2
+    spec = get_topology("torus3d")
+    assert isinstance(spec, Torus3dTopology)
+    edges = spec.edges(config)
+    # 8 nodes x 3 dimensions x 1 neighbour (size-2 wrap == direct)
+    assert len(edges) == 24
+    assert len(set((e.src, e.dst) for e in edges)) == 24
+
+
+def test_torus_dims_must_multiply_to_n_clusters():
+    with pytest.raises(ValueError, match="torus_dims"):
+        _config("torus3d", 6, torus_dims=(2, 2, 2))
+
+
+def test_torus_bandwidth_classes_follow_dimensions():
+    config = _config("torus3d", 12, torus_dims=(2, 2, 3))
+    spec = get_topology("torus3d")
+    classes = {e.bw_class for e in spec.edges(config)}
+    assert classes == {"x", "y", "z"}
+
+
+def test_ring_spec_class_sanity():
+    assert isinstance(get_topology("ring"), RingTopology)
+    assert isinstance(get_topology("mesh"), MeshTopology)

@@ -58,7 +58,21 @@ def test_invalid_values_rejected():
     with pytest.raises(ValueError):
         SystemConfig.default().with_overrides(coherence="none")
     with pytest.raises(ValueError):
-        SystemConfig.default().with_overrides(inter_topology="star")
+        SystemConfig.default().with_overrides(inter_topology="hypercube")
+    with pytest.raises(ValueError):
+        SystemConfig.default().with_overrides(
+            inter_topology="star", link_bw_overrides={"sideways": 8.0}
+        )
+    with pytest.raises(ValueError):
+        SystemConfig.default().with_overrides(
+            inter_topology="star", link_bw_overrides={"up": 0.0}
+        )
+    with pytest.raises(ValueError):
+        SystemConfig.default().with_overrides(
+            inter_topology="torus3d", torus_dims=(2, 2, 2)
+        )
+    with pytest.raises(ValueError):
+        SystemConfig.default().with_overrides(fat_tree_oversubscription=0)
 
 
 def test_frozen_and_hashable():
