@@ -1,0 +1,93 @@
+"""Crash-safe file publication: write-temp, fsync, rename.
+
+Both the persistent result cache and the checkpoint subsystem publish
+files that a crash must never leave half-written: a torn JSON entry
+poisons figure sweeps, a torn snapshot bricks a resume.  POSIX gives the
+needed primitive — ``os.replace`` is atomic on the same filesystem — but
+only if the temp file's contents are durably on disk *before* the
+rename, hence the explicit flush + fsync.  Directory entries are synced
+too (best effort) so the rename itself survives a power cut.
+
+Writers that die between creating the temp file and renaming it leave
+an orphan ``*.tmp`` behind; :func:`sweep_orphans` removes them on the
+next open of the owning store.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+#: suffix of in-flight temp files (swept by :func:`sweep_orphans`)
+TMP_SUFFIX = ".tmp"
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Flush the directory entry so a just-renamed file survives a crash.
+
+    Best effort: some filesystems refuse O_RDONLY fsync on directories;
+    losing it degrades durability, not atomicity.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: Union[str, Path], data: bytes) -> None:
+    """Atomically publish ``data`` at ``path`` (flush + fsync + replace).
+
+    Readers either see the old file or the complete new one — never a
+    prefix.  The temp file is created in the target directory (same
+    filesystem, so the rename is atomic) with the :data:`TMP_SUFFIX`
+    suffix so a crashed writer's leftovers are recognizable.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=TMP_SUFFIX)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    _fsync_dir(path.parent)
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> None:
+    """Text-mode convenience over :func:`atomic_write_bytes`."""
+    atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def sweep_orphans(root: Union[str, Path], recursive: bool = True) -> int:
+    """Remove stale ``*.tmp`` files under ``root``; returns the count.
+
+    Call when opening a store, i.e. when no writer can be mid-publish;
+    anything with the temp suffix is then a crashed writer's leftover.
+    """
+    root = Path(root)
+    if not root.is_dir():
+        return 0
+    pattern = f"**/*{TMP_SUFFIX}" if recursive else f"*{TMP_SUFFIX}"
+    removed = 0
+    for orphan in root.glob(pattern):
+        try:
+            orphan.unlink()
+            removed += 1
+        except OSError:
+            pass
+    return removed

@@ -215,6 +215,36 @@ def main(argv=None) -> int:
         metavar="N",
         help="fault-process seed (default 1)",
     )
+    ckpt_group = parser.add_argument_group(
+        "checkpointing",
+        "kernel-boundary checkpoint/resume (repro.ckpt): each point's "
+        "latest resumable snapshot is published atomically to "
+        "<dir>/<fingerprint>.ckpt; a resumed run's result is "
+        "byte-identical to an uninterrupted one",
+    )
+    ckpt_group.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="K",
+        help="snapshot every K completed kernels (enables checkpointing; "
+        "the final boundary is always snapshotted)",
+    )
+    ckpt_group.add_argument(
+        "--checkpoint-dir",
+        default="results/ckpt",
+        metavar="DIR",
+        help="snapshot directory (default: results/ckpt)",
+    )
+    ckpt_group.add_argument(
+        "--resume-from",
+        default=None,
+        metavar="PATH",
+        help="resume points from snapshots: a checkpoint directory "
+        "(per-point lookup by fingerprint) or one snapshot file; a "
+        "snapshot whose fingerprint does not match the point fails "
+        "loudly (FingerprintMismatchError)",
+    )
     obs_group = parser.add_argument_group(
         "observability",
         "per-run artifacts (any of these forces fresh simulation: "
@@ -263,6 +293,8 @@ def main(argv=None) -> int:
         parser.error("--shards must be >= 1")
     if args.window is not None and args.window < 1:
         parser.error("--window must be >= 1")
+    if args.checkpoint_every is not None and args.checkpoint_every < 1:
+        parser.error("--checkpoint-every must be >= 1")
 
     if (
         args.fault_ber is not None
@@ -359,6 +391,19 @@ def main(argv=None) -> int:
         print(
             f"cluster sharding: {args.shards or 1} shard(s), "
             f"window={args.window or 'max'}, {mode}"
+        )
+    if args.checkpoint_every is not None or args.resume_from is not None:
+        runner.set_checkpointing(
+            runner.CheckpointOptions(
+                directory=args.checkpoint_dir,
+                every=args.checkpoint_every or 1,
+                resume_from=args.resume_from,
+            )
+        )
+        print(
+            f"checkpointing: every {args.checkpoint_every or 1} kernel(s) "
+            f"-> {args.checkpoint_dir}/"
+            + (f", resuming from {args.resume_from}" if args.resume_from else "")
         )
     exp = SCALES[args.scale]()
     targets = list(DRIVERS) + ["tables"] if args.targets == ["all"] else args.targets

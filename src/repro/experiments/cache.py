@@ -23,11 +23,11 @@ import enum
 import hashlib
 import json
 import os
-import tempfile
 from dataclasses import asdict
 from pathlib import Path
 from typing import Dict, Optional
 
+from repro.atomicio import atomic_write_text, sweep_orphans
 from repro.stats.report import RunResult
 
 #: bump whenever simulator output changes for the same configuration
@@ -80,6 +80,10 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        # a writer that died between temp-write and rename left an orphan
+        # ``*.tmp``; opening the cache is the one moment no writer can be
+        # mid-publish, so sweep them here
+        self.swept_orphans = sweep_orphans(self.root)
 
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -108,27 +112,21 @@ class ResultCache:
         return result
 
     def put(self, point, result: RunResult) -> None:
-        """Persist ``result`` for ``point`` (atomic rename, last wins)."""
+        """Persist ``result`` for ``point`` (atomic durable publish).
+
+        Flush + fsync before the rename: without it a crash after
+        ``os.replace`` could still surface a truncated entry once the
+        page cache is lost, and :meth:`get`'s corruption recovery only
+        helps when the torn file fails to parse.
+        """
         key = fingerprint(point)
         path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
             "key": key,
             "point": point_descriptor(point),
             "result": result.to_dict(),
         }
-        blob = json.dumps(payload, default=_json_default)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(blob)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        atomic_write_text(path, json.dumps(payload, default=_json_default))
         self.writes += 1
 
     def __len__(self) -> int:

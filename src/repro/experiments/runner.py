@@ -226,6 +226,45 @@ class ObservabilityOptions:
 
 
 @dataclass(frozen=True)
+class CheckpointOptions:
+    """Kernel-boundary checkpointing for every subsequent simulation point.
+
+    Each point's latest resumable state is published (atomically,
+    durably) to ``<directory>/<run-fingerprint>.ckpt`` — content-
+    addressed exactly like the result cache, so sweeps and single runs
+    share one checkpoint directory without collisions.  With
+    ``resume_from`` set, any point whose snapshot exists continues from
+    its last checkpointed kernel boundary instead of starting over; the
+    resumed result is byte-identical to an uninterrupted run
+    (:mod:`repro.ckpt`).  ``resume_from`` may be the checkpoint
+    directory (per-point snapshots are looked up by fingerprint) or one
+    specific snapshot file — the latter fails loudly with
+    :class:`~repro.ckpt.FingerprintMismatchError` if the point being
+    run does not match the snapshot's stamped configuration.
+    """
+
+    directory: str = "results/ckpt"
+    #: snapshot every N completed kernels (the final boundary always)
+    every: int = 1
+    resume_from: Optional[str] = None
+
+
+#: module-level so forked run_many workers inherit it
+_ckpt_options: Optional[CheckpointOptions] = None
+
+
+def set_checkpointing(options: Optional[CheckpointOptions]) -> None:
+    """Checkpoint/resume every subsequent point (``None`` disables)."""
+    global _ckpt_options
+    _ckpt_options = options
+
+
+def checkpoint_options() -> Optional[CheckpointOptions]:
+    """The active checkpoint options, or ``None`` when disabled."""
+    return _ckpt_options
+
+
+@dataclass(frozen=True)
 class ShardingOptions:
     """How each simulation point is split across cluster shards.
 
@@ -398,36 +437,86 @@ def _simulate(point: ExperimentPoint) -> RunResult:
     )
     options = _obs_options
     sharding = _sharding_options
-    if (
+    use_shards = (
         sharding is not None
         and sharding.active
         and point.system.n_clusters % sharding.n_shards == 0
-    ):
+    )
+    if use_shards:
         lookahead = point.system.effective_inter_link_latency
-        spec = (
-            ShardObsSpec(
-                trace=options.trace,
-                trace_sample=options.trace_sample,
-                metrics_interval=options.metrics_interval,
-                profile=options.profile,
-            )
-            if options is not None
-            else None
+        n_shards = sharding.n_shards
+        eff_window = (
+            None if sharding.window is None else min(sharding.window, lookahead)
         )
+        parallel = sharding.use_processes()
+    else:
+        n_shards, eff_window, parallel = 1, None, False
+    spec = (
+        ShardObsSpec(
+            trace=options.trace,
+            trace_sample=options.trace_sample,
+            metrics_interval=options.metrics_interval,
+            profile=options.profile,
+        )
+        if (use_shards and options is not None)
+        else None
+    )
+
+    checkpointer = None
+    if _ckpt_options is not None:
+        from repro import ckpt as _ckpt
+
+        fp = _ckpt.run_fingerprint(
+            point.system,
+            point.netcrafter,
+            point.seed,
+            trace,
+            n_shards=n_shards,
+            window=eff_window,
+        )
+        snapshot_path = Path(_ckpt_options.directory) / f"{fp}.ckpt"
+        checkpointer = _ckpt.Checkpointer(
+            path=snapshot_path, fingerprint=fp, every=_ckpt_options.every
+        )
+        resume_path = None
+        if _ckpt_options.resume_from:
+            source = Path(_ckpt_options.resume_from)
+            if source.is_dir():
+                # per-point lookup in a checkpoint directory: points
+                # without a snapshot simply start fresh
+                candidate = source / f"{fp}.ckpt"
+                if candidate.exists():
+                    resume_path = candidate
+            else:
+                # an explicit snapshot file must match this point —
+                # resume() raises FingerprintMismatchError otherwise
+                resume_path = source
+        if resume_path is not None:
+            return _ckpt.resume(
+                resume_path,
+                config=point.system,
+                netcrafter=point.netcrafter,
+                seed=point.seed,
+                workload=trace,
+                n_shards=n_shards,
+                window=eff_window,
+                parallel=parallel,
+                obs_spec=spec,
+                checkpointer=checkpointer,
+            )
+
+    if use_shards:
         node = ShardedSystem(
             config=point.system,
             netcrafter=point.netcrafter,
             seed=point.seed,
-            n_shards=sharding.n_shards,
-            window=(
-                None
-                if sharding.window is None
-                else min(sharding.window, lookahead)
-            ),
-            parallel=sharding.use_processes(),
+            n_shards=n_shards,
+            window=eff_window,
+            parallel=parallel,
             obs_spec=spec,
         )
         node.load(trace)
+        node._ckpt_hook = checkpointer
         result = node.run()
         if options is not None:
             _write_artifacts(options, node.merged_obs(), point, result)
@@ -437,6 +526,7 @@ def _simulate(point: ExperimentPoint) -> RunResult:
         config=point.system, netcrafter=point.netcrafter, seed=point.seed, obs=obs
     )
     node.load(trace)
+    node._ckpt_hook = checkpointer
     result = node.run()
     if obs is not None:
         _write_artifacts(options, obs, point, result)

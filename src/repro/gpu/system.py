@@ -116,6 +116,10 @@ class MultiGpuSystem:
         self._workload: Optional[WorkloadTrace] = None
         self._kernel_index = 0
         self._wavefronts_remaining = 0
+        #: optional kernel-boundary observer (``hook(system)``), called at
+        #: every quiesced boundary *before* the next launch; must not
+        #: schedule events — :mod:`repro.ckpt` snapshots through it
+        self._ckpt_hook = None
 
     # -- construction helpers --------------------------------------------------
 
@@ -276,6 +280,18 @@ class MultiGpuSystem:
         if not self._is_quiesced():
             self.engine.schedule(16, self._advance_when_quiesced)
             return
+        if self._ckpt_hook is not None:
+            self._ckpt_hook(self)
+        self._advance_kernel()
+
+    def _advance_kernel(self) -> None:
+        """The post-quiesce tail of the boundary event: launch or finish.
+
+        Split from :meth:`_advance_when_quiesced` so checkpoint resume
+        can replay it outside the engine — a snapshot is taken mid
+        boundary event, after the quiesce check but before this tail, so
+        the restored system continues with byte-identical event keys.
+        """
         self._kernel_index += 1
         if self._kernel_index < len(self._workload.kernels):
             self._launch_kernel(self._workload.kernels[self._kernel_index])

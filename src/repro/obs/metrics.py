@@ -45,6 +45,24 @@ class MetricsRegistry:
     def names(self) -> List[str]:
         return [name for name, _ in self._sources]
 
+    # -- snapshot protocol -------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Pickle the series, not the sources.
+
+        Gauge sources are closures over live simulator objects and cannot
+        (and should not) be serialized; whoever restores a registry must
+        re-register its sources against the restored system — the system
+        classes do this via their ``_register_metrics`` wiring.
+        """
+        return {"interval": self.interval, "samples": self.samples}
+
+    def __setstate__(self, state: dict) -> None:
+        self.interval = state["interval"]
+        self.samples = state["samples"]
+        self._sources = []
+        self._names = set()
+
     # -- sampling ----------------------------------------------------------
 
     def sample(self, cycle: int) -> Dict[str, float]:

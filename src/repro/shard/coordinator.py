@@ -98,6 +98,10 @@ class ShardedSystem:
         self._reports: Optional[List[ShardReport]] = None
         self._merged_obs: Optional[MergedObservability] = None
         self.windows_run = 0
+        #: optional :class:`repro.ckpt.Checkpointer`; its ``on_boundary``
+        #: observes every proven kernel boundary before the launch
+        #: broadcast (pure observer — no simulator state is touched)
+        self._ckpt_hook = None
 
     # -- MultiGpuSystem-parity API ------------------------------------------
 
@@ -120,6 +124,49 @@ class ShardedSystem:
         if self._merged_obs is None:
             raise RuntimeError("run() has not completed")
         return self._merged_obs
+
+    def resume_run(
+        self,
+        shard_states: List[bytes],
+        kernel_index: int,
+        q: int,
+        windows_run: int,
+        mail_seq,
+        checkpointer=None,
+    ) -> RunResult:
+        """Continue from checkpointed per-shard state; see :mod:`repro.ckpt`.
+
+        ``kernel_index`` and ``q`` are the boundary the snapshot froze:
+        the coordinator had proven kernel ``kernel_index`` launches at
+        cycle ``q`` but had not yet broadcast the launch (or finish).
+        Re-entering the loop there replays exactly the command sequence
+        the uninterrupted run would have issued.
+        """
+        if self._workload is None:
+            raise RuntimeError("no workload loaded")
+        if len(shard_states) != self.n_shards:
+            raise RuntimeError(
+                f"snapshot holds {len(shard_states)} shard(s), "
+                f"this coordinator drives {self.n_shards}"
+            )
+        self._ckpt_hook = checkpointer
+        self.windows_run = windows_run
+        handles = self._restore_handles(shard_states)
+        try:
+            mailbox = Mailbox()
+            mailbox._last_seq.update(mail_seq)
+            kernels = self._workload.kernels
+            if kernel_index >= len(kernels):
+                return self._finish(handles, q)
+            statuses = self._broadcast(
+                handles, [("launch", kernel_index, q)] * self.n_shards
+            )
+            return self._window_loop(
+                handles, mailbox, statuses, kernel_index, pending_mail=[]
+            )
+        finally:
+            for handle in handles:
+                handle.close()
 
     # -- internals ----------------------------------------------------------
 
@@ -151,6 +198,27 @@ class ShardedSystem:
                 handles.append(LocalShard(system))
         return handles
 
+    def _restore_handles(self, shard_states: List[bytes]) -> List[object]:
+        """Handles over checkpointed shard state instead of fresh builds."""
+        handles: List[object] = []
+        for shard_index, state in enumerate(shard_states):
+            if self.parallel:
+                handles.append(
+                    RemoteShard(
+                        self.config,
+                        self.netcrafter,
+                        self.seed,
+                        shard_index,
+                        self.n_shards,
+                        self.obs_spec,
+                        workload=None,
+                        shard_state=state,
+                    )
+                )
+            else:
+                handles.append(LocalShard(ShardSystem.from_snapshot_state(state)))
+        return handles
+
     def _broadcast(self, handles, commands) -> List[object]:
         """Issue one command per handle, then collect every reply.
 
@@ -163,13 +231,37 @@ class ShardedSystem:
         return [handle.collect() for handle in handles]
 
     def _run_loop(self, handles) -> RunResult:
-        kernels = self._workload.kernels
         mailbox = Mailbox()
         statuses: List[ShardStatus] = self._broadcast(
             handles, [("begin",)] * self.n_shards
         )
-        pending_mail: List[MailItem] = []
-        kernel_index = 0
+        return self._window_loop(
+            handles, mailbox, statuses, kernel_index=0, pending_mail=[]
+        )
+
+    def _finish(self, handles, q: int) -> RunResult:
+        reports: List[ShardReport] = self._broadcast(
+            handles, [("finish", q)] * self.n_shards
+        )
+        self._reports = reports
+        self._merged_obs = merge_observability(reports)
+        return merge_reports(
+            reports,
+            workload=self._workload.name,
+            config_label=config_label(self.config, self.netcrafter),
+            cycles=q,
+            kernel_count=len(self._workload.kernels),
+        )
+
+    def _window_loop(
+        self,
+        handles,
+        mailbox: Mailbox,
+        statuses: List[ShardStatus],
+        kernel_index: int,
+        pending_mail: List[MailItem],
+    ) -> RunResult:
+        kernels = self._workload.kernels
         while True:
             at_boundary = (
                 not pending_mail
@@ -181,24 +273,19 @@ class ShardedSystem:
                 max_drain = max(s.max_drain for s in statuses)
                 q = self._quiesce_cycle(t_done, max_drain)
                 kernel_index += 1
+                if self._ckpt_hook is not None:
+                    # snapshot the pre-launch boundary state; resume
+                    # re-issues the same (launch|finish, kernel_index, q)
+                    self._ckpt_hook.on_boundary(
+                        self, handles, kernel_index, q, mailbox
+                    )
                 if kernel_index < len(kernels):
                     statuses = self._broadcast(
                         handles,
                         [("launch", kernel_index, q)] * self.n_shards,
                     )
                     continue
-                reports: List[ShardReport] = self._broadcast(
-                    handles, [("finish", q)] * self.n_shards
-                )
-                self._reports = reports
-                self._merged_obs = merge_observability(reports)
-                return merge_reports(
-                    reports,
-                    workload=self._workload.name,
-                    config_label=config_label(self.config, self.netcrafter),
-                    cycles=q,
-                    kernel_count=len(kernels),
-                )
+                return self._finish(handles, q)
             if not pending_mail and all(s.real_pending == 0 for s in statuses):
                 left = sum(s.wavefronts_remaining for s in statuses)
                 raise RuntimeError(

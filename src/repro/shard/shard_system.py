@@ -338,6 +338,35 @@ class ShardSystem:
             self._save_ids()
         return self._report(q_final)
 
+    def snapshot_state(self) -> bytes:
+        """Serialize this shard's complete simulation state.
+
+        Only meaningful at a coordinator-proven kernel boundary: the
+        shard is quiesced there, so no pending packet carries a live
+        requester closure (the engine's dispatched-prefix entries are
+        dropped by ``Engine.__getstate__``) and no cross-shard context
+        token is outstanding.  The striped ID cursors ride along in
+        ``_pid_state``/``_fid_state``, saved by the last verb.
+        """
+        import pickle
+
+        return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @staticmethod
+    def from_snapshot_state(data: bytes) -> "ShardSystem":
+        """Rebuild a shard from :meth:`snapshot_state` bytes.
+
+        Metric gauge sources are dropped at pickle time
+        (``MetricsRegistry.__getstate__``); re-register them against the
+        restored object graph so post-resume samples keep every column.
+        """
+        import pickle
+
+        shard = pickle.loads(data)
+        if shard.metrics is not None:
+            shard._register_metrics(shard.metrics)
+        return shard
+
     # -- kernel plumbing ----------------------------------------------------
 
     def _owned_wavefront_count(self, kernel: KernelTrace) -> int:

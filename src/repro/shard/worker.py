@@ -9,10 +9,16 @@ coordinator drives it with small command tuples over a pipe::
     ("window", until, mail)  -> ("ok", (outbox, ShardStatus))
     ("launch", k, q)         -> ("ok", ShardStatus)
     ("finish", q)            -> ("ok", ShardReport)
+    ("snapshot",)            -> ("ok", bytes)   # pickled ShardSystem
     ("exit",)                -> worker terminates
 
 Any worker exception is shipped back as ``("error", traceback)`` and
 re-raised in the coordinator.
+
+Checkpoint resume hands the worker a previously pickled shard
+(``shard_state``) instead of build inputs; the worker restores it via
+:meth:`~repro.shard.shard_system.ShardSystem.from_snapshot_state` and
+serves the same verb loop from the restored state.
 
 Requester contexts (the ``on_complete`` closures riding on packets)
 are the one unpicklable part of a boundary flit.  The worker swaps each
@@ -26,6 +32,7 @@ must be restorable.
 from __future__ import annotations
 
 import multiprocessing
+import time
 import traceback
 from dataclasses import dataclass
 from typing import Dict, List
@@ -89,13 +96,21 @@ def worker_main(
     n_shards: int,
     obs_spec: ShardObsSpec,
     workload,
+    shard_state=None,
 ) -> None:
-    """Worker process entry: build the shard, serve commands until exit."""
+    """Worker process entry: build the shard, serve commands until exit.
+
+    With ``shard_state`` (checkpoint resume) the shard is restored from
+    its pickled snapshot instead of being built fresh.
+    """
     try:
-        shard = ShardSystem(
-            config, netcrafter, seed, shard_index, n_shards, obs_spec
-        )
-        shard.load(workload)
+        if shard_state is not None:
+            shard = ShardSystem.from_snapshot_state(shard_state)
+        else:
+            shard = ShardSystem(
+                config, netcrafter, seed, shard_index, n_shards, obs_spec
+            )
+            shard.load(workload)
         stash = ContextStash(shard_index)
         while True:
             message = conn.recv()
@@ -114,6 +129,8 @@ def worker_main(
             elif verb == "finish":
                 _, q_final = message
                 conn.send(("ok", shard.finish(q_final)))
+            elif verb == "snapshot":
+                conn.send(("ok", shard.snapshot_state()))
             elif verb == "exit":
                 conn.close()
                 return
@@ -131,6 +148,9 @@ def worker_main(
 class RemoteShard:
     """Coordinator-side handle for one worker process."""
 
+    #: grace period for a worker to exit on its own before escalation
+    EXIT_GRACE_SECONDS = 10.0
+
     def __init__(
         self,
         config,
@@ -140,6 +160,7 @@ class RemoteShard:
         n_shards: int,
         obs_spec: ShardObsSpec,
         workload,
+        shard_state=None,
     ) -> None:
         method = (
             "fork"
@@ -159,6 +180,7 @@ class RemoteShard:
                 n_shards,
                 obs_spec,
                 workload,
+                shard_state,
             ),
             daemon=True,
         )
@@ -175,15 +197,42 @@ class RemoteShard:
         return payload
 
     def close(self) -> None:
+        """Graceful teardown: exit verb, drain, join — terminate last.
+
+        Killing the worker outright can catch it mid-``conn.send`` and
+        strand a partially written reply (trace batches, shard reports),
+        so escalation is the last resort.  Two details make the graceful
+        path reliable: any not-yet-collected replies are drained while
+        waiting (a worker blocked writing a large payload into a full
+        pipe cannot reach the exit verb until someone reads), and
+        ``terminate`` itself escalates to ``kill`` if the worker ignores
+        SIGTERM.
+        """
+        process = self._process
         try:
             self._conn.send(("exit",))
         except (BrokenPipeError, OSError):  # pragma: no cover
             pass
-        self._process.join(timeout=10)
-        if self._process.is_alive():  # pragma: no cover - hung worker
-            self._process.terminate()
-            self._process.join()
-        self._conn.close()
+        deadline = time.monotonic() + self.EXIT_GRACE_SECONDS
+        while process.is_alive() and time.monotonic() < deadline:
+            try:
+                if self._conn.poll(0.05):
+                    self._conn.recv()  # discard stale reply, unblock worker
+                    continue
+            except (EOFError, OSError):
+                break  # worker closed its end: it is on the way out
+            process.join(timeout=0.05)
+        process.join(timeout=0.1)
+        if process.is_alive():  # pragma: no cover - hung worker
+            process.terminate()
+            process.join(timeout=5)
+        if process.is_alive():  # pragma: no cover - SIGTERM ignored
+            process.kill()
+            process.join()
+        try:
+            self._conn.close()
+        except OSError:  # pragma: no cover
+            pass
 
 
 class LocalShard:
@@ -198,6 +247,7 @@ class LocalShard:
         "window": "window",
         "launch": "launch_kernel",
         "finish": "finish",
+        "snapshot": "snapshot_state",
     }
 
     def __init__(self, system: ShardSystem) -> None:

@@ -210,6 +210,73 @@ class Engine:
         self._base = time
         self._refill()
 
+    # -- snapshot protocol -------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Normalized pickle state: the undispatched pending set only.
+
+        The calendar ring recycles the current cycle's bucket *lazily*
+        (``_pop_current`` clears it on the call after exhaustion), so at
+        any instant the bucket for ``_now`` may hold an already-executed
+        prefix below ``_cur_pos``.  Serializing that prefix would both
+        resurrect dispatched events on restore and drag semantically dead
+        objects (e.g. completed requests' callbacks/closures) into the
+        snapshot, so it is dropped here — the same hazard
+        :meth:`rewind` guards against.  What remains is the exact pending
+        set as ``(time, skey, seq, callback, args)`` with absolute times,
+        independent of ring phase, plus the scheduling cursors.
+        """
+        pending: List[Tuple[int, int, int, Callable[..., None], tuple]] = []
+        horizon = self.HORIZON
+        base = self._base
+        if self._ring_size:
+            for offset in range(horizon):
+                bucket = self._ring[(base + offset) % horizon]
+                if bucket:
+                    t = base + offset
+                    # skip the dispatched prefix of the current bucket
+                    start = self._cur_pos if t == self._now else 0
+                    for skey, seq, callback, args in bucket[start:]:
+                        pending.append((t, skey, seq, callback, args))
+        pending.extend(self._far)
+        pending.sort(key=lambda entry: entry[:3])
+        return {
+            "now": self._now,
+            "seq": self._seq,
+            "events_processed": self._events_processed,
+            "cur_skey": self.cur_skey,
+            "profiler": self.profiler,
+            "pending": pending,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        """Rebuild the calendar from normalized state, re-based at ``now``.
+
+        The pending list arrives sorted by ``(time, skey, seq)``, so
+        per-bucket appends preserve the sorted-bucket invariant and
+        ordered heap pushes produce a valid heap.  ``_running`` is always
+        False in the restored engine: snapshots are taken mid-dispatch,
+        and the resumed run re-enters :meth:`run` from the top.
+        """
+        self.__init__()
+        self._now = state["now"]
+        self._base = state["now"]
+        self._seq = state["seq"]
+        self._events_processed = state["events_processed"]
+        self.cur_skey = state["cur_skey"]
+        self.profiler = state["profiler"]
+        horizon = self.HORIZON
+        base = self._base
+        for time, skey, seq, callback, args in state["pending"]:
+            if time - base < horizon:
+                self._ring[time % horizon].append((skey, seq, callback, args))
+                self._ring_size += 1
+                hint = self._next_hint
+                if hint is None or time < hint:
+                    self._next_hint = time
+            else:
+                heapq.heappush(self._far, (time, skey, seq, callback, args))
+
     # -- queue inspection --------------------------------------------------
 
     def _refill(self) -> None:

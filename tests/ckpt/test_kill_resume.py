@@ -1,0 +1,74 @@
+"""Kill-and-resume equivalence against the committed digest gate.
+
+Each case runs the quick smoke grid with a checkpoint hook that
+hard-kills the child process (``os._exit``) the instant its boundary
+snapshot is published, resumes every snapshot in a fresh interpreter,
+and requires the resumed grid digest to equal the committed
+``SMOKE_digest.json`` entry — the digest of an uninterrupted,
+never-checkpointed single-engine sweep.  Swept across shard counts
+{1, 2} x both shard drive modes x two topology-zoo shapes.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.smoke import _grid_key, results_digest, smoke_points
+from repro.ckpt.smoke import kill_and_resume_point
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+COMMITTED = json.loads((REPO_ROOT / "SMOKE_digest.json").read_text())
+
+#: (n_shards, parallel) — 1 shard is the single-engine front end; 2
+#: shards exercise both coordinator drive modes
+EXECUTION_MODES = [
+    pytest.param(1, False, id="single-engine"),
+    pytest.param(2, False, id="2-shard-sequential"),
+    pytest.param(2, True, id="2-shard-parallel"),
+]
+
+
+@pytest.mark.parametrize("topology", ["mesh", "star"])
+@pytest.mark.parametrize("n_shards,parallel", EXECUTION_MODES)
+def test_killed_grid_resumes_to_the_committed_digest(
+    tmp_path, topology, n_shards, parallel
+):
+    results = []
+    for workload, variant in smoke_points(quick=True):
+        results.append(
+            kill_and_resume_point(
+                workload,
+                variant,
+                snapshot_dir=tmp_path,
+                topology=topology,
+                n_shards=n_shards,
+                parallel=parallel,
+            )
+        )
+    assert results_digest(results) == COMMITTED[_grid_key(True, topology)], (
+        f"{topology}/{n_shards}-shard{'-parallel' if parallel else ''}: "
+        "killed-and-resumed grid diverged from the uninterrupted digest"
+    )
+
+
+def test_midrun_kill_resumes_byte_identical(tmp_path):
+    """mm2 has a true mid-run boundary (kernel 1 of 2): kill there and
+    require the resumed result to match an uninterrupted in-process
+    run through the canonical digest."""
+    from repro.bench.smoke import _variant_config, topology_smoke_config
+    from repro.gpu.system import MultiGpuSystem
+    from repro.workloads.base import Scale
+    from repro.workloads.registry import get_workload
+
+    probe = kill_and_resume_point(
+        "mm2", "full", snapshot_dir=tmp_path, kill_at=1
+    )
+    config = topology_smoke_config("mesh")
+    node = MultiGpuSystem(
+        config=config, netcrafter=_variant_config("full"), seed=0
+    )
+    node.load(
+        get_workload("mm2").build(n_gpus=config.n_gpus, scale=Scale.small(), seed=0)
+    )
+    assert results_digest([probe]) == results_digest([node.run().to_dict()])

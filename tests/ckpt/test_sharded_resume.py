@@ -1,0 +1,161 @@
+"""Sharded checkpoint/resume: byte-identity against the single engine.
+
+Snapshots taken at coordinator-proven kernel boundaries must resume to
+the single-engine reference payload regardless of shard count, drive
+mode (sequential-windowed vs process-parallel), or which boundary the
+run was cut at.  Because sequential and process-parallel runs share
+identical shard state, a snapshot from one drive mode must also resume
+under the other — the fingerprint deliberately ignores the drive mode.
+"""
+
+import shutil
+
+import pytest
+
+from repro.bench.smoke import digestable_payload
+from repro.ckpt import (
+    Checkpointer,
+    attach_checkpointing,
+    read_header,
+    resume,
+    run_fingerprint,
+)
+from repro.config import SystemConfig
+from repro.core.config import NetCrafterConfig
+from repro.gpu.system import MultiGpuSystem
+from repro.shard.coordinator import ShardedSystem
+from repro.workloads.base import Scale
+from repro.workloads.registry import get_workload
+
+#: 4 clusters x 2 GPUs with a short lookahead keeps windowed runs fast
+CONFIG = SystemConfig.default().with_overrides(n_clusters=4, inter_link_latency=8)
+NC = NetCrafterConfig.full()
+WORKLOAD = "mm2"  # two kernels: one mid-run boundary, one final
+
+
+class KeepEvery(Checkpointer):
+    def after_save(self, boundary):
+        shutil.copy(self.path, f"{self.path}.b{boundary}")
+
+
+def _trace():
+    return get_workload(WORKLOAD).build(
+        n_gpus=CONFIG.n_gpus, scale=Scale.tiny(), seed=0
+    )
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return _trace()
+
+
+@pytest.fixture(scope="module")
+def reference(trace):
+    node = MultiGpuSystem(config=CONFIG, netcrafter=NC, seed=0)
+    node.load(trace)
+    return digestable_payload(node.run().to_dict())
+
+
+def _snapshot_all_boundaries(trace, tmp_path, n_shards, parallel):
+    fingerprint = run_fingerprint(CONFIG, NC, 0, trace, n_shards=n_shards)
+    hook = KeepEvery(path=tmp_path / "s.ckpt", fingerprint=fingerprint, every=1)
+    node = ShardedSystem(
+        config=CONFIG, netcrafter=NC, seed=0, n_shards=n_shards, parallel=parallel
+    )
+    attach_checkpointing(node, hook)
+    node.load(trace)
+    payload = digestable_payload(node.run().to_dict())
+    return hook, payload
+
+
+@pytest.mark.parametrize("parallel", [False, True], ids=["sequential", "parallel"])
+@pytest.mark.parametrize("n_shards", [1, 2])
+def test_every_boundary_matches_the_single_engine(
+    trace, reference, tmp_path, n_shards, parallel
+):
+    hook, hooked = _snapshot_all_boundaries(trace, tmp_path, n_shards, parallel)
+    # pure observer: the checkpointed sharded run still matches the
+    # uninterrupted single-engine run
+    assert hooked == reference
+    assert hook.saved_boundaries == [1, 2]
+    for boundary in hook.saved_boundaries:
+        path = tmp_path / f"s.ckpt.b{boundary}"
+        assert read_header(path)["mode"] == "sharded"
+        result = resume(
+            path,
+            config=CONFIG,
+            netcrafter=NC,
+            seed=0,
+            workload=trace,
+            n_shards=n_shards,
+            parallel=parallel,
+        )
+        assert digestable_payload(result.to_dict()) == reference, (
+            f"{n_shards}-shard {'parallel' if parallel else 'sequential'} "
+            f"boundary {boundary} resumed to a different result"
+        )
+
+
+def test_snapshot_crosses_drive_modes(trace, reference, tmp_path):
+    """A sequential snapshot resumes under process-parallel workers and
+    vice versa: shard state is drive-mode agnostic."""
+    seq_hook, _ = _snapshot_all_boundaries(trace, tmp_path / "seq", 2, False)
+    result = resume(
+        tmp_path / "seq" / "s.ckpt.b1",
+        config=CONFIG,
+        netcrafter=NC,
+        seed=0,
+        workload=trace,
+        n_shards=2,
+        parallel=True,
+    )
+    assert digestable_payload(result.to_dict()) == reference
+
+    par_hook, _ = _snapshot_all_boundaries(trace, tmp_path / "par", 2, True)
+    result = resume(
+        tmp_path / "par" / "s.ckpt.b1",
+        config=CONFIG,
+        netcrafter=NC,
+        seed=0,
+        workload=trace,
+        n_shards=2,
+        parallel=False,
+    )
+    assert digestable_payload(result.to_dict()) == reference
+
+
+def test_window_override_rides_the_fingerprint(trace, reference, tmp_path):
+    """A narrow-window snapshot resumes byte-identically, and the window
+    is part of the fingerprint (a different one refuses)."""
+    window = 4
+    fingerprint = run_fingerprint(CONFIG, NC, 0, trace, n_shards=2, window=window)
+    hook = KeepEvery(path=tmp_path / "w.ckpt", fingerprint=fingerprint, every=1)
+    node = ShardedSystem(
+        config=CONFIG, netcrafter=NC, seed=0, n_shards=2, window=window
+    )
+    attach_checkpointing(node, hook)
+    node.load(trace)
+    assert digestable_payload(node.run().to_dict()) == reference
+    result = resume(
+        tmp_path / "w.ckpt.b1",
+        config=CONFIG,
+        netcrafter=NC,
+        seed=0,
+        workload=trace,
+        n_shards=2,
+        window=window,
+    )
+    assert digestable_payload(result.to_dict()) == reference
+
+    from repro.ckpt import FingerprintMismatchError
+
+    with pytest.raises(FingerprintMismatchError):
+        resume(
+            tmp_path / "w.ckpt.b1",
+            config=CONFIG,
+            netcrafter=NC,
+            seed=0,
+            workload=trace,
+            n_shards=2,
+            window=window + 1,
+        )

@@ -105,6 +105,77 @@ class TestResultCache:
         assert len(cache) == 0
 
 
+class TestCrashRecovery:
+    """Regression: ``put()`` used to write entries in place, so a crash
+    mid-write left a torn JSON file served as a corrupt entry, and a
+    crash between temp-write and rename (now that publishing is atomic)
+    would leave ``*.tmp`` orphans forever.  Publishing is now
+    write-temp + flush + fsync + ``os.replace``, and opening the cache
+    sweeps orphaned temp files."""
+
+    def test_orphan_tmp_files_swept_on_open(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(_point(), _result())
+        shard_dir = cache.path_for(fingerprint(_point())).parent
+        (shard_dir / "deadbeef.json.abc123.tmp").write_text("{torn")
+        (tmp_path / "stray.def456.tmp").write_text("")
+        reopened = ResultCache(tmp_path)
+        assert reopened.swept_orphans == 2
+        assert not list(tmp_path.rglob("*.tmp"))
+        # the real entry survived the sweep
+        assert reopened.get(_point()).cycles == 123
+
+    def test_crash_between_write_and_rename_leaves_no_entry(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.atomicio as atomicio
+
+        cache = ResultCache(tmp_path)
+
+        def crash(src, dst):
+            raise OSError("simulated crash at publish")
+
+        monkeypatch.setattr(atomicio.os, "replace", crash)
+        try:
+            cache.put(_point(), _result())
+        except OSError:
+            pass
+        monkeypatch.undo()
+        # nothing was published...
+        assert not cache.path_for(fingerprint(_point())).exists()
+        assert ResultCache(tmp_path).get(_point()) is None
+        # ...and a fresh open sweeps whatever temp debris the crash left
+        assert not list(tmp_path.rglob("*.tmp"))
+
+    def test_failed_publish_preserves_the_previous_entry(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.atomicio as atomicio
+
+        cache = ResultCache(tmp_path)
+        cache.put(_point(), _result(cycles=1))
+
+        def crash(src, dst):
+            raise OSError("simulated crash at publish")
+
+        monkeypatch.setattr(atomicio.os, "replace", crash)
+        try:
+            cache.put(_point(), _result(cycles=2))
+        except OSError:
+            pass
+        monkeypatch.undo()
+        assert ResultCache(tmp_path).get(_point()).cycles == 1
+
+    def test_torn_entry_reads_as_miss_and_is_removed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(_point(), _result())
+        path = cache.path_for(fingerprint(_point()))
+        blob = path.read_text()
+        path.write_text(blob[: len(blob) // 2])  # torn mid-write
+        assert cache.get(_point()) is None
+        assert not path.exists()
+
+
 def test_default_cache_dir_honours_env(monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", "/tmp/somewhere")
     assert default_cache_dir() == "/tmp/somewhere"
