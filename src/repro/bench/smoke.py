@@ -40,6 +40,10 @@ _DIGEST_EXCLUDED_FIELDS = (
 #: (workload, netcrafter-variant) grid; quick drops to the first entries
 _WORKLOADS_FULL = ("gups", "mt", "mis", "spmv")
 _WORKLOADS_QUICK = ("gups", "mt")
+#: the collective-communication family; its grid always covers every
+#: member (the cross-mode parity gate must see all four traffic shapes)
+#: and quick drops the baseline variant instead
+_WORKLOADS_COLLECTIVE = ("ar_ring", "ar_tree", "a2a", "trainmix")
 
 
 def topology_smoke_config(topology: str = "mesh") -> SystemConfig:
@@ -63,8 +67,13 @@ def topology_smoke_config(topology: str = "mesh") -> SystemConfig:
     )
 
 
-def smoke_points(quick: bool = False) -> List[Tuple[str, str]]:
+def smoke_points(
+    quick: bool = False, collective: bool = False
+) -> List[Tuple[str, str]]:
     """The (workload, variant) grid, as stable labels for the report."""
+    if collective:
+        variants = ("full",) if quick else ("baseline", "full")
+        return [(w, v) for w in _WORKLOADS_COLLECTIVE for v in variants]
     workloads = _WORKLOADS_QUICK if quick else _WORKLOADS_FULL
     return [(w, variant) for w in workloads for variant in ("baseline", "full")]
 
@@ -124,6 +133,7 @@ def run_smoke_grid(
     parallel: bool = False,
     system_config: SystemConfig = None,
     topology: str = "mesh",
+    collective: bool = False,
 ):
     """Simulate the grid; returns (results, total_events, total_cycles).
 
@@ -145,7 +155,7 @@ def run_smoke_grid(
     results = []
     total_events = 0
     total_cycles = 0
-    for workload, variant in smoke_points(quick):
+    for workload, variant in smoke_points(quick, collective):
         trace = get_workload(workload).build(
             n_gpus=system_config.n_gpus, scale=scale, seed=seed
         )
@@ -250,10 +260,14 @@ def bench_sharded_speedup(quick: bool = False) -> Tuple[int, Dict[str, object]]:
 # -- CLI: the CI shard-smoke gate --------------------------------------------
 
 
-def _grid_key(quick: bool, topology: str = "mesh") -> str:
-    """Digest-file key: historical bare keys for mesh, prefixed otherwise."""
+def _grid_key(
+    quick: bool, topology: str = "mesh", collective: bool = False
+) -> str:
+    """Digest-file key: historical bare keys for mesh, prefixed otherwise;
+    the collective family's grids get a ``collective:`` prefix on top."""
     grid = "quick" if quick else "full"
-    return grid if topology == "mesh" else f"{topology}:{grid}"
+    key = grid if topology == "mesh" else f"{topology}:{grid}"
+    return f"collective:{key}" if collective else key
 
 
 def main(argv=None) -> int:
@@ -273,6 +287,13 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--quick", action="store_true", help="gups+mt grid instead of all four"
+    )
+    parser.add_argument(
+        "--collective",
+        action="store_true",
+        help="smoke the collective-communication family instead of the "
+        "Table-3 grid (all four collectives; --quick drops the baseline "
+        "variant)",
     )
     parser.add_argument(
         "--topology",
@@ -329,7 +350,7 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
         return 2
-    grid_key = _grid_key(args.quick, args.topology)
+    grid_key = _grid_key(args.quick, args.topology, args.collective)
     results, events, cycles = run_smoke_grid(
         quick=args.quick,
         seed=args.seed,
@@ -337,6 +358,7 @@ def main(argv=None) -> int:
         window=args.window,
         parallel=args.parallel,
         topology=args.topology,
+        collective=args.collective,
     )
     digest = results_digest([r.to_dict() for r in results])
     mode = (

@@ -22,7 +22,7 @@ import os
 import sys
 from typing import Callable, Dict
 
-from repro.experiments import ablations, chaos, extensions, figures, runner
+from repro.experiments import ablations, chaos, collective, extensions, figures, runner
 from repro.experiments.cache import default_cache_dir
 from repro.experiments.report import generate_report
 from repro.experiments.runner import ExperimentScale
@@ -57,6 +57,7 @@ DRIVERS: Dict[str, Callable] = {
     "ext_topology": extensions.ext_topology,
     "ext_placement": extensions.ext_placement,
     "ext_energy": extensions.ext_energy,
+    "ext_collective": collective.ext_collective,
     "chaos": chaos.chaos_ber_sweep,
 }
 
@@ -345,6 +346,11 @@ def main(argv=None) -> int:
                 cls, sep, value = spec.partition("=")
                 if not sep or not cls:
                     parser.error(f"--bw-class wants CLASS=BW, got {spec!r}")
+                if cls in bw:
+                    parser.error(
+                        f"duplicate --bw-class for class {cls!r} "
+                        f"(already set to {bw[cls]:g})"
+                    )
                 try:
                     bw[cls] = float(value)
                 except ValueError:

@@ -14,7 +14,7 @@ Kernels of a workload execute sequentially (e.g. DNN layers).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Set
+from typing import Dict, Iterator, List, Optional, Set
 
 from repro.vm.page_table import PAGE_SIZE
 
@@ -77,6 +77,13 @@ class KernelTrace:
     ctas: List[CtaTrace] = field(default_factory=list)
     #: vpn -> owner GPU, covering every page any CTA touches
     page_owner: Dict[int, int] = field(default_factory=dict)
+    #: workload-phase label (e.g. ``"reduce_scatter"``); kernels sharing
+    #: a label aggregate into one per-phase stats block
+    #: (:class:`~repro.stats.collectors.PhaseStats`).  ``None`` — the
+    #: default for all Table-3 workloads — disables phase tracking, so
+    #: unlabelled runs serialize byte-identically to before the field
+    #: existed
+    phase: Optional[str] = None
 
     def wavefront_count(self) -> int:
         return sum(len(cta.wavefronts) for cta in self.ctas)

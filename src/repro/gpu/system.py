@@ -116,6 +116,12 @@ class MultiGpuSystem:
         self._workload: Optional[WorkloadTrace] = None
         self._kernel_index = 0
         self._wavefronts_remaining = 0
+        # per-phase accounting (phase-labelled workloads only): the
+        # traffic-counter snapshot and cycle of the last kernel boundary
+        self._phase_tracking = False
+        self._phase_name: Optional[str] = None
+        self._phase_mark = (0, 0, 0, 0, 0)
+        self._phase_cycle = 0
         #: optional kernel-boundary observer (``hook(system)``), called at
         #: every quiesced boundary *before* the next launch; must not
         #: schedule events — :mod:`repro.ckpt` snapshots through it
@@ -216,6 +222,7 @@ class MultiGpuSystem:
             for vpn, owner in kernel.page_owner.items():
                 self.placement.map_page(vpn, owner)
         self._workload = workload
+        self._phase_tracking = any(k.phase is not None for k in workload.kernels)
 
     # -- execution ----------------------------------------------------------------
 
@@ -224,6 +231,8 @@ class MultiGpuSystem:
         if self._workload is None:
             raise RuntimeError("no workload loaded")
         self._kernel_index = 0
+        if self._phase_tracking:
+            self._phase_begin(self._workload.kernels[0])
         self._launch_kernel(self._workload.kernels[0])
         if self.obs.metrics is not None:
             self._sample_metrics()  # cycle-0 baseline, then every interval
@@ -294,9 +303,56 @@ class MultiGpuSystem:
         """
         self._kernel_index += 1
         if self._kernel_index < len(self._workload.kernels):
-            self._launch_kernel(self._workload.kernels[self._kernel_index])
+            next_kernel = self._workload.kernels[self._kernel_index]
+            if self._phase_tracking:
+                self._phase_close()
+                self._phase_begin(next_kernel)
+            self._launch_kernel(next_kernel)
         else:
+            if self._phase_tracking:
+                self._phase_close()
             self.stats.finish_cycle = self.engine.now
+
+    # -- per-phase accounting -----------------------------------------------------
+
+    def _phase_snapshot(self):
+        """Inter-link + egress-controller totals at a quiesced boundary.
+
+        Boundaries carry no in-flight traffic (the same property
+        :mod:`repro.ckpt` snapshots rely on), so these integer deltas
+        attribute every flit to exactly one phase — identically in the
+        single-engine and sharded drive modes.
+        """
+        links = self.topology.inter_links
+        ctrls = self.topology.controllers
+        return (
+            sum(link.stats.flits for link in links),
+            sum(link.stats.wire_bytes for link in links),
+            sum(link.stats.useful_bytes for link in links),
+            sum(c.stats.flits_entered for c in ctrls),
+            sum(c.stats.flits_absorbed for c in ctrls),
+        )
+
+    def _phase_begin(self, kernel: KernelTrace) -> None:
+        self._phase_name = kernel.phase
+        self.stats.set_live_phase(kernel.phase)
+        self._phase_mark = self._phase_snapshot()
+        self._phase_cycle = self.engine.now
+
+    def _phase_close(self) -> None:
+        """Attribute boundary-to-boundary deltas to the finished kernel."""
+        if self._phase_name is None:
+            return
+        mark = self._phase_mark
+        snap = self._phase_snapshot()
+        block = self.stats.phase(self._phase_name)
+        block.kernels += 1
+        block.cycles += self.engine.now - self._phase_cycle
+        block.inter_flits += snap[0] - mark[0]
+        block.inter_wire_bytes += snap[1] - mark[1]
+        block.inter_useful_bytes += snap[2] - mark[2]
+        block.flits_entered += snap[3] - mark[3]
+        block.flits_absorbed += snap[4] - mark[4]
 
     # -- result assembly ---------------------------------------------------------------
 

@@ -374,6 +374,9 @@ class RdmaEngine(Traced, Component):
             latency = self.now - ctx.send_cycle
             if ctx.crosses_cluster:
                 self.stats.remote_read_latency_inter.record(latency)
+                # per-phase breakdown for phase-labelled (collective)
+                # workloads; no-op when no phase is live
+                self.stats.record_phase_read_latency(latency)
             else:
                 self.stats.remote_read_latency_intra.record(latency)
         elif packet.ptype is PacketType.WRITE_RSP:

@@ -155,6 +155,13 @@ class ShardSystem:
         self._wavefronts_remaining = 0
         self._last_wf_cycle = 0
         self._finished = False
+        # per-phase accounting (collective workloads); all four attrs
+        # ride along in snapshot_state pickles, so ckpt resume replays
+        # phase closure identically
+        self._phase_tracking = False
+        self._phase_name: Optional[str] = None
+        self._phase_mark = (0, 0, 0, 0, 0)
+        self._phase_cycle = 0
 
     # -- construction helpers ----------------------------------------------
 
@@ -259,6 +266,7 @@ class ShardSystem:
             for vpn, owner in kernel.page_owner.items():
                 self.placement.map_page(vpn, owner)
         self._workload = workload
+        self._phase_tracking = any(k.phase is not None for k in workload.kernels)
 
     def begin(self) -> ShardStatus:
         """Launch kernel 0 at cycle 0 and take the cycle-0 sample."""
@@ -267,6 +275,8 @@ class ShardSystem:
         self._install_ids()
         try:
             self._kernel_index = 0
+            if self._phase_tracking:
+                self._phase_begin(self._workload.kernels[0])
             self._start_kernel(self._workload.kernels[0])
             if self.metrics is not None:
                 self._sample_metrics()
@@ -312,6 +322,11 @@ class ShardSystem:
                 engine.rewind(q)
             self._kernel_index = kernel_index
             kernel = self._workload.kernels[kernel_index]
+            if self._phase_tracking:
+                # the boundary is quiesced, so the counters are final for
+                # the previous kernel whether the window overshot or not
+                self._phase_close(q)
+                self._phase_begin(kernel)
             self._wavefronts_remaining = self._owned_wavefront_count(kernel)
             self._last_wf_cycle = q
             # bind the index: an empty kernel quiesces instantly, and the
@@ -333,6 +348,8 @@ class ShardSystem:
                 for gpu in self.gpus.values():
                     gpu.invalidate_l1s()
             self.engine.run_until_idle()
+            if self._phase_tracking:
+                self._phase_close(q_final)
             self.stats.finish_cycle = q_final
         finally:
             self._save_ids()
@@ -403,6 +420,46 @@ class ShardSystem:
         self._wavefronts_remaining -= 1
         if self._wavefronts_remaining == 0:
             self._last_wf_cycle = self.engine.now
+
+    # -- per-phase accounting -----------------------------------------------
+
+    def _phase_snapshot(self):
+        """This shard's slice of the boundary 5-tuple (see
+        ``MultiGpuSystem._phase_snapshot``); every inter-cluster link and
+        controller is owned by exactly one shard, so sum-merging the
+        per-shard deltas reproduces the single-engine totals."""
+        links = self.topology.inter_links
+        ctrls = self.topology.controllers
+        return (
+            sum(link.stats.flits for link in links),
+            sum(link.stats.wire_bytes for link in links),
+            sum(link.stats.useful_bytes for link in links),
+            sum(c.stats.flits_entered for c in ctrls),
+            sum(c.stats.flits_absorbed for c in ctrls),
+        )
+
+    def _phase_begin(self, kernel: KernelTrace) -> None:
+        self._phase_name = kernel.phase
+        self.stats.set_live_phase(kernel.phase)
+        self._phase_mark = self._phase_snapshot()
+        self._phase_cycle = self.engine.now
+
+    def _phase_close(self, boundary: int) -> None:
+        """Attribute deltas to the finished kernel's phase at the
+        coordinator-proven boundary cycle (run-global, so ``kernels`` and
+        ``cycles`` max-merge to the same value on every shard)."""
+        if self._phase_name is None:
+            return
+        mark = self._phase_mark
+        snap = self._phase_snapshot()
+        block = self.stats.phase(self._phase_name)
+        block.kernels += 1
+        block.cycles += boundary - self._phase_cycle
+        block.inter_flits += snap[0] - mark[0]
+        block.inter_wire_bytes += snap[1] - mark[1]
+        block.inter_useful_bytes += snap[2] - mark[2]
+        block.flits_entered += snap[3] - mark[3]
+        block.flits_absorbed += snap[4] - mark[4]
 
     # -- status / report ----------------------------------------------------
 

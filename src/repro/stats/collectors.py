@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from collections import Counter
 from typing import Dict, List, Optional
 
@@ -73,8 +74,20 @@ class LatencyStat:
             return 0.0
         return self.total / self.count
 
+    @staticmethod
+    def _rank(p: float, n: int) -> int:
+        """Floor-based nearest-rank index into ``n`` ordered samples.
+
+        ``round()`` (banker's rounding) made p50/p99 depend on
+        sample-count parity and let the raw-sample and histogram paths
+        disagree at bucket edges; one shared floor rule keeps both paths
+        on the same rank.  ``p * (n - 1)`` before the division so integer
+        percentiles stay exact in floating point.
+        """
+        return max(0, min(n - 1, math.floor(p * (n - 1) / 100)))
+
     def percentile(self, p: float) -> float:
-        """The ``p``-th percentile (0-100) by nearest-rank.
+        """The ``p``-th percentile (0-100) by floor-based nearest-rank.
 
         Computed over the raw samples when any are retained; otherwise
         (after deserialization) over the histogram, answering with the
@@ -84,12 +97,11 @@ class LatencyStat:
             raise ValueError("percentile must be within 0..100")
         if self._samples:
             ordered = sorted(self._samples)
-            rank = max(0, min(len(ordered) - 1, round(p / 100 * (len(ordered) - 1))))
-            return float(ordered[rank])
+            return float(ordered[self._rank(p, len(ordered))])
         n = sum(self._hist.values())
         if n == 0:
             return 0.0
-        rank = max(0, min(n - 1, round(p / 100 * (n - 1))))
+        rank = self._rank(p, n)
         cumulative = 0
         for floor in sorted(self._hist):
             cumulative += self._hist[floor]
@@ -101,12 +113,12 @@ class LatencyStat:
         """Fold ``other`` in; merged percentiles are order-independent.
 
         The retained-sample union is capped by a deterministic bottom-k
-        selection over the combined *multiset* (each sample keyed by a
-        stable hash of its value and duplicate index), so
-        ``a.merge(b)`` and ``b.merge(a)`` keep exactly the same samples
-        — unlike the former "first ``room`` of ``other``" rule, which
-        systematically over-weighted the self/earlier stat's
-        distribution in merged percentiles.
+        selection over the combined *multiset* (see :meth:`_bottom_k`),
+        so the merge is commutative **and** associative: any merge tree
+        over the same stats keeps exactly the same samples — unlike the
+        former "first ``room`` of ``other``" rule, which systematically
+        over-weighted the self/earlier stat's distribution in merged
+        percentiles.
         """
         self.count += other.count
         self.total += other.total
@@ -119,19 +131,29 @@ class LatencyStat:
 
     @staticmethod
     def _bottom_k(samples: List[int], k: int) -> List[int]:
-        """The ``k`` samples with the smallest stable hash keys.
+        """The ``k`` samples with the smallest stable selection keys.
 
-        Enumerating duplicate indices over the *sorted* samples makes
-        the key assignment a pure function of the multiset, so any merge
-        order selects the same survivors (a mergeable bottom-k sketch).
+        Each copy of a value is keyed ``(duplicate-index, hash(value,
+        duplicate-index))``: a pure function of the multiset (duplicate
+        indices are enumerated over the sorted samples), so any merge
+        order selects the same survivors.  Ordering by duplicate index
+        *first* makes the survivors of every value a prefix of its
+        copies, so truncation never re-keys a survivor — which is what
+        makes the capped merge associative, not just commutative:
+        ``bottom_k(bottom_k(A|B) | C) == bottom_k(A|B|C)`` because every
+        element keeps the same key in both evaluations (the standard
+        mergeable bottom-k sketch argument).  The cost is a mild bias
+        toward distinct values over heavy hitters in the retained set;
+        the histogram keeps full counts either way.
         """
         occurrences: Counter = Counter()
         keyed = []
         for value in sorted(samples):
-            keyed.append((_mix64(value, occurrences[value]), value))
+            index = occurrences[value]
+            keyed.append((index, _mix64(value, index), value))
             occurrences[value] += 1
         keyed.sort()
-        return sorted(value for _, value in keyed[:k])
+        return sorted(value for _, _, value in keyed[:k])
 
     # -- serialization (persistent result cache) ---------------------------
     #
@@ -230,6 +252,76 @@ class FaultStats:
         return stats
 
 
+class PhaseStats:
+    """Per-phase traffic and latency breakdown for one workload phase.
+
+    Collective workloads label their kernels with a phase name
+    (``KernelTrace.phase``); the executing system attributes quiesced
+    boundary-to-boundary deltas of the inter-cluster link and egress
+    controller counters to the finished kernel's phase, and the RDMA
+    engines route inter-cluster read latencies into the live phase.
+
+    Merge semantics are chosen so sharded runs reproduce the single
+    engine byte-for-byte: traffic counters are per-shard-disjoint and
+    *sum*; ``kernels``/``cycles`` are run-global milestones every shard
+    observes identically (kernel boundaries are proven globally) and
+    merge by *max*; the latency histogram merges through
+    :class:`LatencyStat`'s order-independent bottom-k.
+    """
+
+    #: run-global fields every shard reports identically (max-merge)
+    _GLOBAL_FIELDS = ("kernels", "cycles")
+
+    def __init__(self) -> None:
+        #: kernels executed under this phase label
+        self.kernels = 0
+        #: cycles between the phase's kernel boundaries
+        self.cycles = 0
+        # inter-cluster link deltas (FlitStats slice)
+        self.inter_flits = 0
+        self.inter_wire_bytes = 0
+        self.inter_useful_bytes = 0
+        # egress-controller deltas (stitching effectiveness per phase)
+        self.flits_entered = 0
+        self.flits_absorbed = 0
+        #: inter-cluster remote-read latencies recorded during the phase
+        self.read_latency_inter = LatencyStat()
+
+    def stitch_rate(self) -> float:
+        if self.flits_entered == 0:
+            return 0.0
+        return self.flits_absorbed / self.flits_entered
+
+    def merge(self, other: "PhaseStats") -> None:
+        for key, value in vars(other).items():
+            mine = getattr(self, key)
+            if isinstance(value, LatencyStat):
+                mine.merge(value)
+            elif key in self._GLOBAL_FIELDS:
+                setattr(self, key, max(mine, value))
+            else:
+                setattr(self, key, mine + value)
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {}
+        for key, value in vars(self).items():
+            if isinstance(value, LatencyStat):
+                out[key] = {"__latency__": value.to_dict()}
+            else:
+                out[key] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "PhaseStats":
+        stats = cls()
+        for key, value in data.items():
+            if isinstance(value, dict) and "__latency__" in value:
+                setattr(stats, key, LatencyStat.from_dict(value["__latency__"]))
+            else:
+                setattr(stats, key, value)
+        return stats
+
+
 class RunStats:
     """Counters updated in place by CUs, GMMUs, RDMA engines, etc.
 
@@ -275,9 +367,38 @@ class RunStats:
         # fault layer so fault-free runs serialize without the block
         # (digest discipline: off means byte-identical output)
         self.faults: Optional[FaultStats] = None
+        # per-phase breakdown; created lazily on the first phase-labelled
+        # kernel, so workloads without phases serialize without the block
+        self.phases: Optional[Dict[str, PhaseStats]] = None
+        #: live phase pointer for record-time routing; underscore
+        #: attributes are transient bookkeeping — excluded from merge and
+        #: serialization
+        self._phase: Optional[str] = None
         # execution milestones
         self.kernel_count = 0
         self.finish_cycle: Optional[int] = None
+
+    # -- per-phase breakdown -------------------------------------------------
+
+    def phase(self, name: str) -> PhaseStats:
+        """The (lazily created) :class:`PhaseStats` block for ``name``."""
+        if self.phases is None:
+            self.phases = {}
+        block = self.phases.get(name)
+        if block is None:
+            block = self.phases[name] = PhaseStats()
+        return block
+
+    def set_live_phase(self, name: Optional[str]) -> None:
+        """Point record-time routing at ``name`` (``None``: no phase)."""
+        self._phase = name
+        if name is not None:
+            self.phase(name)  # materialize so hot-path routing is a lookup
+
+    def record_phase_read_latency(self, latency: int) -> None:
+        """Route an inter-cluster read latency into the live phase."""
+        if self._phase is not None:
+            self.phases[self._phase].read_latency_inter.record(latency)
 
     # -- derived metrics ---------------------------------------------------
 
@@ -315,7 +436,11 @@ class RunStats:
         they are skipped here and assigned explicitly after merging.
         """
         for key, value in vars(other).items():
-            if key in ("kernel_count", "finish_cycle") or value is None:
+            if (
+                key in ("kernel_count", "finish_cycle")
+                or key.startswith("_")
+                or value is None
+            ):
                 continue
             mine = getattr(self, key)
             if isinstance(value, LatencyStat):
@@ -327,6 +452,9 @@ class RunStats:
                     mine = FaultStats()
                     setattr(self, key, mine)
                 mine.merge(value)
+            elif key == "phases":
+                for name, block in value.items():
+                    self.phase(name).merge(block)
             else:
                 setattr(self, key, mine + value)
 
@@ -341,16 +469,25 @@ class RunStats:
     def to_dict(self) -> Dict[str, object]:
         out: Dict[str, object] = {}
         for key, value in vars(self).items():
+            if key.startswith("_"):
+                # transient routing pointers, not run results
+                continue
             if isinstance(value, LatencyStat):
                 out[key] = {"__latency__": value.to_dict()}
             elif isinstance(value, Counter):
                 out[key] = {"__counter__": sorted(value.items())}
             elif isinstance(value, FaultStats):
                 out[key] = {"__faults__": value.to_dict()}
+            elif key == "phases" and value is not None:
+                out[key] = {
+                    "__phases__": {
+                        name: value[name].to_dict() for name in sorted(value)
+                    }
+                }
             elif value is None and key != "finish_cycle":
-                # optional sub-stat blocks (``faults``) are omitted when
-                # absent, so enabling-capable builds serialize
-                # byte-identically to builds without them
+                # optional sub-stat blocks (``faults``, ``phases``) are
+                # omitted when absent, so enabling-capable builds
+                # serialize byte-identically to builds without them
                 continue
             else:
                 out[key] = value
@@ -367,6 +504,15 @@ class RunStats:
                 setattr(stats, key, Counter({int(k): int(v) for k, v in pairs}))
             elif isinstance(value, dict) and "__faults__" in value:
                 setattr(stats, key, FaultStats.from_dict(value["__faults__"]))
+            elif isinstance(value, dict) and "__phases__" in value:
+                setattr(
+                    stats,
+                    key,
+                    {
+                        name: PhaseStats.from_dict(block)
+                        for name, block in value["__phases__"].items()
+                    },
+                )
             else:
                 setattr(stats, key, value)
         return stats

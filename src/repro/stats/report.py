@@ -146,6 +146,16 @@ class RunResult:
     def mean_inter_read_latency(self) -> float:
         return self.stats.remote_read_latency_inter.mean()
 
+    def phase_breakdown(self) -> Dict[str, object]:
+        """Per-phase stats blocks, keyed by phase label (sorted).
+
+        Populated only for phase-labelled workloads (the collective
+        family); empty for Table-3 traces.
+        """
+        if self.stats.phases is None:
+            return {}
+        return {name: self.stats.phases[name] for name in sorted(self.stats.phases)}
+
     # -- fault injection (repro.faults) -------------------------------------
 
     def raw_throughput(self) -> float:

@@ -57,6 +57,18 @@ class Scale:
     def default(cls) -> "Scale":
         return cls()
 
+    def collective_chunk_lines(self) -> int:
+        """Default chunk size (cache lines pulled per wavefront per
+        schedule step) for the collective workload family.
+
+        Communication-dominated kernels have no compute knob to size
+        them, so the chunk derives from the existing access knob — a
+        *method*, not a new field, because the result cache fingerprints
+        ``asdict(scale)`` and a new field would invalidate every cached
+        run.
+        """
+        return max(1, self.accesses_per_wavefront // 2)
+
 
 class Array:
     """A virtual array with a page-ownership (placement) policy.

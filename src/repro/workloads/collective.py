@@ -1,0 +1,246 @@
+"""Collective-communication workload family, driven by chunk schedules.
+
+Table 3 covers compute kernels; this family models the *other* major
+traffic class on multi-GPU nodes — bulk collectives: NCCL-style ring
+and tree all-reduce, all-to-all (expert/shuffle) exchange, and the
+DP/TP/PP phase mix of one distributed-training step.
+
+Every workload is policy-as-data: a list of :class:`PolicyEntry` steps,
+each naming its phase label, chunk size, and peer map.  Schedules are
+plain data, so an experiment point can swap one in via
+:meth:`CollectiveWorkload.with_schedule` without touching generator
+code.
+
+Communication mapping under single-ownership memory (LASP places each
+page on exactly one GPU): "GPU ``g`` receives a chunk from peer ``p``"
+is modeled as ``g`` issuing remote full-line reads into ``p``'s block
+of the shared buffer, plus local full-line writes into ``g``'s own
+block — the reduce/accumulate half.  The peer map therefore decides
+exactly which inter-cluster links carry traffic each step (ring ->
+neighbour links only, tree -> tree edges, all-to-all -> every pair),
+and the step index rotates the offsets so steps touch distinct lines.
+A peer of ``-1`` idles the GPU for the step (a pipeline bubble, zero
+accesses) — which also exercises the zero-access stats edges end to
+end.
+
+Each schedule step becomes one kernel; kernels sharing a
+:attr:`~repro.gpu.cta.KernelTrace.phase` label aggregate into one
+:class:`~repro.stats.collectors.PhaseStats` block on the run result.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.gpu.cta import KernelTrace, LINE_BYTES, MemAccess
+from repro.workloads.base import Array, Scale, WorkloadGenerator
+
+
+@dataclass(frozen=True)
+class PolicyEntry:
+    """One schedule step: which phase, how much data, who pulls from whom.
+
+    ``peers[g]`` is the GPU that ``g`` pulls its chunk from during this
+    step, or ``-1`` when ``g`` sits the step out.  ``chunk_lines`` sizes
+    the pull: each wavefront reads that many remote lines and writes
+    half as many local lines (the reduction).
+    """
+
+    step: int
+    phase: str
+    chunk_lines: int
+    peers: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.chunk_lines < 0:
+            raise ValueError(f"step {self.step}: chunk_lines must be >= 0")
+        if not self.phase:
+            raise ValueError(f"step {self.step}: phase label must be non-empty")
+        n = len(self.peers)
+        for gpu, peer in enumerate(self.peers):
+            if peer == gpu:
+                raise ValueError(
+                    f"step {self.step}: GPU {gpu} pulls from itself"
+                )
+            if peer < -1 or peer >= n:
+                raise ValueError(
+                    f"step {self.step}: GPU {gpu} has peer {peer} "
+                    f"outside -1..{n - 1}"
+                )
+
+
+def _peer(gpu: int, peer: int, n_gpus: int) -> int:
+    """Wrap ``peer`` into range; ``-1`` when it degenerates to ``gpu``."""
+    peer %= n_gpus
+    return -1 if peer == gpu else peer
+
+
+def ring_allreduce_schedule(n_gpus: int, chunk_lines: int) -> List[PolicyEntry]:
+    """Ring all-reduce: ``n-1`` reduce-scatter then ``n-1`` all-gather
+    steps, every GPU pulling from its left neighbour — the bandwidth-
+    optimal schedule; traffic stays on neighbour links only."""
+    entries: List[PolicyEntry] = []
+    step = 0
+    for phase in ("reduce_scatter", "all_gather"):
+        for _ in range(max(1, n_gpus - 1)):
+            peers = tuple(_peer(g, g - 1, n_gpus) for g in range(n_gpus))
+            entries.append(PolicyEntry(step, phase, chunk_lines, peers))
+            step += 1
+    return entries
+
+
+def tree_allreduce_schedule(n_gpus: int, chunk_lines: int) -> List[PolicyEntry]:
+    """Binary-tree all-reduce: an up-sweep (parents pull partials from
+    children) then a mirrored down-sweep (children pull the result back)
+    — latency-optimal, log-depth, but idles half the GPUs per level."""
+    up_levels: List[Tuple[int, ...]] = []
+    stride = 1
+    while stride < n_gpus:
+        peers = [-1] * n_gpus
+        for g in range(0, n_gpus, 2 * stride):
+            if g + stride < n_gpus:
+                peers[g] = g + stride
+        up_levels.append(tuple(peers))
+        stride *= 2
+    entries: List[PolicyEntry] = []
+    step = 0
+    for peers in up_levels:
+        entries.append(PolicyEntry(step, "reduce", chunk_lines, peers))
+        step += 1
+    for peers in reversed(up_levels):
+        down = [-1] * n_gpus
+        for parent, child in enumerate(peers):
+            if child >= 0:
+                down[child] = parent
+        entries.append(PolicyEntry(step, "broadcast", chunk_lines, tuple(down)))
+        step += 1
+    if not entries:  # single GPU: one bubble step so the trace validates
+        entries.append(PolicyEntry(0, "reduce", 0, (-1,) * n_gpus))
+    return entries
+
+
+def all_to_all_schedule(n_gpus: int, chunk_lines: int) -> List[PolicyEntry]:
+    """Pairwise exchange: step ``k`` has every GPU pull from
+    ``(g + k) % n`` — over all steps every GPU pair exchanges a chunk,
+    loading every inter-cluster link (MoE expert dispatch / shuffle)."""
+    entries: List[PolicyEntry] = []
+    for k in range(1, max(2, n_gpus)):
+        peers = tuple(_peer(g, g + k, n_gpus) for g in range(n_gpus))
+        entries.append(PolicyEntry(k - 1, "exchange", chunk_lines, peers))
+    return entries
+
+
+def train_mix_schedule(n_gpus: int, chunk_lines: int) -> List[PolicyEntry]:
+    """One distributed-training step: a TP activation all-reduce (heavy
+    chunks), a pipeline bubble (every GPU idle), then a DP gradient
+    all-reduce (half-size chunks) — three phases with very different
+    traffic intensity in one run."""
+    entries: List[PolicyEntry] = []
+    step = 0
+    for _ in range(max(1, n_gpus - 1)):
+        peers = tuple(_peer(g, g - 1, n_gpus) for g in range(n_gpus))
+        entries.append(PolicyEntry(step, "tp_allreduce", chunk_lines, peers))
+        step += 1
+    entries.append(PolicyEntry(step, "pp_bubble", 0, (-1,) * n_gpus))
+    step += 1
+    for _ in range(max(1, n_gpus - 1)):
+        peers = tuple(_peer(g, g + 1, n_gpus) for g in range(n_gpus))
+        entries.append(
+            PolicyEntry(step, "dp_allreduce", max(1, chunk_lines // 2), peers)
+        )
+        step += 1
+    return entries
+
+
+#: signature every schedule builder satisfies
+ScheduleBuilder = Callable[[int, int], List[PolicyEntry]]
+
+
+class CollectiveWorkload(WorkloadGenerator):
+    """A collective driven by a policy-as-data chunk schedule."""
+
+    pattern = "collective"
+    suite = "NCCL-style"
+
+    def __init__(
+        self,
+        name: str,
+        schedule_builder: ScheduleBuilder,
+        schedule: Optional[Sequence[PolicyEntry]] = None,
+    ) -> None:
+        self.name = name
+        self._builder = schedule_builder
+        self._schedule_override = list(schedule) if schedule is not None else None
+
+    def with_schedule(self, schedule: Sequence[PolicyEntry]) -> "CollectiveWorkload":
+        """A copy pinned to an explicit schedule (per experiment point)."""
+        return CollectiveWorkload(self.name, self._builder, schedule)
+
+    def schedule_for(self, n_gpus: int, scale: Scale) -> List[PolicyEntry]:
+        """The effective schedule: the override if pinned, else the
+        builder at the scale-derived chunk size."""
+        if self._schedule_override is not None:
+            return list(self._schedule_override)
+        return self._builder(n_gpus, scale.collective_chunk_lines())
+
+    def _kernels(
+        self, n_gpus: int, scale: Scale, rng: random.Random
+    ) -> List[KernelTrace]:
+        buffer = Array(0, scale.pages_per_gpu * n_gpus, n_gpus, "block")
+        schedule = self.schedule_for(n_gpus, scale)
+        if not schedule:
+            raise ValueError(f"collective {self.name!r}: empty schedule")
+        return [
+            self._step_kernel(entry, buffer, n_gpus, scale)
+            for entry in sorted(schedule, key=lambda e: e.step)
+        ]
+
+    def _step_kernel(
+        self, entry: PolicyEntry, buffer: Array, n_gpus: int, scale: Scale
+    ) -> KernelTrace:
+        def wavefront(gpu: int, cta: int, wf: int) -> List[MemAccess]:
+            peer = entry.peers[gpu] if gpu < len(entry.peers) else -1
+            if peer < 0 or entry.chunk_lines == 0:
+                return []  # bubble: this GPU sits the step out
+            src = buffer.gpu_block_range(peer)
+            dst = buffer.gpu_block_range(gpu)
+            src_lines = max(1, len(src) // LINE_BYTES)
+            dst_lines = max(1, len(dst) // LINE_BYTES)
+            slot = (cta * scale.wavefronts_per_cta + wf) * entry.chunk_lines
+            accesses: List[MemAccess] = []
+            for i in range(entry.chunk_lines):
+                line = (slot + i + entry.step * 7) % src_lines
+                accesses.append(
+                    MemAccess(
+                        vaddr=buffer.addr(src.start + line * LINE_BYTES),
+                        nbytes=LINE_BYTES,
+                    )
+                )
+            for i in range(max(1, entry.chunk_lines // 2)):
+                line = (slot + i + entry.step * 7) % dst_lines
+                accesses.append(
+                    MemAccess(
+                        vaddr=buffer.addr(dst.start + line * LINE_BYTES),
+                        nbytes=LINE_BYTES,
+                        is_write=True,
+                    )
+                )
+            return accesses
+
+        kernel = self._make_kernel(
+            f"{self.name}_s{entry.step}", n_gpus, scale, [buffer], wavefront
+        )
+        kernel.phase = entry.phase
+        return kernel
+
+
+def collective_generators() -> List[CollectiveWorkload]:
+    """The registered family, in presentation order."""
+    return [
+        CollectiveWorkload("ar_ring", ring_allreduce_schedule),
+        CollectiveWorkload("ar_tree", tree_allreduce_schedule),
+        CollectiveWorkload("a2a", all_to_all_schedule),
+        CollectiveWorkload("trainmix", train_mix_schedule),
+    ]

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.workloads.base import WorkloadGenerator
+from repro.workloads.collective import collective_generators
 from repro.workloads.dnn import Lenet, Resnet18, Vgg16
 from repro.workloads.synthetic import (
     Atax,
@@ -44,6 +45,10 @@ _TABLE3_GENERATORS = [
 WORKLOADS: Dict[str, WorkloadGenerator] = {gen.name: gen for gen in _TABLE3_GENERATORS}
 #: extra workloads used by specific experiments (not in Table 3)
 WORKLOADS["gemm_large"] = LargeGemm()
+#: collective-communication family (repro.workloads.collective)
+_COLLECTIVE_GENERATORS = collective_generators()
+for _gen in _COLLECTIVE_GENERATORS:
+    WORKLOADS[_gen.name] = _gen
 
 
 def get_workload(name: str) -> WorkloadGenerator:
@@ -59,6 +64,11 @@ def get_workload(name: str) -> WorkloadGenerator:
 def all_workload_names() -> List[str]:
     """The 15 evaluated applications, in Table 3 order."""
     return [gen.name for gen in _TABLE3_GENERATORS]
+
+
+def collective_workload_names() -> List[str]:
+    """The collective-communication family, in presentation order."""
+    return [gen.name for gen in _COLLECTIVE_GENERATORS]
 
 
 def workload_table() -> List[Dict[str, str]]:

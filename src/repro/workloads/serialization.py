@@ -37,6 +37,9 @@ def trace_to_dict(trace: WorkloadTrace) -> Dict[str, Any]:
         "kernels": [
             {
                 "name": kernel.name,
+                # phase key present only when labelled, so pre-phase dumps
+                # and unlabelled traces serialize byte-identically
+                **({"phase": kernel.phase} if kernel.phase is not None else {}),
                 "page_owner": {hex(vpn): owner for vpn, owner in kernel.page_owner.items()},
                 "ctas": [
                     {
@@ -91,9 +94,13 @@ def trace_from_dict(data: Dict[str, Any]) -> WorkloadTrace:
                 int(vpn, 16): int(owner)
                 for vpn, owner in kernel_doc["page_owner"].items()
             }
+            phase = kernel_doc.get("phase")
             kernels.append(
                 KernelTrace(
-                    name=str(kernel_doc["name"]), ctas=ctas, page_owner=page_owner
+                    name=str(kernel_doc["name"]),
+                    ctas=ctas,
+                    page_owner=page_owner,
+                    phase=None if phase is None else str(phase),
                 )
             )
         trace = WorkloadTrace(name=str(data["name"]), kernels=kernels)

@@ -19,6 +19,7 @@ def _isolated_runner_state(tmp_path, monkeypatch):
     runner.reset_run_stats()
     runner.clear_cache()
     runner.set_observability(None)
+    runner.set_system_overrides()
 
 
 @pytest.fixture
@@ -137,3 +138,37 @@ def test_invalid_observability_values_rejected(tiny_quick):
         main(["fig6", "--trace-sample", "0"])
     with pytest.raises(SystemExit):
         main(["fig6", "--metrics-interval", "0"])
+
+
+def test_bw_class_duplicate_rejected(capsys):
+    with pytest.raises(SystemExit):
+        main(["list", "--bw-class", "inter=32", "--bw-class", "inter=64"])
+    err = capsys.readouterr().err
+    assert "duplicate --bw-class" in err
+    assert "'inter'" in err
+
+
+def test_bw_class_unknown_class_rejected_eagerly(capsys):
+    # fails at argument handling, before any simulation
+    with pytest.raises(SystemExit):
+        main(["list", "--bw-class", "up=32"])
+    err = capsys.readouterr().err
+    assert "bandwidth class 'up'" in err
+    assert "classes: inter" in err  # names the topology's valid classes
+
+
+def test_bw_class_malformed_spec_rejected(capsys):
+    with pytest.raises(SystemExit):
+        main(["list", "--bw-class", "inter"])
+    assert "CLASS=BW" in capsys.readouterr().err
+    with pytest.raises(SystemExit):
+        main(["list", "--bw-class", "inter=fast"])
+    assert "bad bandwidth" in capsys.readouterr().err
+
+
+def test_bw_class_valid_for_topology(capsys):
+    # star defines up/down tiers; both accepted, listed in the echo
+    assert main(["list", "--topology", "star", "--bw-class", "up=32",
+                 "--bw-class", "down=64"]) == 0
+    out = capsys.readouterr().out
+    assert "topology overrides" in out

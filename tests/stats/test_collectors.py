@@ -162,3 +162,52 @@ class TestRunStats:
 
     def test_fraction_empty(self):
         assert RunStats().fraction_requests_at_most(16) == 0.0
+
+
+class TestPercentileRanking:
+    """Regression for the banker's-rounding percentile bug: ``round()``
+    made p50 depend on sample-count parity and let the raw and histogram
+    paths land on different ranks at bucket edges.  Both paths now share
+    one floor-based nearest-rank rule."""
+
+    @staticmethod
+    def _stat(values):
+        stat = LatencyStat()
+        for v in values:
+            stat.record(v)
+        return stat
+
+    def test_even_sample_count(self):
+        stat = self._stat(range(1, 11))  # 1..10
+        assert stat.percentile(0) == 1.0
+        assert stat.percentile(50) == 5.0  # floor(0.5 * 9) = rank 4
+        assert stat.percentile(99) == 9.0  # floor(0.99 * 9) = rank 8
+        assert stat.percentile(100) == 10.0
+
+    def test_odd_sample_count(self):
+        stat = self._stat(range(1, 10))  # 1..9
+        assert stat.percentile(50) == 5.0  # floor(0.5 * 8) = rank 4, exact median
+        assert stat.percentile(25) == 3.0  # floor(0.25 * 8) = rank 2
+        assert stat.percentile(100) == 9.0
+
+    def test_integer_percentile_rank_is_float_exact(self):
+        # p * (n - 1) multiplies before dividing, so e.g. 70% of 11
+        # samples is exactly rank 7 (0.7 * 10 would be 6.999...)
+        assert LatencyStat._rank(70, 11) == 7
+        assert LatencyStat._rank(29, 101) == 29
+
+    def test_two_samples_median_is_lower(self):
+        # parity case round() got wrong: round(0.5) == 0 but round(1.5)
+        # == 2, so medians jumped between lower and upper neighbours
+        assert self._stat([10, 20]).percentile(50) == 10.0
+        assert self._stat([10, 20, 30, 40]).percentile(50) == 20.0
+
+    def test_raw_and_histogram_paths_agree_on_same_rank(self):
+        # values below 2**(HIST_SUB_BITS+1) have exact histogram buckets,
+        # so the two paths must return identical percentiles
+        values = [1, 2, 3, 5, 7, 11, 13, 15] * 3
+        raw = self._stat(values)
+        hist_only = LatencyStat.from_dict(raw.to_dict())
+        assert not hist_only._samples
+        for p in (0, 10, 25, 50, 75, 90, 99, 100):
+            assert raw.percentile(p) == hist_only.percentile(p), p

@@ -1,0 +1,102 @@
+"""Tests for the per-phase stats blocks (collective workload breakdown)."""
+
+import pytest
+
+from repro.stats.collectors import PhaseStats, RunStats
+
+
+def _block(kernels=1, cycles=100, flits=10, entered=8, absorbed=2, lat=(50,)):
+    block = PhaseStats()
+    block.kernels = kernels
+    block.cycles = cycles
+    block.inter_flits = flits
+    block.inter_wire_bytes = flits * 16
+    block.inter_useful_bytes = flits * 12
+    block.flits_entered = entered
+    block.flits_absorbed = absorbed
+    for v in lat:
+        block.read_latency_inter.record(v)
+    return block
+
+
+class TestPhaseStats:
+    def test_stitch_rate(self):
+        assert _block(entered=8, absorbed=2).stitch_rate() == pytest.approx(0.25)
+        assert PhaseStats().stitch_rate() == 0.0
+
+    def test_merge_policy(self):
+        """Traffic sums across shards (disjoint link ownership); kernels
+        and cycles are run-global milestones every shard reports
+        identically, so they max-merge instead of doubling."""
+        a = _block(kernels=3, cycles=500, flits=10, entered=8, absorbed=2, lat=(50,))
+        b = _block(kernels=3, cycles=500, flits=7, entered=5, absorbed=1, lat=(70,))
+        a.merge(b)
+        assert a.kernels == 3
+        assert a.cycles == 500
+        assert a.inter_flits == 17
+        assert a.flits_entered == 13
+        assert a.flits_absorbed == 3
+        assert a.read_latency_inter.count == 2
+        assert a.read_latency_inter.max == 70
+
+    def test_round_trip(self):
+        block = _block(lat=(10, 20, 30))
+        restored = PhaseStats.from_dict(block.to_dict())
+        assert vars(restored).keys() == vars(block).keys()
+        assert restored.inter_flits == block.inter_flits
+        assert restored.read_latency_inter.count == 3
+        assert restored.read_latency_inter.mean() == pytest.approx(20.0)
+
+
+class TestRunStatsPhases:
+    def test_phases_omitted_when_unused(self):
+        """Unlabelled (Table-3) runs serialize byte-identically to
+        before phases existed — the digest gates depend on it."""
+        stats = RunStats()
+        payload = stats.to_dict()
+        assert "__phases__" not in str(payload)
+        assert stats.phases is None
+
+    def test_transient_live_pointer_excluded(self):
+        stats = RunStats()
+        stats.set_live_phase("reduce")
+        payload = stats.to_dict()
+        assert "_phase" not in payload
+        restored = RunStats.from_dict(payload)
+        assert restored._phase is None
+
+    def test_phase_routing(self):
+        stats = RunStats()
+        stats.record_phase_read_latency(99)  # no live phase: dropped
+        assert stats.phases is None
+        stats.set_live_phase("reduce")
+        stats.record_phase_read_latency(40)
+        stats.set_live_phase(None)
+        stats.record_phase_read_latency(99)  # between phases: dropped
+        assert stats.phase("reduce").read_latency_inter.count == 1
+
+    def test_set_live_phase_materializes_block(self):
+        # every shard must carry the same phase key set even when a
+        # shard records no latency in a phase — merge key sets must match
+        stats = RunStats()
+        stats.set_live_phase("bubble")
+        assert "bubble" in stats.phases
+        assert stats.phases["bubble"].kernels == 0
+
+    def test_phases_round_trip_and_merge(self):
+        a = RunStats()
+        a.phase("reduce").inter_flits = 5
+        a.phase("reduce").kernels = 2
+        a.phase("reduce").cycles = 300
+        b = RunStats()
+        b.phase("reduce").inter_flits = 7
+        b.phase("reduce").kernels = 2
+        b.phase("reduce").cycles = 300
+        b.phase("gather").inter_flits = 1
+        restored = RunStats.from_dict(b.to_dict())
+        assert sorted(restored.phases) == ["gather", "reduce"]
+        a.merge(restored)
+        assert a.phase("reduce").inter_flits == 12
+        assert a.phase("reduce").kernels == 2
+        assert a.phase("reduce").cycles == 300
+        assert a.phase("gather").inter_flits == 1
