@@ -26,6 +26,7 @@ from repro.bench.harness import (
     compare_reports,
     comparison_lines,
     comparison_markdown,
+    overhead_markdown,
     run_benchmarks,
 )
 from repro.bench.schema import BenchSchemaError, validate_report
@@ -90,6 +91,50 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def promote_baseline(doc: dict, baseline_path: Path) -> dict:
+    """Build the promoted baseline document for ``--update-baseline``.
+
+    The promoted baseline starts from the current run's rows, with two
+    merge rules against the old baseline (when one exists):
+
+    * hand-pinned ``fail_threshold`` values are carried over — promoting
+      a run must not silently loosen the gate;
+    * benchmarks the current run did not execute (``--only`` subsets)
+      keep their old rows instead of vanishing, and per-row keys present
+      only in the old row (overhead counters recorded by a fuller run,
+      digests from a different machine epoch) are retained under the
+      re-run row rather than dropped.
+    """
+    baseline_doc = dict(doc)
+    baseline_doc.pop("comparison", None)
+    rows = [dict(row) for row in baseline_doc["benchmarks"]]
+    if baseline_path.exists():
+        try:
+            old = json.loads(baseline_path.read_text())
+            old_rows = {
+                row["name"]: row
+                for row in old.get("benchmarks", [])
+                if isinstance(row, dict) and "name" in row
+            }
+        except ValueError:
+            old_rows = {}
+        merged = []
+        for row in rows:
+            old_row = old_rows.pop(row["name"], None)
+            if old_row is not None:
+                # old-only keys survive; fresh values win everywhere else
+                carried = {k: v for k, v in old_row.items() if k not in row}
+                row.update(carried)
+                if "fail_threshold" in old_row:
+                    row["fail_threshold"] = old_row["fail_threshold"]
+            merged.append(row)
+        # benchmarks not re-run this invocation keep their old rows
+        merged.extend(old_rows.values())
+        rows = merged
+    baseline_doc["benchmarks"] = rows
+    return baseline_doc
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     report = run_benchmarks(quick=args.quick, only=args.only, repeats=args.repeats)
@@ -124,29 +169,7 @@ def main(argv=None) -> int:
     Path(args.out).write_text(blob)
     if args.update_baseline:
         baseline_path = Path(args.compare or DEFAULT_BASELINE)
-        baseline_doc = dict(doc)
-        baseline_doc.pop("comparison", None)
-        # carry hand-pinned per-benchmark thresholds over from the old
-        # baseline: promoting a run must not silently loosen the gate
-        if baseline_path.exists():
-            try:
-                old = json.loads(baseline_path.read_text())
-                pinned = {
-                    row["name"]: row["fail_threshold"]
-                    for row in old.get("benchmarks", [])
-                    if "fail_threshold" in row
-                }
-            except ValueError:
-                pinned = {}
-            if pinned:
-                baseline_doc["benchmarks"] = [
-                    (
-                        {**row, "fail_threshold": pinned[row["name"]]}
-                        if row["name"] in pinned
-                        else row
-                    )
-                    for row in baseline_doc["benchmarks"]
-                ]
+        baseline_doc = promote_baseline(doc, baseline_path)
         baseline_path.write_text(
             json.dumps(baseline_doc, indent=2, sort_keys=True) + "\n"
         )
@@ -176,6 +199,9 @@ def main(argv=None) -> int:
                 f"| {rec.wall_seconds:.3f}s | {rec.rate:,.0f}/s |"
                 for rec in report.records
             ]
+            summary += overhead_markdown(
+                [{"name": rec.name, **rec.extra} for rec in report.records]
+            )
         Path(args.summary_out).write_text("\n".join(summary) + "\n")
     print(f"\nwrote {args.out}")
     return exit_code

@@ -108,10 +108,11 @@ def _build_node(
     n_shards: int,
     window,
     parallel: bool,
+    adaptive: bool = False,
 ):
     """Single-engine node, or the sharded front end when sharding is asked."""
     netcrafter = _variant_config(variant)
-    if n_shards > 1 or window is not None:
+    if n_shards > 1 or window is not None or adaptive:
         from repro.shard.coordinator import ShardedSystem
 
         return ShardedSystem(
@@ -121,6 +122,7 @@ def _build_node(
             n_shards=n_shards,
             window=window,
             parallel=parallel,
+            adaptive=adaptive,
         )
     return MultiGpuSystem(config=system_config, netcrafter=netcrafter, seed=seed)
 
@@ -134,6 +136,7 @@ def run_smoke_grid(
     system_config: SystemConfig = None,
     topology: str = "mesh",
     collective: bool = False,
+    adaptive: bool = False,
 ):
     """Simulate the grid; returns (results, total_events, total_cycles).
 
@@ -160,7 +163,7 @@ def run_smoke_grid(
             n_gpus=system_config.n_gpus, scale=scale, seed=seed
         )
         node = _build_node(
-            system_config, variant, seed, n_shards, window, parallel
+            system_config, variant, seed, n_shards, window, parallel, adaptive
         )
         node.load(trace)
         result = node.run()
@@ -232,6 +235,7 @@ def bench_sharded_speedup(quick: bool = False) -> Tuple[int, Dict[str, object]]:
         seed=0,
         n_shards=2,
         parallel=True,
+        adaptive=True,
     )
     sharded.load(trace)
     start = time.perf_counter()
@@ -245,7 +249,7 @@ def bench_sharded_speedup(quick: bool = False) -> Tuple[int, Dict[str, object]]:
             "sharded run diverged from the single engine: "
             f"{sharded_digest} != {digest}"
         )
-    return single_result.cycles, {
+    extra = {
         "points": 1,
         "results_digest": digest,
         "single_wall_seconds": single_wall,
@@ -255,6 +259,10 @@ def bench_sharded_speedup(quick: bool = False) -> Tuple[int, Dict[str, object]]:
         "windows": sharded.windows_run,
         "cpus": len(os.sched_getaffinity(0)),
     }
+    # the per-window coordination-overhead breakdown: verb round trips,
+    # exact pickle bytes over the worker pipes, coordinator idle wait
+    extra.update(sharded.coord_stats.to_dict())
+    return single_result.cycles, extra
 
 
 # -- CLI: the CI shard-smoke gate --------------------------------------------
@@ -323,6 +331,11 @@ def main(argv=None) -> int:
         help="shards in worker processes (default: sequential round-robin)",
     )
     parser.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="adaptive lookahead windows (digest-identical to fixed)",
+    )
+    parser.add_argument(
         "--expect-digest",
         metavar="HEX",
         help="fail unless the grid digest equals this sha256",
@@ -359,13 +372,15 @@ def main(argv=None) -> int:
         parallel=args.parallel,
         topology=args.topology,
         collective=args.collective,
+        adaptive=args.adaptive,
     )
     digest = results_digest([r.to_dict() for r in results])
     mode = (
         "single-engine"
-        if args.shards <= 1 and args.window is None
+        if args.shards <= 1 and args.window is None and not args.adaptive
         else f"{args.shards} shard(s), "
         + ("process-parallel" if args.parallel else "sequential-windowed")
+        + (", adaptive" if args.adaptive else "")
     )
     print(
         f"smoke grid [{grid_key}] {mode}: "

@@ -307,6 +307,7 @@ def resume(
     n_shards: int = 1,
     window: Optional[int] = None,
     parallel: bool = False,
+    adaptive: bool = False,
     obs_spec=None,
     checkpointer: Optional[Checkpointer] = None,
 ):
@@ -343,6 +344,7 @@ def resume(
             n_shards=n_shards,
             window=window,
             parallel=parallel,
+            adaptive=adaptive,
             obs_spec=obs_spec,
             checkpointer=checkpointer,
         )
@@ -383,6 +385,7 @@ def _resume_sharded(
     n_shards,
     window,
     parallel,
+    adaptive,
     obs_spec,
     checkpointer: Optional[Checkpointer],
 ):
@@ -395,6 +398,7 @@ def _resume_sharded(
         n_shards=n_shards,
         window=window,
         parallel=parallel,
+        adaptive=adaptive,
         obs_spec=obs_spec,
     )
     node.load(workload)

@@ -159,6 +159,16 @@ def main(argv=None) -> int:
         help="drive the shards round-robin in this process instead of "
         "worker processes (debugging / digest comparisons)",
     )
+    shard_group.add_argument(
+        "--adaptive-window",
+        action="store_true",
+        default=os.environ.get("REPRO_ADAPTIVE_WINDOW", "").lower()
+        in ("1", "true", "yes"),
+        help="derive each shard's lookahead window from replicated "
+        "simulation state instead of a fixed size (byte-identical "
+        "results, fewer windows on sparse traffic; overrides --window; "
+        "default: $REPRO_ADAPTIVE_WINDOW)",
+    )
     topo_group = parser.add_argument_group(
         "topology",
         "re-run any target on a different inter-cluster fabric from the "
@@ -385,18 +395,24 @@ def main(argv=None) -> int:
     if obs_options.active:
         runner.set_observability(obs_options)
         print(f"observability artifacts -> {args.obs_dir}/ (cache bypassed)")
-    if args.shards is not None or args.window is not None:
+    if (
+        args.shards is not None
+        or args.window is not None
+        or args.adaptive_window
+    ):
         runner.set_sharding(
             runner.ShardingOptions(
                 n_shards=args.shards or 1,
                 window=args.window,
                 parallel=False if args.sequential_shards else None,
+                adaptive=args.adaptive_window,
             )
         )
         mode = "sequential" if args.sequential_shards else "process-parallel"
+        window = "adaptive" if args.adaptive_window else (args.window or "max")
         print(
             f"cluster sharding: {args.shards or 1} shard(s), "
-            f"window={args.window or 'max'}, {mode}"
+            f"window={window}, {mode}"
         )
     if args.checkpoint_every is not None or args.resume_from is not None:
         runner.set_checkpointing(

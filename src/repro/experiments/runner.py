@@ -286,24 +286,35 @@ class ShardingOptions:
     #: ``None`` = processes exactly when ``n_shards > 1``; ``False``
     #: forces sequential-windowed mode (debugging, digest comparisons)
     parallel: Optional[bool] = None
+    #: adaptive lookahead: stretch each shard's window from replicated
+    #: simulation state instead of the fixed size (byte-identical
+    #: results, so cache keys are unaffected); ``window`` is ignored
+    adaptive: bool = False
 
     @property
     def active(self) -> bool:
-        return self.n_shards > 1 or self.window is not None
+        return self.n_shards > 1 or self.window is not None or self.adaptive
 
     def use_processes(self) -> bool:
         return self.n_shards > 1 if self.parallel is None else self.parallel
 
     @classmethod
     def from_env(cls) -> Optional["ShardingOptions"]:
-        """Honour ``REPRO_SHARDS`` / ``REPRO_WINDOW`` (unset -> None)."""
+        """Honour ``REPRO_SHARDS`` / ``REPRO_WINDOW`` /
+        ``REPRO_ADAPTIVE_WINDOW`` (all unset -> None)."""
         shards = os.environ.get("REPRO_SHARDS")
         window = os.environ.get("REPRO_WINDOW")
-        if not shards and not window:
+        adaptive = os.environ.get("REPRO_ADAPTIVE_WINDOW", "").lower() in (
+            "1",
+            "true",
+            "yes",
+        )
+        if not shards and not window and not adaptive:
             return None
         return cls(
             n_shards=int(shards) if shards else 1,
             window=int(window) if window else None,
+            adaptive=adaptive,
         )
 
 
@@ -449,8 +460,9 @@ def _simulate(point: ExperimentPoint) -> RunResult:
             None if sharding.window is None else min(sharding.window, lookahead)
         )
         parallel = sharding.use_processes()
+        adaptive = sharding.adaptive
     else:
-        n_shards, eff_window, parallel = 1, None, False
+        n_shards, eff_window, parallel, adaptive = 1, None, False, False
     spec = (
         ShardObsSpec(
             trace=options.trace,
@@ -501,6 +513,7 @@ def _simulate(point: ExperimentPoint) -> RunResult:
                 n_shards=n_shards,
                 window=eff_window,
                 parallel=parallel,
+                adaptive=adaptive,
                 obs_spec=spec,
                 checkpointer=checkpointer,
             )
@@ -513,6 +526,7 @@ def _simulate(point: ExperimentPoint) -> RunResult:
             n_shards=n_shards,
             window=eff_window,
             parallel=parallel,
+            adaptive=adaptive,
             obs_spec=spec,
         )
         node.load(trace)

@@ -29,7 +29,10 @@ class Mshr:
             raise ValueError("MSHR must have at least one entry")
         self.capacity = entries
         self.name = name
-        self._entries: Dict[Any, MshrEntry] = {}
+        # waiter lists stored bare: allocate/release are on the miss hot
+        # path, and a dataclass wrapper per outstanding miss costs more
+        # than the entire bookkeeping around it
+        self._entries: Dict[Any, List[Any]] = {}
         self.merges = 0
         self.allocations = 0
         self.full_stalls = 0
@@ -42,25 +45,25 @@ class Mshr:
         return len(self._entries) >= self.capacity
 
     def lookup(self, key: Any) -> Optional[MshrEntry]:
-        return self._entries.get(key)
+        waiters = self._entries.get(key)
+        if waiters is None:
+            return None
+        return MshrEntry(key=key, waiters=waiters)
 
     def allocate(self, key: Any, waiter: Any) -> str:
         entries = self._entries
-        entry = entries.get(key)
-        if entry is not None:
-            entry.waiters.append(waiter)
+        waiters = entries.get(key)
+        if waiters is not None:
+            waiters.append(waiter)
             self.merges += 1
             return "merged"
         if len(entries) >= self.capacity:
             self.full_stalls += 1
             return "full"
-        entries[key] = MshrEntry(key=key, waiters=[waiter])
+        entries[key] = [waiter]
         self.allocations += 1
         return "allocated"
 
     def release(self, key: Any) -> List[Any]:
         """Retire the entry for ``key``, returning its waiters (FIFO)."""
-        entry = self._entries.pop(key, None)
-        if entry is None:
-            return []
-        return entry.waiters
+        return self._entries.pop(key, [])

@@ -20,6 +20,8 @@ never of shard scheduling.
 
 from __future__ import annotations
 
+import pickle
+from array import array
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
@@ -130,6 +132,129 @@ class BoundaryFlitLink(FlitLink):
         return items
 
 
+class MailBatch:
+    """A window's mail for one destination shard, in column form.
+
+    Process-parallel transport representation of a ``List[MailItem]``.
+    The per-item ordering columns (``arrivals``/``skeys``/
+    ``send_cycles``) travel as ``array('q')`` buffers, and the flits
+    themselves as **one** opaque pickle blob per destination shard: the
+    sending worker pickles its outbox exactly once (letting the pickle
+    memo intern the stable ``Packet`` / ``StitchSegment`` tuple-state
+    prefix shared by a packet's flits), the coordinator routes and
+    validates on the header columns without ever unpickling the
+    payload, and only the destination worker pays the single ``loads``.
+
+    The per-item link identity columns are delta-encoded away: a
+    shard's outbox drains link by link, and each boundary link's
+    deliveries carry contiguous per-link sequence numbers, so the
+    ``(src_cluster, dst_cluster, link_seq)`` triples collapse into a
+    handful of *runs* ``(src, dst, first_seq, count)`` — ``runs[4k:4k+4]``
+    describes ``count`` consecutive items from link ``src->dst``
+    starting at sequence ``first_seq``.  That drops 24 header bytes per
+    flit from the wire and lets the coordinator validate per link run
+    instead of per item (:meth:`Mailbox.validate_batch`).
+    """
+
+    __slots__ = ("arrivals", "skeys", "send_cycles", "runs", "payload")
+
+    def __init__(self, arrivals, skeys, send_cycles, runs, payload) -> None:
+        self.arrivals = arrivals
+        self.skeys = skeys
+        self.send_cycles = send_cycles
+        self.runs = runs
+        self.payload = payload
+
+    def __len__(self) -> int:
+        return len(self.arrivals)
+
+    @classmethod
+    def encode(cls, items: List[MailItem]) -> "MailBatch":
+        """Column-encode ``items`` (contexts must already be tokenized)."""
+        arrivals = array("q")
+        skeys = array("q")
+        send_cycles = array("q")
+        runs = array("q")
+        flits = []
+        run_src = run_dst = run_next_seq = None
+        count = 0
+        for item in items:
+            arrivals.append(item.arrival)
+            skeys.append(item.skey)
+            send_cycles.append(item.send_cycle)
+            flits.append(item.flit)
+            if (
+                item.src_cluster == run_src
+                and item.dst_cluster == run_dst
+                and item.link_seq == run_next_seq
+            ):
+                count += 1
+                run_next_seq += 1
+                continue
+            if count:
+                runs.extend((run_src, run_dst, run_next_seq - count, count))
+            run_src = item.src_cluster
+            run_dst = item.dst_cluster
+            run_next_seq = item.link_seq + 1
+            count = 1
+        if count:
+            runs.extend((run_src, run_dst, run_next_seq - count, count))
+        return cls(
+            arrivals=arrivals,
+            skeys=skeys,
+            send_cycles=send_cycles,
+            runs=runs,
+            payload=pickle.dumps(flits, protocol=pickle.HIGHEST_PROTOCOL),
+        )
+
+    def iter_links(self):
+        """Yield ``(src_cluster, dst_cluster, first_seq, count)`` runs."""
+        runs = self.runs
+        for k in range(0, len(runs), 4):
+            yield runs[k], runs[k + 1], runs[k + 2], runs[k + 3]
+
+    def decode(self) -> List[MailItem]:
+        """Rebuild the ``MailItem`` list (destination worker side)."""
+        flits = pickle.loads(self.payload)
+        items: List[MailItem] = []
+        index = 0
+        for src, dst, first_seq, count in self.iter_links():
+            for offset in range(count):
+                items.append(
+                    MailItem(
+                        arrival=self.arrivals[index],
+                        skey=self.skeys[index],
+                        send_cycle=self.send_cycles[index],
+                        src_cluster=src,
+                        dst_cluster=dst,
+                        link_seq=first_seq + offset,
+                        flit=flits[index],
+                    )
+                )
+                index += 1
+        return items
+
+    # batches cross the worker pipe inside command tuples; tuple state
+    # keeps the pickled form to the raw column buffers plus the blob
+    def __getstate__(self):
+        return (
+            self.arrivals,
+            self.skeys,
+            self.send_cycles,
+            self.runs,
+            self.payload,
+        )
+
+    def __setstate__(self, state):
+        (
+            self.arrivals,
+            self.skeys,
+            self.send_cycles,
+            self.runs,
+            self.payload,
+        ) = state
+
+
 class Mailbox:
     """Validates and orders boundary-flit batches between windows."""
 
@@ -160,3 +285,36 @@ class Mailbox:
                 )
             self._last_seq[key] = item.link_seq
         return sorted(items, key=MailItem.sort_key)
+
+    def validate_batch(self, batch: MailBatch, boundary: int) -> None:
+        """Header-only :meth:`collate` for a columnar batch.
+
+        Checks every arrival lies strictly beyond the destination
+        shard's simulated frontier ``boundary`` and that per-link
+        sequence numbers stay monotone — without touching the flit
+        payload blob, which stays opaque until the destination worker
+        decodes it.  Both checks are per *link run*, not per item: the
+        arrival floor is the C-speed column minimum, and sequence
+        contiguity within a run is guaranteed by ``MailBatch.encode``
+        (a non-contiguous sequence starts a new run), so advancing the
+        per-link cursor by whole runs enforces exactly the per-item
+        monotone contract :meth:`collate` checks.
+        """
+        if not len(batch):
+            return
+        if min(batch.arrivals) <= boundary:
+            arrival = min(batch.arrivals)
+            raise LateDeliveryError(
+                f"boundary flit arrives at {arrival}, not beyond the "
+                f"destination frontier {boundary}"
+            )
+        last_seq = self._last_seq
+        for src, dst, first_seq, count in batch.iter_links():
+            key = (src, dst)
+            last = last_seq.get(key, -1)
+            if first_seq <= last:
+                raise DuplicateDeliveryError(
+                    f"link {src}->{dst} sequence regressed: "
+                    f"{first_seq} after {last}"
+                )
+            last_seq[key] = first_seq + count - 1

@@ -290,20 +290,74 @@ class ShardSystem:
         """Inject ``mail``, run to exactly ``until``, drain the outbox."""
         self._install_ids()
         try:
-            for item in mail:
-                self.engine.inject(
-                    item.arrival,
-                    item.skey,
-                    self.topology.switches[item.dst_cluster].receive_flit_from_network,
-                    item.flit,
-                )
+            if mail:
+                inject = self.engine.inject
+                switches = self.topology.switches
+                for item in mail:
+                    inject(
+                        item.arrival,
+                        item.skey,
+                        switches[item.dst_cluster].receive_flit_from_network,
+                        item.flit,
+                    )
             self.engine.run(until=until)
             outbox: List[MailItem] = []
             for link in self.boundary_links:
-                outbox.extend(link.drain_outbox())
+                if link.outbox:
+                    outbox.extend(link.drain_outbox())
         finally:
             self._save_ids()
         return outbox, self.status()
+
+    def window_batches(
+        self, until: int, batches, flits_per_batch
+    ) -> Tuple[List[MailItem], ShardStatus]:
+        """:meth:`window` fed straight from decoded ``MailBatch`` columns.
+
+        Process-parallel fast path: the worker already unpickled each
+        batch's flit payload, so the mail injects directly off the
+        column buffers — no intermediate ``MailItem`` per flit.  Every
+        delivery's ``(arrival, skey)`` pair is globally unique, so the
+        batch-by-batch injection order matches :meth:`window` exactly.
+        """
+        self._install_ids()
+        try:
+            inject = self.engine.inject
+            switches = self.topology.switches
+            for batch, flits in zip(batches, flits_per_batch):
+                arrivals = batch.arrivals
+                skeys = batch.skeys
+                index = 0
+                for _src, dst, _first_seq, count in batch.iter_links():
+                    receive = switches[dst].receive_flit_from_network
+                    for _ in range(count):
+                        inject(
+                            arrivals[index], skeys[index], receive, flits[index]
+                        )
+                        index += 1
+            self.engine.run(until=until)
+            outbox: List[MailItem] = []
+            for link in self.boundary_links:
+                if link.outbox:
+                    outbox.extend(link.drain_outbox())
+        finally:
+            self._save_ids()
+        return outbox, self.status()
+
+    def launch_window(
+        self, kernel_index: int, q: int, until: int
+    ) -> Tuple[List[MailItem], ShardStatus]:
+        """Fused :meth:`launch_kernel` + :meth:`window` (no mail).
+
+        At a proven kernel boundary the coordinator already knows the
+        first post-launch window boundary — every shard's next event is
+        the launch it just injected at ``(q, q)`` — so the intermediate
+        status round-trip of a separate launch verb carries no
+        information.  Fusing the two halves the per-boundary round
+        trips; the simulated event sequence is identical.
+        """
+        self.launch_kernel(kernel_index, q)
+        return self.window(until, [])
 
     def launch_kernel(self, kernel_index: int, q: int) -> ShardStatus:
         """Replay the launch of kernel ``kernel_index`` at cycle ``q``.

@@ -5,12 +5,26 @@ Each shard runs in its own ``multiprocessing.Process`` hosting one
 worker from picklable inputs (configs, seed, workload, obs spec).  The
 coordinator drives it with small command tuples over a pipe::
 
-    ("begin",)               -> ("ok", ShardStatus)
-    ("window", until, mail)  -> ("ok", (outbox, ShardStatus))
-    ("launch", k, q)         -> ("ok", ShardStatus)
-    ("finish", q)            -> ("ok", ShardReport)
-    ("snapshot",)            -> ("ok", bytes)   # pickled ShardSystem
-    ("exit",)                -> worker terminates
+    ("begin",)                        -> ("ok", ShardStatus)
+    ("window", until, batches)        -> ("ok", (out_batches, ShardStatus))
+    ("launch", k, q)                  -> ("ok", ShardStatus)
+    ("launch_window", k, q, until)    -> ("ok", (out_batches, ShardStatus))
+    ("finish", q)                     -> ("ok", ShardReport)
+    ("snapshot",)                     -> ("ok", bytes)  # pickled ShardSystem
+    ("exit",)                         -> worker terminates
+
+Commands and replies cross the pipe as explicit ``pickle.dumps``
+payloads over ``send_bytes``/``recv_bytes`` (highest protocol), so the
+coordinator can count the exact bytes serialized per verb.  Mailbox
+traffic travels as :class:`~repro.shard.mailbox.MailBatch` columns:
+``batches`` is the sequence of batches destined to this shard and
+``out_batches`` maps destination shard index to one encoded batch of
+this window's outbox — pickled once here, routed by the coordinator on
+the header columns alone, and decoded only by the destination worker.
+``launch_window`` fuses the kernel-boundary launch with the first
+window after it (the post-launch window boundary is deterministic, so
+the coordinator needs no intermediate status), halving the per-boundary
+round trips.
 
 Any worker exception is shipped back as ``("error", traceback)`` and
 re-raised in the coordinator.
@@ -32,13 +46,15 @@ must be restorable.
 from __future__ import annotations
 
 import multiprocessing
+import pickle
 import time
 import traceback
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-from repro.shard.mailbox import MailItem
+from repro.shard.mailbox import MailBatch, MailItem
 from repro.shard.shard_system import ShardObsSpec, ShardSystem
+from repro.stats.coord import CoordStats
 
 
 @dataclass(frozen=True)
@@ -80,11 +96,37 @@ class ContextStash:
                     packet.context = CtxToken(self.shard_index, key)
 
     def restore(self, items: List[MailItem]) -> None:
-        for item in items:
-            for packet in _packets_of(item.flit):
+        self.restore_flits(item.flit for item in items)
+
+    def restore_flits(self, flits) -> None:
+        for flit in flits:
+            for packet in _packets_of(flit):
                 ctx = packet.context
                 if isinstance(ctx, CtxToken) and ctx.home == self.shard_index:
                     packet.context = self._store[ctx.key]
+
+
+def _encode_outbox(shard, stash: ContextStash, outbox) -> Dict[int, MailBatch]:
+    """Tokenize contexts and column-encode the outbox per destination shard.
+
+    Pickling happens here, exactly once per destination: one ``dumps``
+    over each destination's flit list lets the pickle memo dedupe the
+    shared ``Packet``/``StitchSegment`` tuple-state prefix of multi-flit
+    packets instead of re-serializing it per flit per hop.
+    """
+    if not outbox:
+        return {}
+    stash.tokenize(outbox)
+    shard_of = shard.plan.shard_of_cluster
+    groups: Dict[int, List[MailItem]] = {}
+    for item in outbox:
+        dst = shard_of(item.dst_cluster)
+        group = groups.get(dst)
+        if group is None:
+            groups[dst] = [item]
+        else:
+            group.append(item)
+    return {dst: MailBatch.encode(items) for dst, items in groups.items()}
 
 
 def worker_main(
@@ -103,6 +145,7 @@ def worker_main(
     With ``shard_state`` (checkpoint resume) the shard is restored from
     its pickled snapshot instead of being built fresh.
     """
+    proto = pickle.HIGHEST_PROTOCOL
     try:
         if shard_state is not None:
             shard = ShardSystem.from_snapshot_state(shard_state)
@@ -113,34 +156,49 @@ def worker_main(
             shard.load(workload)
         stash = ContextStash(shard_index)
         while True:
-            message = conn.recv()
+            message = pickle.loads(conn.recv_bytes())
             verb = message[0]
-            if verb == "begin":
-                conn.send(("ok", shard.begin()))
-            elif verb == "window":
-                _, until, mail = message
-                stash.restore(mail)
-                outbox, status = shard.window(until, mail)
-                stash.tokenize(outbox)
-                conn.send(("ok", (outbox, status)))
+            if verb == "window":
+                _, until, batches = message
+                # decode payloads here (one loads per batch), restore the
+                # stashed contexts on the live flit lists, and inject
+                # straight off the columns — no MailItem per flit
+                flits_per_batch = [
+                    pickle.loads(batch.payload) for batch in batches
+                ]
+                for flits in flits_per_batch:
+                    stash.restore_flits(flits)
+                outbox, status = shard.window_batches(
+                    until, batches, flits_per_batch
+                )
+                reply = ("ok", (_encode_outbox(shard, stash, outbox), status))
+            elif verb == "launch_window":
+                _, kernel_index, q, until = message
+                outbox, status = shard.launch_window(kernel_index, q, until)
+                reply = ("ok", (_encode_outbox(shard, stash, outbox), status))
+            elif verb == "begin":
+                reply = ("ok", shard.begin())
             elif verb == "launch":
                 _, kernel_index, q = message
-                conn.send(("ok", shard.launch_kernel(kernel_index, q)))
+                reply = ("ok", shard.launch_kernel(kernel_index, q))
             elif verb == "finish":
                 _, q_final = message
-                conn.send(("ok", shard.finish(q_final)))
+                reply = ("ok", shard.finish(q_final))
             elif verb == "snapshot":
-                conn.send(("ok", shard.snapshot_state()))
+                reply = ("ok", shard.snapshot_state())
             elif verb == "exit":
                 conn.close()
                 return
             else:  # pragma: no cover - protocol error
                 raise RuntimeError(f"unknown shard command {verb!r}")
+            conn.send_bytes(pickle.dumps(reply, proto))
     except (EOFError, KeyboardInterrupt):  # pragma: no cover
         return
     except Exception:
         try:
-            conn.send(("error", traceback.format_exc()))
+            conn.send_bytes(
+                pickle.dumps(("error", traceback.format_exc()), proto)
+            )
         except Exception:  # pragma: no cover - parent already gone
             pass
 
@@ -161,7 +219,9 @@ class RemoteShard:
         obs_spec: ShardObsSpec,
         workload,
         shard_state=None,
+        coord_stats: Optional[CoordStats] = None,
     ) -> None:
+        self.coord_stats = coord_stats
         method = (
             "fork"
             if "fork" in multiprocessing.get_all_start_methods()
@@ -188,10 +248,23 @@ class RemoteShard:
         child.close()
 
     def start(self, verb: str, *args) -> None:
-        self._conn.send((verb,) + args)
+        blob = pickle.dumps((verb,) + args, protocol=pickle.HIGHEST_PROTOCOL)
+        stats = self.coord_stats
+        if stats is not None:
+            stats.verb_round_trips += 1
+            stats.pickle_bytes_out += len(blob)
+        self._conn.send_bytes(blob)
 
     def collect(self):
-        kind, payload = self._conn.recv()
+        stats = self.coord_stats
+        if stats is None:
+            blob = self._conn.recv_bytes()
+        else:
+            begin = time.perf_counter()
+            blob = self._conn.recv_bytes()
+            stats.idle_wait_seconds += time.perf_counter() - begin
+            stats.pickle_bytes_in += len(blob)
+        kind, payload = pickle.loads(blob)
         if kind == "error":
             raise RuntimeError(f"shard worker failed:\n{payload}")
         return payload
@@ -217,7 +290,8 @@ class RemoteShard:
         while process.is_alive() and time.monotonic() < deadline:
             try:
                 if self._conn.poll(0.05):
-                    self._conn.recv()  # discard stale reply, unblock worker
+                    # discard stale reply bytes (no unpickle), unblock worker
+                    self._conn.recv_bytes()
                     continue
             except (EOFError, OSError):
                 break  # worker closed its end: it is on the way out
@@ -246,6 +320,7 @@ class LocalShard:
         "begin": "begin",
         "window": "window",
         "launch": "launch_kernel",
+        "launch_window": "launch_window",
         "finish": "finish",
         "snapshot": "snapshot_state",
     }

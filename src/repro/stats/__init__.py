@@ -1,6 +1,7 @@
 """Statistics: counters, histograms, and per-run reports."""
 
 from repro.stats.collectors import LatencyStat, RunStats
+from repro.stats.coord import CoordStats
 from repro.stats.report import RunResult, geometric_mean
 
-__all__ = ["LatencyStat", "RunStats", "RunResult", "geometric_mean"]
+__all__ = ["CoordStats", "LatencyStat", "RunStats", "RunResult", "geometric_mean"]

@@ -45,11 +45,12 @@ class Tlb:
     def lookup(self, vpn: int) -> Optional[int]:
         """Return the cached physical page address, updating LRU."""
         tlb_set = self._sets[vpn % self.n_sets]
-        paddr = tlb_set.get(vpn)
+        # pop+reinsert refreshes the LRU position in two hash probes
+        # (page addresses are never None, so None is a safe miss marker)
+        paddr = tlb_set.pop(vpn, None)
         if paddr is None:
             self.misses += 1
             return None
-        del tlb_set[vpn]  # refresh LRU position
         tlb_set[vpn] = paddr
         self.hits += 1
         return paddr

@@ -7,6 +7,11 @@ cheapest benchmark at quick size so the suite stays fast.
 import json
 
 from repro.bench.__main__ import main
+from repro.bench.harness import (
+    compare_reports,
+    comparison_markdown,
+    overhead_markdown,
+)
 from repro.bench.schema import validate_report
 
 FAST = ["--only", "engine_dispatch", "--quick", "--repeats", "1"]
@@ -115,3 +120,147 @@ class TestCompare:
         bad.write_text(json.dumps({"schema": 1, "benchmarks": []}))
         code, _ = _run(tmp_path, extra=["--compare", str(bad)])
         assert code == 2
+
+
+def _doc(rows):
+    return {
+        "schema": 1,
+        "python": "3.11.0",
+        "platform": "test",
+        "quick": False,
+        "benchmarks": rows,
+    }
+
+
+def _sharded_row(
+    rate,
+    wall,
+    cpus=1,
+    pickle_per_window=50_000.0,
+    trips=272,
+):
+    return {
+        "name": "sharded_speedup",
+        "kind": "e2e",
+        "work_units": 10_000,
+        "wall_seconds": 10_000 / rate,
+        "units_per_second": rate,
+        "peak_rss_kb": 1,
+        "sharded_wall_seconds": wall,
+        "cpus": cpus,
+        "fail_threshold": 2.5,
+        "pickle_bytes_per_window": pickle_per_window,
+        "verb_round_trips": trips,
+        "idle_wait_seconds": 1.0,
+    }
+
+
+class TestShardedGates:
+    """Satellite gates: single-CPU wall comparison, pickle-bytes ratio."""
+
+    def test_single_cpu_gates_on_sharded_wall_not_rate(self):
+        # rate collapsed 10x (would regress past 2.5x) but the sharded
+        # wall itself improved: on a 1-CPU host the wall gate wins
+        base = _doc([_sharded_row(rate=3000.0, wall=3.2)])
+        cur = _doc([_sharded_row(rate=300.0, wall=2.4)])
+        comparison = compare_reports(cur, base)
+        assert comparison["regressions"] == []
+        (row,) = comparison["benchmarks"]
+        assert row["gated_on"] == "sharded_wall_seconds"
+        assert row["speedup"] > 1.3
+
+    def test_single_cpu_wall_regression_still_fails(self):
+        base = _doc([_sharded_row(rate=3000.0, wall=3.0)])
+        cur = _doc([_sharded_row(rate=3000.0, wall=9.0)])
+        comparison = compare_reports(cur, base)
+        assert comparison["regressions"] == ["sharded_speedup"]
+
+    def test_multi_cpu_keeps_the_rate_gate(self):
+        base = _doc([_sharded_row(rate=3000.0, wall=3.0, cpus=8)])
+        cur = _doc([_sharded_row(rate=2900.0, wall=2.9, cpus=8)])
+        comparison = compare_reports(cur, base)
+        (row,) = comparison["benchmarks"]
+        assert "gated_on" not in row
+        assert comparison["regressions"] == []
+
+    def test_pickle_bytes_doubling_regresses(self):
+        base = _doc([_sharded_row(rate=3000.0, wall=3.0)])
+        cur = _doc(
+            [_sharded_row(rate=3000.0, wall=3.0, pickle_per_window=150_000.0)]
+        )
+        comparison = compare_reports(cur, base)
+        assert comparison["regressions"] == ["sharded_speedup (pickle bytes)"]
+        (row,) = comparison["benchmarks"]
+        assert row["pickle_bytes_ratio"] == 3.0
+        # the markdown row is flagged even though only the pickle gate fired
+        markdown = "\n".join(comparison_markdown(comparison))
+        assert "regressed" in markdown
+
+    def test_overhead_table_renders_counters(self):
+        base = _doc([_sharded_row(rate=3000.0, wall=3.0)])
+        cur = _doc([_sharded_row(rate=3000.0, wall=3.0)])
+        comparison = compare_reports(cur, base)
+        lines = overhead_markdown(comparison["benchmarks"])
+        joined = "\n".join(lines)
+        assert "Coordination overhead" in joined
+        assert "272" in joined and "50,000" in joined
+
+    def test_overhead_table_empty_without_counters(self):
+        assert overhead_markdown([{"name": "engine_dispatch"}]) == []
+
+
+class TestBaselinePromotion:
+    """--update-baseline must not lose rows or per-row keys."""
+
+    def test_only_subset_keeps_unrun_benchmark_rows(self, tmp_path):
+        code, first = _run(tmp_path)
+        assert code == 0
+        extra_row = _sharded_row(rate=3000.0, wall=3.0)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps(_doc(first["benchmarks"] + [extra_row]))
+        )
+        code, _ = _run(
+            tmp_path,
+            extra=["--compare", str(baseline), "--update-baseline"],
+            name="second.json",
+        )
+        assert code == 0
+        promoted = json.loads(baseline.read_text())
+        validate_report(promoted)
+        by_name = {row["name"]: row for row in promoted["benchmarks"]}
+        # the benchmark this invocation did not run survives intact,
+        # overhead fields and all
+        assert by_name["sharded_speedup"] == extra_row
+
+    def test_round_trip_loses_no_keys(self, tmp_path):
+        code, first = _run(tmp_path)
+        assert code == 0
+        (row,) = first["benchmarks"]
+        # simulate a baseline recorded by a fuller run: pinned threshold
+        # plus overhead counters the quick re-run does not emit
+        row["fail_threshold"] = 2.5
+        row["verb_round_trips"] = 99
+        row["pickle_bytes_per_window"] = 123.4
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(first))
+        code, second = _run(
+            tmp_path,
+            extra=["--compare", str(baseline), "--update-baseline"],
+            name="second.json",
+        )
+        assert code == 0
+        promoted = json.loads(baseline.read_text())
+        (promoted_row,) = promoted["benchmarks"]
+        before = set(row)
+        after = set(promoted_row)
+        assert before <= after, f"lost keys: {before - after}"
+        assert promoted_row["fail_threshold"] == 2.5
+        assert promoted_row["verb_round_trips"] == 99
+        # fresh measurements win over stale ones
+        assert (
+            promoted_row["units_per_second"]
+            == {r["name"]: r for r in second["benchmarks"]}["engine_dispatch"][
+                "units_per_second"
+            ]
+        )

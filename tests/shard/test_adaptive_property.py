@@ -1,0 +1,99 @@
+"""Property test: adaptive lookahead is byte-identical to fixed windows.
+
+Adaptive windowing (``ShardedSystem(adaptive=True)``) derives each
+shard's window boundary from deterministically replicated simulation
+state, so for *every* combination of fixed window size, shard count,
+drive mode (sequential-windowed vs process-parallel), fabric topology,
+and workload, the adaptive run must reproduce the fixed-window digest —
+which itself reproduces the single-engine digest.
+
+Hypothesis samples the cross product ``window {1, W/2, W} x shards
+{1, 2, 4} x {sequential, parallel} x {mesh, star} x {gups, ar_ring}``;
+the pinned examples cover the corners the acceptance gate names
+(collective traffic on both fabrics, both drive modes, extreme
+windows).  Digests are memoized per configuration so repeated draws of
+the same reference run cost nothing.
+"""
+
+from hypothesis import HealthCheck, example, given, settings
+from hypothesis import strategies as st
+
+from repro.bench.smoke import results_digest
+from repro.config import SystemConfig
+from repro.core.config import NetCrafterConfig
+from repro.shard.coordinator import ShardedSystem
+from repro.workloads.base import Scale
+from repro.workloads.registry import get_workload
+
+#: 4 clusters x 2 GPUs, lookahead W = 8 (4 shards must divide clusters)
+W = 8
+_BASE = SystemConfig.default().with_overrides(
+    n_clusters=4, inter_link_latency=W
+)
+
+_digest_cache = {}
+
+
+def _digest(topology, workload, **kwargs):
+    key = (topology, workload, tuple(sorted(kwargs.items())))
+    digest = _digest_cache.get(key)
+    if digest is None:
+        config = (
+            _BASE
+            if topology == "mesh"
+            else _BASE.with_overrides(inter_topology=topology)
+        )
+        node = ShardedSystem(
+            config=config, netcrafter=NetCrafterConfig.full(), seed=0, **kwargs
+        )
+        trace = get_workload(workload).build(
+            n_gpus=config.n_gpus, scale=Scale.tiny(), seed=0
+        )
+        node.load(trace)
+        digest = results_digest([node.run().to_dict()])
+        _digest_cache[key] = digest
+    return digest
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    window=st.sampled_from([1, W // 2, W]),
+    n_shards=st.sampled_from([1, 2, 4]),
+    parallel=st.booleans(),
+    topology=st.sampled_from(["mesh", "star"]),
+    workload=st.sampled_from(["gups", "ar_ring"]),
+)
+@example(window=1, n_shards=2, parallel=True, topology="mesh", workload="gups")
+@example(window=W, n_shards=4, parallel=False, topology="mesh", workload="gups")
+@example(
+    window=W // 2, n_shards=2, parallel=True, topology="star", workload="ar_ring"
+)
+@example(
+    window=W, n_shards=4, parallel=False, topology="star", workload="ar_ring"
+)
+@example(window=1, n_shards=1, parallel=False, topology="mesh", workload="ar_ring")
+def test_adaptive_matches_fixed_window(
+    window, n_shards, parallel, topology, workload
+):
+    fixed = _digest(
+        topology,
+        workload,
+        n_shards=n_shards,
+        window=window,
+        parallel=parallel,
+    )
+    adaptive = _digest(
+        topology,
+        workload,
+        n_shards=n_shards,
+        parallel=parallel,
+        adaptive=True,
+    )
+    assert adaptive == fixed, (
+        f"adaptive diverged from fixed window {window} "
+        f"({n_shards} shard(s), parallel={parallel}, {topology}, {workload})"
+    )
