@@ -1,0 +1,37 @@
+"""Campaign service: a long-lived experiment-serving front end.
+
+The "heavy traffic" layer over the experiment runner: campaigns are
+declarative point sets (:mod:`repro.campaign.spec`), a single-process
+asyncio server (:mod:`repro.campaign.server`) executes them through
+:func:`repro.experiments.runner.execute_point` on a bounded worker pool,
+concurrent clients deduplicate on
+:func:`~repro.experiments.cache.fingerprint` (in-process task sharing
+plus cross-process cache-dir claims), progress streams as
+newline-delimited JSON (:mod:`repro.campaign.client`), and campaign
+state journals durably through :mod:`repro.atomicio`
+(:mod:`repro.campaign.journal`) so restarts re-serve instead of
+re-executing.
+
+CLI: ``python -m repro.campaign serve|submit|status|fetch``.
+"""
+
+from repro.campaign.journal import CampaignJournal, default_journal_dir
+from repro.campaign.spec import (
+    CampaignSpec,
+    CampaignSpecError,
+    campaign_id,
+    load_campaign,
+    parse_campaign,
+    point_from_descriptor,
+)
+
+__all__ = [
+    "CampaignJournal",
+    "CampaignSpec",
+    "CampaignSpecError",
+    "campaign_id",
+    "default_journal_dir",
+    "load_campaign",
+    "parse_campaign",
+    "point_from_descriptor",
+]

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -140,6 +140,11 @@ class ExecutionStats:
     points: int = 0
     memory_hits: int = 0
     disk_hits: int = 0
+    #: points served by waiting on another process's in-flight execution
+    #: (cross-process claim dedupe through a shared cache dir)
+    inflight_hits: int = 0
+    #: corrupt cache entries quarantined during lookups
+    corrupt_entries: int = 0
     executed: int = 0
     #: summed single-point simulation time (what a serial run would cost)
     exec_seconds: float = 0.0
@@ -180,6 +185,15 @@ class ExecutionStats:
             f"  ({self.batches} batches, up to {self.max_jobs} jobs)",
             f"disk-cache hit rate: {100.0 * self.disk_hit_rate():.1f}%",
         ]
+        if self.inflight_hits:
+            lines.append(
+                f"in-flight shares:   {self.inflight_hits}"
+                "  (executed concurrently by another process)"
+            )
+        if self.corrupt_entries:
+            lines.append(
+                f"corrupt entries:    {self.corrupt_entries}  (quarantined)"
+            )
         if self.executed and self.max_jobs > 1:
             lines.append(
                 f"effective parallelism: {self.parallel_speedup():.2f}x"
@@ -547,17 +561,36 @@ def _simulate(point: ExperimentPoint) -> RunResult:
     return result
 
 
-def _execute_point(point: ExperimentPoint) -> Tuple[RunResult, float]:
-    """Worker entry point: simulate one point, timing it (picklable)."""
+def execute_point(point: ExperimentPoint) -> Tuple[RunResult, float]:
+    """Simulate one point unconditionally, timing it.
+
+    The public execution entry for front ends layering their own
+    serving policy over the runner (the campaign server's worker pool,
+    ``run_many``'s process-pool workers): no cache lookups, no stores,
+    no in-flight registration — callers own those.  Picklable, so it can
+    be shipped to a ``ProcessPoolExecutor`` directly.
+    """
     start = time.perf_counter()
     result = _simulate(point)
     return result, time.perf_counter() - start
+
+
+#: historical private name (process-pool workers resolve it by name)
+_execute_point = execute_point
 
 
 def _record_executed(point: ExperimentPoint, result: RunResult, seconds: float) -> None:
     run_stats.executed += 1
     run_stats.exec_seconds += seconds
     run_stats.timings.append((point.label(), seconds))
+
+
+def _disk_get(point: ExperimentPoint) -> Optional[RunResult]:
+    """Disk-cache read that folds quarantine tallies into run_stats."""
+    before = _disk_cache.corrupt
+    loaded = _disk_cache.get(point)
+    run_stats.corrupt_entries += _disk_cache.corrupt - before
+    return loaded
 
 
 def _lookup(point: ExperimentPoint, use_cache: bool) -> Optional[RunResult]:
@@ -570,7 +603,7 @@ def _lookup(point: ExperimentPoint, use_cache: bool) -> Optional[RunResult]:
         run_stats.memory_hits += 1
         return cached
     if _disk_cache is not None:
-        loaded = _disk_cache.get(point)
+        loaded = _disk_get(point)
         if loaded is not None:
             run_stats.disk_hits += 1
             _cache[key] = loaded
@@ -584,6 +617,51 @@ def _store(point: ExperimentPoint, result: RunResult, use_cache: bool) -> None:
     _cache[point.key()] = result
     if _disk_cache is not None:
         _disk_cache.put(point, result)
+
+
+#: how often a waiter re-checks a peer's in-flight execution
+_CLAIM_POLL_SECONDS = 0.05
+
+
+def _claims_active(use_cache: bool) -> bool:
+    """Cross-process claims engage exactly when the disk cache does."""
+    return use_cache and _disk_cache is not None
+
+
+def _resolve_in_flight(point: ExperimentPoint, use_cache: bool) -> RunResult:
+    """Serve a point someone else claimed: wait, or take over.
+
+    Polls the shared cache dir until the claim holder publishes the
+    result (counted as an in-flight share), the claim goes stale (the
+    holder crashed — steal it and execute), or the claim is released
+    without a result (the holder failed or ran uncached — claim and
+    execute).  Exactly-one-execution is therefore best effort under
+    crashes, but a waiter can never return a wrong result and never
+    deadlocks on a dead peer.
+    """
+    key = fingerprint(point)
+    while True:
+        loaded = _disk_get(point)
+        if loaded is not None:
+            run_stats.inflight_hits += 1
+            _cache[point.key()] = loaded
+            return loaded
+        if _disk_cache.claim(key):
+            try:
+                # the peer may have published between the poll and the
+                # claim win; prefer its result over a re-execution
+                loaded = _disk_get(point)
+                if loaded is not None:
+                    run_stats.inflight_hits += 1
+                    _cache[point.key()] = loaded
+                    return loaded
+                result, seconds = execute_point(point)
+                _record_executed(point, result, seconds)
+                _store(point, result, use_cache)
+            finally:
+                _disk_cache.release(key)
+            return result
+        time.sleep(_CLAIM_POLL_SECONDS)
 
 
 def run_one(
@@ -603,7 +681,18 @@ def run_one(
     cached = _lookup(point, use_cache)
     if cached is not None:
         return cached
-    result, seconds = _execute_point(point)
+    if _claims_active(use_cache):
+        key = fingerprint(point)
+        if not _disk_cache.claim(key):
+            return _resolve_in_flight(point, use_cache)
+        try:
+            result, seconds = execute_point(point)
+            _record_executed(point, result, seconds)
+            _store(point, result, use_cache)
+        finally:
+            _disk_cache.release(key)
+        return result
+    result, seconds = execute_point(point)
     _record_executed(point, result, seconds)
     _store(point, result, use_cache)
     return result
@@ -646,15 +735,45 @@ def run_many(
         pending.append(point)
 
     if pending:
-        if jobs > 1 and len(pending) > 1:
-            with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-                outcomes = list(pool.map(_execute_point, pending))
+        # cross-process dedupe: claim each miss in the shared cache dir;
+        # points another process is already executing are *followed*
+        # (poll for its published result) instead of re-executed
+        if _claims_active(use_cache):
+            owned = [p for p in pending if _disk_cache.claim(fingerprint(p))]
+            owned_keys = {p.key() for p in owned}
+            following = [p for p in pending if p.key() not in owned_keys]
         else:
-            outcomes = [_execute_point(point) for point in pending]
-        for point, (result, seconds) in zip(pending, outcomes):
-            _record_executed(point, result, seconds)
-            _store(point, result, use_cache)
-            results[point.key()] = result
+            owned, following = pending, []
+        try:
+            if jobs > 1 and len(owned) > 1:
+                with ProcessPoolExecutor(max_workers=min(jobs, len(owned))) as pool:
+                    futures = {
+                        pool.submit(execute_point, point): point for point in owned
+                    }
+                    # publish (and release the claim) per point as it
+                    # finishes so concurrent followers unblock early
+                    for future in as_completed(futures):
+                        point = futures[future]
+                        result, seconds = future.result()
+                        _record_executed(point, result, seconds)
+                        _store(point, result, use_cache)
+                        if _claims_active(use_cache):
+                            _disk_cache.release(fingerprint(point))
+                        results[point.key()] = result
+            else:
+                for point in owned:
+                    result, seconds = execute_point(point)
+                    _record_executed(point, result, seconds)
+                    _store(point, result, use_cache)
+                    if _claims_active(use_cache):
+                        _disk_cache.release(fingerprint(point))
+                    results[point.key()] = result
+        finally:
+            if _claims_active(use_cache):
+                for point in owned:  # idempotent; frees peers after a crash
+                    _disk_cache.release(fingerprint(point))
+        for point in following:
+            results[point.key()] = _resolve_in_flight(point, use_cache)
 
     run_stats.wall_seconds += time.perf_counter() - batch_start
     return [results[point.key()] for point in normalized]

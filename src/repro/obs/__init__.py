@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
+from repro.obs.counters import CounterSet
 from repro.obs.metrics import METRICS_SCHEMA_VERSION, MetricsRegistry
 from repro.obs.profiler import EngineProfiler, callback_key
 from repro.obs.schema import (
@@ -46,6 +47,7 @@ __all__ = [
     "METRICS_SCHEMA_VERSION",
     "TRACE_SCHEMA_VERSION",
     "NULL_TRACER",
+    "CounterSet",
     "EventTracer",
     "NullTracer",
     "MetricsRegistry",

@@ -1,0 +1,45 @@
+"""Named monotonic counters for long-lived serving processes.
+
+:class:`~repro.obs.metrics.MetricsRegistry` samples *simulation* state on
+a cycle clock; a serving front end (the campaign server) lives in wall
+time and has no cycle clock to sample on.  :class:`CounterSet` is the
+wall-clock-domain complement: a flat bag of named monotonic counters
+(requests, dedupe hits, executed points, accumulated execution seconds)
+cheap enough to bump on every request and dumped wholesale into status
+responses and event streams.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Union
+
+Number = Union[int, float]
+
+
+class CounterSet:
+    """A flat registry of named monotonic counters.
+
+    Unknown names spring into existence at zero on first use, so call
+    sites never pre-declare; :meth:`to_dict` returns a name-sorted
+    snapshot safe to serialize into status payloads.
+    """
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, Number] = {}
+
+    def inc(self, name: str, by: Number = 1) -> Number:
+        """Add ``by`` (default 1) to ``name``; returns the new value."""
+        if by < 0:
+            raise ValueError(f"counter {name!r} is monotonic; got {by!r}")
+        value = self._counts.get(name, 0) + by
+        self._counts[name] = value
+        return value
+
+    def get(self, name: str) -> Number:
+        return self._counts.get(name, 0)
+
+    def to_dict(self) -> Dict[str, Number]:
+        return dict(sorted(self._counts.items()))
+
+    def __len__(self) -> int:
+        return len(self._counts)

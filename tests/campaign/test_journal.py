@@ -1,0 +1,107 @@
+"""Tests for the durable campaign journal and endpoint discovery."""
+
+import json
+import os
+
+from repro.campaign.journal import (
+    JOURNAL_FORMAT_VERSION,
+    CampaignJournal,
+    default_journal_dir,
+)
+
+
+def _record(cid="abc123", **extra):
+    record = {
+        "id": cid,
+        "name": "nightly",
+        "priority": 5,
+        "submitted_at": 100.0,
+        "state": "active",
+        "points": [{"fingerprint": "f" * 64, "label": "gups/seed0", "descriptor": None}],
+        "done": [],
+    }
+    record.update(extra)
+    return record
+
+
+class TestJournal:
+    def test_save_load_round_trip(self, tmp_path):
+        journal = CampaignJournal(tmp_path)
+        journal.save(_record())
+        loaded = journal.load("abc123")
+        assert loaded["name"] == "nightly"
+        assert loaded["format"] == JOURNAL_FORMAT_VERSION
+        assert loaded["points"][0]["label"] == "gups/seed0"
+
+    def test_missing_record_is_none(self, tmp_path):
+        assert CampaignJournal(tmp_path).load("nope") is None
+
+    def test_corrupt_record_reads_as_absent(self, tmp_path):
+        journal = CampaignJournal(tmp_path)
+        journal.save(_record())
+        journal._path("abc123").write_text("{torn mid-")
+        assert journal.load("abc123") is None
+        assert journal.load_all() == []
+
+    def test_format_mismatch_reads_as_absent(self, tmp_path):
+        journal = CampaignJournal(tmp_path)
+        journal.save(_record())
+        path = journal._path("abc123")
+        record = json.loads(path.read_text())
+        record["format"] = 999
+        path.write_text(json.dumps(record))
+        assert journal.load("abc123") is None
+
+    def test_load_all_ordered_by_submission(self, tmp_path):
+        journal = CampaignJournal(tmp_path)
+        journal.save(_record("late", submitted_at=200.0))
+        journal.save(_record("early", submitted_at=50.0))
+        assert [r["id"] for r in journal.load_all()] == ["early", "late"]
+
+    def test_enum_descriptors_journal_by_value(self, tmp_path):
+        """Point descriptors carry config enums (PriorityMode); the save
+        path must flatten them instead of crashing."""
+        from repro.experiments.cache import point_descriptor
+        from repro.experiments.runner import ExperimentPoint
+        from repro.workloads.base import Scale
+
+        point = ExperimentPoint(workload="gups", scale=Scale.tiny()).normalized()
+        descriptor = point_descriptor(point)
+        journal = CampaignJournal(tmp_path)
+        journal.save(
+            _record(points=[{"fingerprint": "a" * 64, "label": "x", "descriptor": descriptor}])
+        )
+        loaded = journal.load("abc123")
+        mode = loaded["points"][0]["descriptor"]["netcrafter"]["priority_mode"]
+        assert mode == "none"
+
+    def test_orphan_tmp_swept_on_open(self, tmp_path):
+        journal = CampaignJournal(tmp_path)
+        journal.save(_record())
+        (tmp_path / "campaigns" / "torn.json.xyz.tmp").write_text("{")
+        reopened = CampaignJournal(tmp_path)
+        assert reopened.swept_orphans == 1
+        assert reopened.load("abc123") is not None
+
+
+class TestEndpoint:
+    def test_publish_read_clear(self, tmp_path):
+        journal = CampaignJournal(tmp_path)
+        assert journal.read_endpoint() is None
+        journal.publish_endpoint("127.0.0.1", 4242)
+        endpoint = journal.read_endpoint()
+        assert endpoint["host"] == "127.0.0.1"
+        assert endpoint["port"] == 4242
+        assert endpoint["pid"] == os.getpid()
+        journal.clear_endpoint()
+        assert journal.read_endpoint() is None
+
+    def test_clear_is_idempotent(self, tmp_path):
+        CampaignJournal(tmp_path).clear_endpoint()
+
+
+def test_default_journal_dir_honours_env(monkeypatch):
+    monkeypatch.setenv("REPRO_CAMPAIGN_DIR", "/tmp/camps")
+    assert default_journal_dir() == "/tmp/camps"
+    monkeypatch.delenv("REPRO_CAMPAIGN_DIR")
+    assert default_journal_dir() == ".repro_campaigns"

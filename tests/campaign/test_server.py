@@ -1,0 +1,388 @@
+"""Tests for the campaign server: dedupe, streaming, durability.
+
+The server is exercised in-process with an injected ``execute_fn`` (no
+real simulation, no worker processes), so these tests cover scheduling,
+deduplication, journaling and the NDJSON protocol — the actual
+simulation path is covered by the runner/bench suites.
+"""
+
+import asyncio
+import json
+import threading
+import time
+
+from repro.campaign.server import CampaignServer
+from repro.campaign.spec import parse_campaign
+from repro.stats.collectors import RunStats
+from repro.stats.report import RunResult
+
+
+def _spec(workloads=("gups", "mt"), priority=0, name="t"):
+    return parse_campaign(
+        {
+            "name": name,
+            "priority": priority,
+            "grid": {
+                "workloads": list(workloads),
+                "variants": ["baseline", "full"],
+                "scale": "tiny",
+            },
+        }
+    )
+
+
+class Recorder:
+    """An ``execute_fn`` double: counts executions, optionally fails/stalls."""
+
+    def __init__(self, fail_workloads=(), delay=0.0):
+        self.calls = []
+        self.lock = threading.Lock()
+        self.fail_workloads = set(fail_workloads)
+        self.delay = delay
+
+    def __call__(self, point):
+        with self.lock:
+            self.calls.append(point.workload)
+        if point.workload in self.fail_workloads:
+            raise RuntimeError(f"injected failure for {point.workload}")
+        if self.delay:
+            time.sleep(self.delay)
+        result = RunResult(
+            workload=point.workload,
+            config_label="test",
+            cycles=1000 + len(point.workload),
+            stats=RunStats(),
+        )
+        return result, 0.001
+
+
+async def _wait_complete(server, cid, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while not server.campaigns[cid].complete:
+        if time.monotonic() > deadline:
+            raise AssertionError(
+                f"campaign {cid} incomplete: {server.campaigns[cid].progress()}"
+            )
+        await asyncio.sleep(0.01)
+
+
+async def _request(server, payload):
+    reader, writer = await asyncio.open_connection(server.host, server.port)
+    writer.write(json.dumps(payload).encode() + b"\n")
+    await writer.drain()
+    line = await reader.readline()
+    writer.close()
+    await writer.wait_closed()
+    return json.loads(line)
+
+
+def _make_server(tmp_path, execute_fn, jobs=2):
+    return CampaignServer(
+        cache_dir=str(tmp_path / "cache"),
+        journal_dir=str(tmp_path / "journal"),
+        jobs=jobs,
+        execute_fn=execute_fn,
+    )
+
+
+class TestServing:
+    def test_submit_executes_each_point_once_then_serves(self, tmp_path):
+        async def scenario():
+            recorder = Recorder()
+            server = _make_server(tmp_path, recorder)
+            await server.start()
+            try:
+                spec = _spec()
+                summary = server.submit(spec)
+                assert summary["points"] == 4 and summary["pending"] == 4
+                await _wait_complete(server, spec.campaign_id)
+                assert sorted(recorder.calls) == ["gups", "gups", "mt", "mt"]
+                assert server.metrics.get("points_executed") == 4
+
+                # content-addressed resubmission: zero new executions
+                again = server.submit(_spec(name="renamed", priority=9))
+                assert again["resubmitted"] and again["complete"]
+                assert len(recorder.calls) == 4
+            finally:
+                await server.stop()
+
+        asyncio.run(scenario())
+
+    def test_overlapping_campaigns_share_executions(self, tmp_path):
+        async def scenario():
+            recorder = Recorder()
+            server = _make_server(tmp_path, recorder)
+            await server.start()
+            try:
+                a = _spec(workloads=("gups",), name="a")
+                b = _spec(workloads=("gups", "mt"), name="b")
+                # both submitted before the dispatcher runs: the shared
+                # gups point must execute exactly once
+                server.submit(a)
+                server.submit(b)
+                await _wait_complete(server, a.campaign_id)
+                await _wait_complete(server, b.campaign_id)
+                assert recorder.calls.count("gups") == 2  # baseline + full
+                assert len(recorder.calls) == 4  # not 6
+            finally:
+                await server.stop()
+
+        asyncio.run(scenario())
+
+    def test_fetch_serves_results_with_digest(self, tmp_path):
+        async def scenario():
+            recorder = Recorder()
+            server = _make_server(tmp_path, recorder)
+            await server.start()
+            try:
+                spec = _spec()
+                cid = spec.campaign_id
+                server.submit(spec)
+
+                # fetch before completion is a structured error
+                early = await _request(server, {"op": "fetch", "campaign": cid})
+                if not early["ok"]:
+                    assert early["error"] == "campaign incomplete"
+
+                await _wait_complete(server, cid)
+                fetched = await _request(server, {"op": "fetch", "campaign": cid})
+                assert fetched["ok"] and fetched["points"] == 4
+                assert len(fetched["digest"]) == 64
+                assert [r["workload"] for r in fetched["results"]] == [
+                    "gups",
+                    "gups",
+                    "mt",
+                    "mt",
+                ]
+            finally:
+                await server.stop()
+
+        asyncio.run(scenario())
+
+    def test_unknown_ops_and_campaigns_are_errors(self, tmp_path):
+        async def scenario():
+            server = _make_server(tmp_path, Recorder())
+            await server.start()
+            try:
+                assert not (await _request(server, {"op": "bogus"}))["ok"]
+                assert not (
+                    await _request(server, {"op": "fetch", "campaign": "nope"})
+                )["ok"]
+                assert not (
+                    await _request(server, {"op": "status", "campaign": "nope"})
+                )["ok"]
+                ping = await _request(server, {"op": "ping"})
+                assert ping["ok"] and ping["campaigns"] == 0
+            finally:
+                await server.stop()
+
+        asyncio.run(scenario())
+
+    def test_failed_point_reports_and_campaign_stays_incomplete(self, tmp_path):
+        async def scenario():
+            recorder = Recorder(fail_workloads={"mt"})
+            server = _make_server(tmp_path, recorder)
+            await server.start()
+            try:
+                spec = _spec()
+                cid = spec.campaign_id
+                server.submit(spec)
+                deadline = time.monotonic() + 10.0
+                campaign = server.campaigns[cid]
+                while (
+                    server.metrics.get("points_failed") < 2
+                    or len(campaign.done) < 2
+                ):
+                    assert time.monotonic() < deadline
+                    await asyncio.sleep(0.01)
+                status = await _request(server, {"op": "status", "campaign": cid})
+                assert status["ok"] and not status["complete"]
+                assert status["done"] == 2  # the gups points still served
+            finally:
+                await server.stop()
+
+        asyncio.run(scenario())
+
+
+class TestPriority:
+    def test_higher_priority_campaign_dispatches_first(self, tmp_path):
+        async def scenario():
+            recorder = Recorder()
+            server = _make_server(tmp_path, recorder, jobs=1)
+            await server.start()
+            try:
+                low = _spec(workloads=("gups",), priority=1, name="low")
+                high = _spec(workloads=("mt",), priority=90, name="high")
+                # submitted low-first, before the dispatcher runs once
+                server.submit(low)
+                server.submit(high)
+                await _wait_complete(server, low.campaign_id)
+                await _wait_complete(server, high.campaign_id)
+                # the high-priority campaign's points all ran first
+                assert recorder.calls[:2] == ["mt", "mt"]
+            finally:
+                await server.stop()
+
+        asyncio.run(scenario())
+
+
+class TestDurability:
+    def test_restart_re_serves_without_execution(self, tmp_path):
+        async def scenario():
+            recorder = Recorder()
+            server = _make_server(tmp_path, recorder)
+            await server.start()
+            spec = _spec()
+            cid = spec.campaign_id
+            server.submit(spec)
+            await _wait_complete(server, cid)
+            await server.stop()
+            assert len(recorder.calls) == 4
+
+            # a fresh server over the same dirs recovers the campaign
+            # from the journal and serves it from cache — zero executions
+            revived = _make_server(tmp_path, recorder)
+            await revived.start()
+            try:
+                assert revived.metrics.get("campaigns_recovered") == 1
+                assert revived.campaigns[cid].complete
+                again = revived.submit(_spec())
+                assert again["resubmitted"] and again["complete"]
+                fetched = await _request(revived, {"op": "fetch", "campaign": cid})
+                assert fetched["ok"] and fetched["points"] == 4
+                assert len(recorder.calls) == 4
+            finally:
+                await revived.stop()
+
+        asyncio.run(scenario())
+
+    def test_restart_re_executes_pruned_points(self, tmp_path):
+        async def scenario():
+            recorder = Recorder()
+            server = _make_server(tmp_path, recorder)
+            await server.start()
+            spec = _spec(workloads=("gups",))
+            cid = spec.campaign_id
+            server.submit(spec)
+            await _wait_complete(server, cid)
+            await server.stop()
+
+            # prune one cached result behind the journal's back
+            victim = spec.fingerprints[0]
+            server.cache.path_for(victim).unlink()
+
+            revived = _make_server(tmp_path, recorder)
+            await revived.start()
+            try:
+                assert revived.metrics.get("points_recovered") == 1
+                await _wait_complete(revived, cid)
+                assert len(recorder.calls) == 3  # 2 original + 1 re-run
+            finally:
+                await revived.stop()
+
+        asyncio.run(scenario())
+
+    def test_fetch_detects_pruning_and_re_executes(self, tmp_path):
+        async def scenario():
+            recorder = Recorder()
+            server = _make_server(tmp_path, recorder)
+            await server.start()
+            try:
+                spec = _spec(workloads=("gups",))
+                cid = spec.campaign_id
+                server.submit(spec)
+                await _wait_complete(server, cid)
+                server.cache.path_for(spec.fingerprints[1]).unlink()
+
+                pruned = await _request(server, {"op": "fetch", "campaign": cid})
+                assert not pruned["ok"] and "pruned" in pruned["error"]
+                await _wait_complete(server, cid)
+                fetched = await _request(server, {"op": "fetch", "campaign": cid})
+                assert fetched["ok"] and fetched["points"] == 2
+                assert len(recorder.calls) == 3
+            finally:
+                await server.stop()
+
+        asyncio.run(scenario())
+
+    def test_endpoint_published_while_serving(self, tmp_path):
+        async def scenario():
+            server = _make_server(tmp_path, Recorder())
+            await server.start()
+            endpoint = server.journal.read_endpoint()
+            assert endpoint["port"] == server.port and server.port > 0
+            await server.stop()
+            assert server.journal.read_endpoint() is None
+
+        asyncio.run(scenario())
+
+
+class TestWatch:
+    def test_watch_streams_point_events_until_complete(self, tmp_path):
+        async def scenario():
+            recorder = Recorder(delay=0.1)
+            server = _make_server(tmp_path, recorder, jobs=1)
+            await server.start()
+            try:
+                spec = _spec(workloads=("gups",))
+                cid = spec.campaign_id
+                server.submit(spec)
+
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port
+                )
+                writer.write(
+                    json.dumps({"op": "watch", "campaign": cid}).encode() + b"\n"
+                )
+                await writer.drain()
+                events = []
+                while True:
+                    line = await asyncio.wait_for(reader.readline(), timeout=10.0)
+                    if not line:
+                        break
+                    events.append(json.loads(line))
+                    last = events[-1]
+                    if last.get("event") == "campaign" and last.get("state") == "complete":
+                        break
+                writer.close()
+                await writer.wait_closed()
+
+                assert events[0]["event"] == "snapshot" and events[0]["ok"]
+                served = [e for e in events if e.get("state") == "served"]
+                assert [e["source"] for e in served] == ["executed", "executed"]
+                assert all(e["wall_seconds"] > 0 for e in served)
+                final = events[-1]
+                assert final["state"] == "complete"
+                assert final["counters"]["points_executed"] == 2
+            finally:
+                await server.stop()
+
+        asyncio.run(scenario())
+
+    def test_watch_completed_campaign_replays_completion(self, tmp_path):
+        async def scenario():
+            server = _make_server(tmp_path, Recorder())
+            await server.start()
+            try:
+                spec = _spec(workloads=("gups",))
+                cid = spec.campaign_id
+                server.submit(spec)
+                await _wait_complete(server, cid)
+
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port
+                )
+                writer.write(
+                    json.dumps({"op": "watch", "campaign": cid}).encode() + b"\n"
+                )
+                await writer.drain()
+                snapshot = json.loads(await reader.readline())
+                complete = json.loads(await reader.readline())
+                writer.close()
+                await writer.wait_closed()
+                assert snapshot["event"] == "snapshot" and snapshot["complete"]
+                assert complete["state"] == "complete"
+            finally:
+                await server.stop()
+
+        asyncio.run(scenario())

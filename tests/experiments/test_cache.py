@@ -70,6 +70,7 @@ class TestResultCache:
         path.write_text("not json at all")
         assert cache.get(_point()) is None
         assert not path.exists()
+        assert cache.corrupt == 1
 
     def test_stale_result_schema_is_a_miss(self, tmp_path):
         cache = ResultCache(tmp_path)
@@ -174,6 +175,211 @@ class TestCrashRecovery:
         path.write_text(blob[: len(blob) // 2])  # torn mid-write
         assert cache.get(_point()) is None
         assert not path.exists()
+
+
+class TestQuarantine:
+    """Corrupt entries read as misses and are moved aside — never served,
+    never silently destroyed — so the slot rewrites cleanly while the
+    evidence survives for post-mortem."""
+
+    def _corrupt(self, cache):
+        cache.put(_point(), _result())
+        path = cache.path_for(fingerprint(_point()))
+        blob = path.read_text()
+        path.write_text(blob[: len(blob) // 2])  # deliberately truncated
+        return path
+
+    def test_truncated_entry_quarantined_not_deleted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = self._corrupt(cache)
+        assert cache.get(_point()) is None
+        assert not path.exists()
+        moved = cache.quarantine_dir / path.name
+        assert moved.exists()
+        assert cache.corrupt == 1
+        assert cache.misses == 1
+
+    def test_slot_rewrites_cleanly_after_quarantine(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self._corrupt(cache)
+        assert cache.get(_point()) is None
+        cache.put(_point(), _result(cycles=7))
+        assert cache.get(_point()).cycles == 7
+
+    def test_quarantined_entries_do_not_count_as_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self._corrupt(cache)
+        cache.get(_point())
+        assert len(cache) == 0
+        assert cache.info()["quarantined"] == 1
+
+    def test_runner_stats_count_quarantined_entries(self, tmp_path):
+        """Regression (satellite): a truncated disk entry behind run_one
+        must read as a miss, re-simulate, and be tallied in
+        ExecutionStats.corrupt_entries — never crash the sweep."""
+        from repro.experiments.runner import (
+            clear_cache,
+            reset_run_stats,
+            run_one,
+            run_stats,
+            set_cache_dir,
+        )
+
+        set_cache_dir(str(tmp_path))
+        clear_cache()
+        reset_run_stats()
+        try:
+            first = run_one("gups", scale=Scale.tiny())
+            cache = ResultCache(tmp_path)
+            path = cache.path_for(fingerprint(_point()))
+            blob = path.read_text()
+            path.write_text(blob[: len(blob) // 2])
+            clear_cache()  # force the disk read
+            again = run_one("gups", scale=Scale.tiny())
+            assert again.cycles == first.cycles
+            assert run_stats.corrupt_entries == 1
+            assert run_stats.executed == 2
+        finally:
+            set_cache_dir(None)
+            clear_cache()
+            reset_run_stats()
+
+
+class TestClaims:
+    """In-flight execution claims: the cross-process exactly-once lease."""
+
+    KEY = "deadbeef" * 8
+
+    def test_claim_is_exclusive_until_released(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.claim_state(self.KEY) == "free"
+        assert cache.claim(self.KEY)
+        assert cache.claim_state(self.KEY) == "held"
+        assert not cache.claim(self.KEY)
+        cache.release(self.KEY)
+        assert cache.claim_state(self.KEY) == "free"
+        assert cache.claim(self.KEY)
+        cache.release(self.KEY)
+
+    def test_release_is_idempotent(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.release(self.KEY)
+        cache.claim(self.KEY)
+        cache.release(self.KEY)
+        cache.release(self.KEY)
+
+    def test_stale_claim_from_dead_holder_is_stolen(self, tmp_path):
+        import subprocess
+        import sys
+
+        cache = ResultCache(tmp_path)
+        # a claim whose recorded pid no longer exists: fabricate one from
+        # a process that has already exited and been reaped
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        proc.wait()
+        cache.inflight_dir.mkdir(parents=True, exist_ok=True)
+        cache._claim_path(self.KEY).write_text(
+            json.dumps({"pid": proc.pid, "time": 0.0})
+        )
+        assert cache.claim_state(self.KEY) == "stale"
+        # the next claimant steals it and becomes the live holder
+        assert cache.claim(self.KEY)
+        assert cache.claim_state(self.KEY) == "held"
+        cache.release(self.KEY)
+
+    def test_torn_claim_file_reads_as_stale(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.inflight_dir.mkdir(parents=True, exist_ok=True)
+        cache._claim_path(self.KEY).write_text("{torn")
+        assert cache.claim_state(self.KEY) == "stale"
+        assert cache.claim(self.KEY)
+        cache.release(self.KEY)
+
+    def test_claims_do_not_count_as_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.claim(self.KEY)
+        assert len(cache) == 0
+        assert cache.info()["inflight_claims"] == 1
+        cache.release(self.KEY)
+        assert cache.info()["inflight_claims"] == 0
+
+
+class TestMaintenance:
+    def test_info_counts_entries_and_bytes(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(_point(), _result())
+        cache.put(_point(seed=1), _result())
+        info = cache.info()
+        assert info["entries"] == 2
+        assert info["total_bytes"] > 0
+        assert info["oldest_age_seconds"] >= 0.0
+
+    def test_prune_by_age(self, tmp_path):
+        import os
+        import time
+
+        cache = ResultCache(tmp_path)
+        cache.put(_point(), _result())
+        cache.put(_point(seed=1), _result())
+        old = cache.path_for(fingerprint(_point()))
+        stale = time.time() - 10_000
+        os.utime(old, (stale, stale))
+        pruned = cache.prune_older_than(5_000)
+        assert pruned["removed"] == 1 and pruned["freed_bytes"] > 0
+        assert len(cache) == 1
+        assert cache.get(_point()) is None
+        assert cache.get(_point(seed=1)) is not None
+
+
+class TestCacheCli:
+    def _populate(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(_point(), _result())
+        cache.put(_point(seed=1), _result())
+        return cache
+
+    def test_info(self, tmp_path, capsys):
+        from repro.experiments.cache import main
+
+        self._populate(tmp_path)
+        assert main(["--dir", str(tmp_path), "--info"]) == 0
+        out = capsys.readouterr().out
+        assert "entries:          2" in out
+        assert str(tmp_path) in out
+
+    def test_prune_age(self, tmp_path, capsys):
+        import os
+        import time
+
+        from repro.experiments.cache import main
+
+        cache = self._populate(tmp_path)
+        old = cache.path_for(fingerprint(_point()))
+        stale = time.time() - 3 * 86400
+        os.utime(old, (stale, stale))
+        assert main(["--dir", str(tmp_path), "--prune-age", "1"]) == 0
+        assert "pruned 1 entry" in capsys.readouterr().out
+        assert len(ResultCache(tmp_path)) == 1
+
+    def test_clear_quarantine(self, tmp_path, capsys):
+        from repro.experiments.cache import main
+
+        cache = self._populate(tmp_path)
+        path = cache.path_for(fingerprint(_point()))
+        path.write_text("{torn")
+        cache.get(_point())
+        assert cache.info()["quarantined"] == 1
+        assert main(["--dir", str(tmp_path), "--clear-quarantine"]) == 0
+        assert "cleared 1" in capsys.readouterr().out
+        assert ResultCache(tmp_path).info()["quarantined"] == 0
+
+    def test_no_action_errors(self, tmp_path):
+        import pytest
+
+        from repro.experiments.cache import main
+
+        with pytest.raises(SystemExit):
+            main(["--dir", str(tmp_path)])
 
 
 def test_default_cache_dir_honours_env(monkeypatch):

@@ -1,0 +1,38 @@
+"""Tests for the wall-clock-domain CounterSet."""
+
+import pytest
+
+from repro.obs import CounterSet
+
+
+class TestCounterSet:
+    def test_unknown_names_start_at_zero(self):
+        counters = CounterSet()
+        assert counters.get("nope") == 0
+        assert len(counters) == 0
+
+    def test_inc_accumulates_and_returns(self):
+        counters = CounterSet()
+        assert counters.inc("hits") == 1
+        assert counters.inc("hits", 2) == 3
+        assert counters.get("hits") == 3
+
+    def test_float_counters(self):
+        counters = CounterSet()
+        counters.inc("seconds", 0.25)
+        counters.inc("seconds", 0.5)
+        assert counters.get("seconds") == pytest.approx(0.75)
+
+    def test_monotonic(self):
+        counters = CounterSet()
+        with pytest.raises(ValueError, match="monotonic"):
+            counters.inc("hits", -1)
+
+    def test_to_dict_sorted_snapshot(self):
+        counters = CounterSet()
+        counters.inc("zeta")
+        counters.inc("alpha", 2)
+        snapshot = counters.to_dict()
+        assert list(snapshot) == ["alpha", "zeta"]
+        snapshot["alpha"] = 99  # a copy, not the live registry
+        assert counters.get("alpha") == 2
